@@ -1,0 +1,76 @@
+package main
+
+import (
+	"math"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/intmat"
+)
+
+// intmatDense shortens signatures in experiments.go.
+type intmatDense = intmat.Dense
+
+// absMatrix returns the entrywise absolute value.
+func absMatrix(m *intmat.Dense) *intmat.Dense {
+	out := intmat.NewDense(m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j, v := range m.Row(i) {
+			if v < 0 {
+				v = -v
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+// toBinary converts a 0/1 integer matrix to a bit matrix.
+func toBinary(m *intmat.Dense) *bitmat.Matrix {
+	out := bitmat.New(m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j, v := range m.Row(i) {
+			if v != 0 {
+				out.Set(i, j, true)
+			}
+		}
+	}
+	return out
+}
+
+// hhSets computes the exact HH_ϕ and HH_{ϕ-ε} sets of c.
+func hhSets(c *intmat.Dense, p, phi, eps float64) (must, may map[core.Pair]bool) {
+	norm := c.Lp(p)
+	must = map[core.Pair]bool{}
+	may = map[core.Pair]bool{}
+	for _, e := range c.NonZeros() {
+		pow := math.Pow(math.Abs(float64(e.V)), p)
+		if pow >= phi*norm {
+			must[core.Pair{I: e.I, J: e.J}] = true
+		}
+		if pow >= (phi-eps)*norm {
+			may[core.Pair{I: e.I, J: e.J}] = true
+		}
+	}
+	return must, may
+}
+
+// hhQuality reports whether the output satisfies the two HH inclusions:
+// precision (S ⊆ HH_{ϕ-ε}) and recall (HH_ϕ ⊆ S).
+func hhQuality(out []core.WeightedPair, must, may map[core.Pair]bool) (precision, recall bool) {
+	precision, recall = true, true
+	got := map[core.Pair]bool{}
+	for _, wp := range out {
+		pr := core.Pair{I: wp.I, J: wp.J}
+		got[pr] = true
+		if !may[pr] {
+			precision = false
+		}
+	}
+	for pr := range must {
+		if !got[pr] {
+			recall = false
+		}
+	}
+	return precision, recall
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intmat"
+)
+
+func TestAbsMatrix(t *testing.T) {
+	m := intmat.NewDense(2, 2)
+	m.Set(0, 0, -5)
+	m.Set(1, 1, 3)
+	a := absMatrix(m)
+	if a.Get(0, 0) != 5 || a.Get(1, 1) != 3 {
+		t.Fatalf("absMatrix wrong: %d, %d", a.Get(0, 0), a.Get(1, 1))
+	}
+	if m.Get(0, 0) != -5 {
+		t.Fatal("absMatrix mutated its input")
+	}
+}
+
+func TestToBinary(t *testing.T) {
+	m := intmat.NewDense(2, 3)
+	m.Set(0, 1, 7)
+	m.Set(1, 2, -1)
+	b := toBinary(m)
+	if !b.Get(0, 1) || !b.Get(1, 2) || b.Get(0, 0) {
+		t.Fatal("toBinary entries wrong")
+	}
+}
+
+func TestHHSetsAndQuality(t *testing.T) {
+	c := intmat.NewDense(2, 2)
+	c.Set(0, 0, 10) // 10/16 heavy
+	c.Set(0, 1, 4)  // 4/16 in the (ϕ−ε, ϕ) band for ϕ=0.5, ε=0.3
+	c.Set(1, 0, 1)
+	c.Set(1, 1, 1)
+	must, may := hhSets(c, 1, 0.5, 0.3)
+	if len(must) != 1 || !must[core.Pair{I: 0, J: 0}] {
+		t.Fatalf("must = %v", must)
+	}
+	if len(may) != 2 || !may[core.Pair{I: 0, J: 1}] {
+		t.Fatalf("may = %v", may)
+	}
+
+	// Perfect output.
+	out := []core.WeightedPair{{I: 0, J: 0, Value: 10}}
+	prec, rec := hhQuality(out, must, may)
+	if !prec || !rec {
+		t.Fatal("perfect output judged bad")
+	}
+	// Missing the heavy entry.
+	prec, rec = hhQuality(nil, must, may)
+	if !prec || rec {
+		t.Fatal("empty output should fail recall only")
+	}
+	// Spurious light entry.
+	out = []core.WeightedPair{{I: 0, J: 0, Value: 10}, {I: 1, J: 1, Value: 1}}
+	prec, rec = hhQuality(out, must, may)
+	if prec || !rec {
+		t.Fatal("spurious entry should fail precision only")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f1(1.25) != "1.2" && f1(1.25) != "1.3" {
+		t.Fatalf("f1 = %q", f1(1.25))
+	}
+	if f3(0.5) != "0.500" {
+		t.Fatalf("f3 = %q", f3(0.5))
+	}
+	if fi(42) != "42" {
+		t.Fatalf("fi = %q", fi(42))
+	}
+	if fpct(0.125) != "12.5%" {
+		t.Fatalf("fpct = %q", fpct(0.125))
+	}
+	if boolStr(true) != "✓" || boolStr(false) != "✗" {
+		t.Fatal("boolStr wrong")
+	}
+}
+
+func TestRelErrHelper(t *testing.T) {
+	if relErr(11, 10) != 0.1 {
+		t.Fatalf("relErr = %v", relErr(11, 10))
+	}
+	if relErr(3, 0) != 3 {
+		t.Fatalf("relErr with zero truth = %v", relErr(3, 0))
+	}
+}
+
+func TestFastExperimentsSmoke(t *testing.T) {
+	// The cheap experiments must run end to end without panicking.
+	for _, id := range []string{"E3", "E5", "E11"} {
+		for _, e := range experiments {
+			if e.id == id {
+				e.run(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command mpbench regenerates the experiments recorded in EXPERIMENTS.md:
+// for every table/claim in the paper's results (E1–E13 in DESIGN.md), it
+// runs the corresponding protocol sweep, measures communication and
+// accuracy against exact ground truth, and prints the table.
+//
+// Usage:
+//
+//	mpbench               # run everything
+//	mpbench -experiment E1,E6
+//	mpbench -seed 7       # change the base seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(seed uint64)
+}
+
+func main() {
+	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E13, ablations) or 'all'")
+	seed := flag.Uint64("seed", 1, "base seed for all workloads and protocols")
+	flag.Parse()
+
+	byID := map[string]experiment{}
+	for _, e := range experiments {
+		byID[strings.ToLower(e.id)] = e
+	}
+
+	var selected []experiment
+	if *expFlag == "all" {
+		selected = experiments
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := byID[strings.ToLower(strings.TrimSpace(id))]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known:", id)
+				ids := make([]string, 0, len(byID))
+				for k := range byID {
+					ids = append(ids, k)
+				}
+				sort.Strings(ids)
+				fmt.Fprintf(os.Stderr, " %s\n", strings.Join(ids, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("\n=== %s — %s ===\n", e.id, e.title)
+		e.run(*seed)
+	}
+}
+
+// row prints an aligned table row.
+func row(cells ...string) {
+	for _, c := range cells {
+		fmt.Printf("%-22s", c)
+	}
+	fmt.Println()
+}
+
+func f1(v float64) string   { return fmt.Sprintf("%.1f", v) }
+func f3(v float64) string   { return fmt.Sprintf("%.3f", v) }
+func fi(v int64) string     { return fmt.Sprintf("%d", v) }
+func fpct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,174 @@
+// Command mpestimate runs one protocol on a generated workload and
+// prints the estimate, the exact answer, and the communication cost —
+// a quick interactive way to explore the accuracy/communication
+// tradeoffs.
+//
+// Usage examples:
+//
+//	mpestimate -protocol l0 -n 256 -eps 0.1
+//	mpestimate -protocol linf -n 192 -workload planted
+//	mpestimate -protocol hh -n 128 -phi 0.1
+//	mpestimate -protocol matmul -n 128 -density 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "l0", "protocol: l0 | l1 | l2 | l1exact | l0sample | l1sample | linf | linfkappa | linfgeneral | hh | hhbinary | matmul | naive")
+		n        = flag.Int("n", 128, "matrix dimension")
+		density  = flag.Float64("density", 0.08, "workload density")
+		wl       = flag.String("workload", "uniform", "workload: uniform | zipf | planted")
+		eps      = flag.Float64("eps", 0.25, "accuracy parameter ε")
+		kappa    = flag.Float64("kappa", 8, "approximation factor κ")
+		phi      = flag.Float64("phi", 0.1, "heavy-hitter threshold ϕ")
+		seed     = flag.Uint64("seed", 1, "seed")
+		trace    = flag.Bool("trace", false, "print the per-message protocol trace")
+	)
+	flag.Parse()
+
+	// Build the workload.
+	var a, b *workloadBinary
+	switch *wl {
+	case "uniform":
+		a = &workloadBinary{workload.Binary(*seed, *n, *n, *density)}
+		b = &workloadBinary{workload.Binary(*seed+1, *n, *n, *density)}
+	case "zipf":
+		a = &workloadBinary{workload.Zipf(*seed, *n, *n, *n/2, 1.0)}
+		b = &workloadBinary{workload.Zipf(*seed+1, *n, *n, *n/2, 1.0).Transpose()}
+	case "planted":
+		am, bm, _, _ := workload.PlantedPair(*seed, *n, *n/3, *density)
+		a, b = &workloadBinary{am}, &workloadBinary{bm}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	ai, bi := a.m.ToInt(), b.m.ToInt()
+	c := ai.Mul(bi)
+
+	printTrace := func(cost core.Cost) {
+		if !*trace {
+			return
+		}
+		fmt.Println("trace:")
+		for _, m := range cost.Trace {
+			label := m.Label
+			if label == "" {
+				label = "(unlabeled)"
+			}
+			fmt.Printf("  round %d  %-10s %10d bits  %s\n", m.Round, m.Direction, m.Bits, label)
+		}
+	}
+
+	report := func(name string, truth, est float64, cost core.Cost) {
+		fmt.Printf("protocol:  %s\n", name)
+		fmt.Printf("exact:     %.1f\n", truth)
+		fmt.Printf("estimate:  %.1f\n", est)
+		if truth != 0 {
+			fmt.Printf("ratio:     %.4f\n", est/truth)
+		}
+		fmt.Printf("cost:      %s\n", cost)
+		naive := int64(*n) * int64(*n)
+		fmt.Printf("vs naive:  %.3f (naive ≈ %d bits: ship A as a bitmap)\n",
+			float64(cost.Bits)/float64(naive), naive)
+		printTrace(cost)
+	}
+
+	switch *protocol {
+	case "l0", "l1", "l2":
+		p := map[string]float64{"l0": 0, "l1": 1, "l2": 2}[*protocol]
+		est, cost, err := core.EstimateLp(ai, bi, p, core.LpOpts{Eps: *eps, Seed: *seed})
+		exitOn(err)
+		report(fmt.Sprintf("Algorithm 1 (ℓ%v, Thm 3.1)", p), c.Lp(p), est, cost)
+	case "l1exact":
+		got, cost, err := core.ExactL1(ai, bi)
+		exitOn(err)
+		report("Remark 2 (exact ℓ1)", float64(c.L1()), float64(got), cost)
+	case "l0sample":
+		pair, v, cost, err := core.SampleL0(ai, bi, core.L0SampleOpts{Eps: *eps, Seed: *seed})
+		exitOn(err)
+		fmt.Printf("protocol:  Theorem 3.2 (ℓ0-sampling)\n")
+		fmt.Printf("sampled:   C[%d][%d] = %d (support size %d)\n", pair.I, pair.J, v, c.L0())
+		fmt.Printf("cost:      %s\n", cost)
+	case "l1sample":
+		i, j, k, cost, err := core.SampleL1(ai, bi, *seed)
+		exitOn(err)
+		fmt.Printf("protocol:  Remark 3 (ℓ1-sampling)\n")
+		fmt.Printf("sampled:   entry (%d,%d) via witness %d, C value %d\n", i, j, k, c.Get(i, j))
+		fmt.Printf("cost:      %s\n", cost)
+	case "linf":
+		truth, _, _ := c.Linf()
+		est, pair, cost, err := core.EstimateLinfBinary(a.m, b.m, core.LinfOpts{Eps: *eps, Seed: *seed})
+		exitOn(err)
+		report("Algorithm 2 (ℓ∞ binary, Thm 4.1)", float64(truth), est, cost)
+		fmt.Printf("witness:   (%d,%d) with true value %d\n", pair.I, pair.J, c.Get(pair.I, pair.J))
+	case "linfkappa":
+		truth, _, _ := c.Linf()
+		est, _, cost, err := core.EstimateLinfKappa(a.m, b.m, core.LinfKappaOpts{Kappa: *kappa, Seed: *seed})
+		exitOn(err)
+		report(fmt.Sprintf("Algorithm 3 (ℓ∞ κ=%.0f, Thm 4.3)", *kappa), float64(truth), est, cost)
+	case "linfgeneral":
+		truth, _, _ := c.Linf()
+		est, cost, err := core.EstimateLinfGeneral(ai, bi, core.LinfGeneralOpts{Kappa: *kappa, Seed: *seed})
+		exitOn(err)
+		report(fmt.Sprintf("Theorem 4.8(1) (ℓ∞ general, κ=%.0f)", *kappa), float64(truth), est, cost)
+	case "hh":
+		out, cost, err := core.HeavyHitters(ai, bi, core.HHOpts{Phi: *phi, Eps: *phi / 2, Seed: *seed})
+		exitOn(err)
+		fmt.Printf("protocol:  Algorithm 4 (heavy hitters, Thm 5.1)\n")
+		printHH(out, c.Lp(1))
+		fmt.Printf("cost:      %s\n", cost)
+	case "hhbinary":
+		out, cost, err := core.HeavyHittersBinary(a.m, b.m, core.HHBinaryOpts{Phi: *phi, Eps: *phi / 2, Seed: *seed})
+		exitOn(err)
+		fmt.Printf("protocol:  Section 5.2 (binary heavy hitters, Thm 5.3)\n")
+		printHH(out, c.Lp(1))
+		fmt.Printf("cost:      %s\n", cost)
+	case "matmul":
+		s := c.L0() + 1
+		ca, cb, cost, err := core.DistributedProduct(ai, bi, core.MatMulOpts{Sparsity: s, Seed: *seed})
+		exitOn(err)
+		sum := ca.Clone()
+		sum.AddMatrix(cb)
+		status := "exact"
+		if !sum.Equal(c) {
+			status = "FAILED"
+		}
+		fmt.Printf("protocol:  Lemma 2.5 (distributed matmul)\n")
+		fmt.Printf("recovery:  %s (‖AB‖0 = %d)\n", status, c.L0())
+		fmt.Printf("cost:      %s\n", cost)
+	case "naive":
+		st, cost, err := core.NaiveBinary(a.m, b.m)
+		exitOn(err)
+		fmt.Printf("protocol:  naive (ship A)\n")
+		fmt.Printf("exact:     ℓ0=%d ℓ1=%d ℓ∞=%d at (%d,%d)\n", st.L0, st.L1, st.Linf, st.ArgMax.I, st.ArgMax.J)
+		fmt.Printf("cost:      %s\n", cost)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+}
+
+type workloadBinary struct{ m *bitmat.Matrix }
+
+func printHH(out []core.WeightedPair, norm float64) {
+	fmt.Printf("found:     %d heavy hitters\n", len(out))
+	for _, wp := range out {
+		fmt.Printf("           (%d,%d) ≈ %.1f (share %.3f)\n", wp.I, wp.J, wp.Value, wp.Value/norm)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+package matprod_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The smallest end-to-end use: two parties estimate the number of
+// intersecting set pairs without exchanging the sets.
+func ExampleCompositionSize() {
+	// Alice: three sets over the universe {0..7}, one per row.
+	a := matprod.BoolMatrixFromSets([][]int{
+		{0, 1, 2},
+		{3},
+		{5, 6},
+	}, 8)
+	// Bob: three sets, one per column of B.
+	b := matprod.BoolMatrixFromSets([][]int{
+		{0},    // intersects Alice's set 0
+		{3, 5}, // intersects sets 1 and 2
+		{7},    // intersects nothing
+	}, 8).Transpose()
+
+	size, _, err := matprod.CompositionSize(a, b, matprod.LpOptions{Eps: 0.5, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("intersecting pairs ≈ %.0f\n", size)
+	// Output: intersecting pairs ≈ 3
+}
+
+// Exact natural-join size in one round and O(n log n) bits.
+func ExampleNaturalJoinSize() {
+	a := matprod.BoolMatrixFromSets([][]int{{0, 1}, {1, 2}}, 4)
+	b := matprod.BoolMatrixFromSets([][]int{{1}, {2}}, 4).Transpose()
+	size, cost, err := matprod.NaturalJoinSize(a, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("|A ⋈ B| = %d in %d round\n", size, cost.Rounds)
+	// Output: |A ⋈ B| = 3 in 1 round
+}
+
+// Recovering a sparse product exactly with verification enabled.
+func ExampleDistributedProduct() {
+	a := matprod.NewIntMatrix(16, 16)
+	b := matprod.NewIntMatrix(16, 16)
+	a.Set(2, 5, 3)
+	b.Set(5, 9, -4)
+	ca, cb, _, err := matprod.DistributedProduct(a, b, matprod.MatMulOptions{
+		Sparsity: 4, Verify: true, Seed: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	c := ca.Add(cb)
+	fmt.Printf("C[2][9] = %d\n", c.Get(2, 9))
+	// Output: C[2][9] = -12
+}
+
+// Finding the pair with the maximum intersection.
+func ExampleMaxOverlapPair() {
+	a := matprod.NewBoolMatrix(32, 32)
+	b := matprod.NewBoolMatrix(32, 32)
+	for k := 0; k < 20; k++ {
+		a.Set(7, k, true) // Alice's set 7 is large...
+		b.Set(k, 3, true) // ...and matches Bob's set 3.
+	}
+	est, pair, _, err := matprod.MaxOverlapPair(a, b, matprod.LinfOptions{Eps: 0.5, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best pair (%d,%d), overlap ≥ %.0f\n", pair.I, pair.J, est)
+	// Output: best pair (7,3), overlap ≥ 20
+}

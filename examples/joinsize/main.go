@@ -1,0 +1,71 @@
+// Join-size estimation for query optimization (Section 1.1 of the
+// paper).
+//
+// A query optimizer choosing between executing R(X,Y) ⋈ S(Y,Z) via
+// composition or via the full natural join needs cardinality estimates
+// *before* moving any data: the natural join size ‖AB‖1 bounds the
+// intermediate result, and the composition size ‖AB‖0 the distinct
+// output pairs. Both are available cheaply — ‖AB‖1 exactly in O(n log n)
+// bits (Remark 2) and ‖AB‖0 within (1±ε) in Õ(n/ε) bits (Theorem 3.1) —
+// against relations stored on two different sites.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const n = 256
+	rnd := rand.New(rand.NewSource(42))
+
+	// Site 1 stores R(X, Y): a skewed relation — a few very frequent
+	// join keys (the classic reason estimates beat heuristics).
+	a := matprod.NewBoolMatrix(n, n)
+	for i := 0; i < n; i++ {
+		keys := 1 + rnd.Intn(8)
+		for t := 0; t < keys; t++ {
+			// Zipf-ish key popularity.
+			k := int(float64(n) * rnd.Float64() * rnd.Float64())
+			a.Set(i, k%n, true)
+		}
+	}
+	// Site 2 stores S(Y, Z).
+	b := matprod.NewBoolMatrix(n, n)
+	for j := 0; j < n; j++ {
+		keys := 1 + rnd.Intn(8)
+		for t := 0; t < keys; t++ {
+			k := int(float64(n) * rnd.Float64() * rnd.Float64())
+			b.Set(k%n, j, true)
+		}
+	}
+
+	exact := a.ToInt().Mul(b.ToInt())
+
+	joinSize, joinCost, err := matprod.NaturalJoinSize(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compSize, compCost, err := matprod.CompositionSize(a, b, matprod.LpOptions{Eps: 0.15, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("distributed cardinality estimates for R ⋈ S")
+	fmt.Printf("  |R ⋈ S|  (‖AB‖1): %d exact  [true %d] — %s\n", joinSize, exact.L1(), joinCost)
+	fmt.Printf("  |R ∘ S|  (‖AB‖0): %.0f ±15%%  [true %d] — %s\n", compSize, exact.L0(), compCost)
+
+	// The optimizer's decision: if the join blows up relative to the
+	// composition (many witnesses per pair), composing first and
+	// deduplicating wins.
+	blowup := float64(joinSize) / compSize
+	fmt.Printf("  witnesses per output pair: %.2f\n", blowup)
+	if blowup > 2 {
+		fmt.Println("  plan: compose + deduplicate (join has heavy witness multiplicity)")
+	} else {
+		fmt.Println("  plan: direct natural join")
+	}
+}

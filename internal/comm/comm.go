@@ -1,0 +1,430 @@
+// Package comm is the two-party protocol runtime.
+//
+// The paper's model has Alice and Bob exchanging messages; the complexity
+// measures are the total number of transmitted bits and the number of
+// rounds (maximal blocks of messages flowing in one direction). This
+// package provides an in-process simulation of that model with exact
+// accounting: every protocol message is serialized into a Message, handed
+// to Conn.Send, and the connection records its payload size and advances
+// the round counter whenever the direction of communication flips.
+//
+// Local computation is free, exactly as in the communication-complexity
+// model. Shared randomness is free too (public-coin model): both parties
+// derive sketching matrices from a common seed outside this package.
+//
+// The encoding vocabulary (unsigned/signed varints, fixed 64-bit floats,
+// bitmaps, delta-coded index lists, sparse matrices) mirrors the message
+// types the paper's protocols need; each helper documents its exact cost.
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/intmat"
+)
+
+// Direction identifies who is sending a message.
+type Direction int
+
+// The two message directions.
+const (
+	AliceToBob Direction = iota
+	BobToAlice
+)
+
+func (d Direction) String() string {
+	if d == AliceToBob {
+		return "Alice→Bob"
+	}
+	return "Bob→Alice"
+}
+
+// Stats aggregates the cost of a protocol execution.
+type Stats struct {
+	BitsAliceToBob int64 // payload bits sent by Alice
+	BitsBobToAlice int64 // payload bits sent by Bob
+	Messages       int   // number of Send calls
+	Rounds         int   // number of direction alternations (maximal one-way blocks)
+}
+
+// TotalBits returns the total communication in bits.
+func (s Stats) TotalBits() int64 { return s.BitsAliceToBob + s.BitsBobToAlice }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("bits=%d (A→B %d, B→A %d), rounds=%d, messages=%d",
+		s.TotalBits(), s.BitsAliceToBob, s.BitsBobToAlice, s.Rounds, s.Messages)
+}
+
+// MessageInfo describes one transmitted message for tracing.
+type MessageInfo struct {
+	Direction Direction
+	Bits      int64
+	Round     int
+	Label     string
+}
+
+// Conn is a two-party connection that accounts communication. The zero
+// value is ready to use.
+type Conn struct {
+	stats   Stats
+	lastDir Direction
+	started bool
+	trace   []MessageInfo
+}
+
+// NewConn returns a fresh connection with zeroed counters.
+func NewConn() *Conn { return &Conn{} }
+
+// Trace returns the per-message log of the execution so far: direction,
+// size, round and the label the protocol attached (via Message.Label).
+func (c *Conn) Trace() []MessageInfo { return c.trace }
+
+// Send accounts for the transmission of msg in the given direction and
+// returns a reader positioned at the start of the payload. In this
+// in-process simulation the receiver reads the same buffer; Send is the
+// single point where cost is recorded, so protocols must route every
+// exchanged byte through it.
+func (c *Conn) Send(dir Direction, msg *Message) *Message {
+	bits := int64(len(msg.buf)) * 8
+	if dir == AliceToBob {
+		c.stats.BitsAliceToBob += bits
+	} else {
+		c.stats.BitsBobToAlice += bits
+	}
+	c.stats.Messages++
+	if !c.started || c.lastDir != dir {
+		c.stats.Rounds++
+		c.lastDir = dir
+		c.started = true
+	}
+	c.trace = append(c.trace, MessageInfo{
+		Direction: dir,
+		Bits:      bits,
+		Round:     c.stats.Rounds,
+		Label:     msg.Label,
+	})
+	msg.pos = 0
+	return msg
+}
+
+// Stats returns the accumulated cost.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// Message is an append-only byte buffer with typed write helpers and a
+// read cursor with matching typed read helpers. Protocols build a Message,
+// Send it, and the peer reads it back field by field. Reads past the end
+// or of the wrong framing panic: a malformed message is always a protocol
+// implementation bug, never a runtime condition.
+type Message struct {
+	// Label optionally names the message's role ("row sketches",
+	// "sampled rows", …) for the connection trace. It is metadata, not
+	// payload, and costs no bits.
+	Label string
+
+	buf []byte
+	pos int
+}
+
+// NewMessage returns an empty message.
+func NewMessage() *Message { return &Message{} }
+
+// checkLen panics unless n elements of at least elemBytes each can still
+// be read. It runs before any length-prefixed allocation so a corrupt
+// prefix cannot demand unbounded memory.
+func (m *Message) checkLen(n, elemBytes int) {
+	if n < 0 || elemBytes <= 0 || n > (len(m.buf)-m.pos)/elemBytes {
+		panic("comm: length prefix exceeds payload")
+	}
+}
+
+// Len returns the current payload size in bytes.
+func (m *Message) Len() int { return len(m.buf) }
+
+// PutUvarint appends an unsigned varint.
+func (m *Message) PutUvarint(v uint64) {
+	m.buf = binary.AppendUvarint(m.buf, v)
+}
+
+// Uvarint reads an unsigned varint.
+func (m *Message) Uvarint() uint64 {
+	v, n := binary.Uvarint(m.buf[m.pos:])
+	if n <= 0 {
+		panic("comm: malformed uvarint")
+	}
+	m.pos += n
+	return v
+}
+
+// PutVarint appends a signed varint (zig-zag).
+func (m *Message) PutVarint(v int64) {
+	m.buf = binary.AppendVarint(m.buf, v)
+}
+
+// Varint reads a signed varint.
+func (m *Message) Varint() int64 {
+	v, n := binary.Varint(m.buf[m.pos:])
+	if n <= 0 {
+		panic("comm: malformed varint")
+	}
+	m.pos += n
+	return v
+}
+
+// PutInt appends a signed integer as a varint; convenience for ints.
+func (m *Message) PutInt(v int) { m.PutVarint(int64(v)) }
+
+// Int reads an integer written by PutInt.
+func (m *Message) Int() int { return int(m.Varint()) }
+
+// PutFloat64 appends a float64 as 8 bytes.
+func (m *Message) PutFloat64(v float64) {
+	m.buf = binary.LittleEndian.AppendUint64(m.buf, math.Float64bits(v))
+}
+
+// Float64 reads a float64.
+func (m *Message) Float64() float64 {
+	if m.pos+8 > len(m.buf) {
+		panic("comm: truncated float64")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(m.buf[m.pos:]))
+	m.pos += 8
+	return v
+}
+
+// PutFloat64Slice appends a length-prefixed vector of float64s
+// (8 bytes per entry — the "word" of the paper's word model).
+func (m *Message) PutFloat64Slice(v []float64) {
+	m.PutUvarint(uint64(len(v)))
+	for _, x := range v {
+		m.PutFloat64(x)
+	}
+}
+
+// Float64Slice reads a vector written by PutFloat64Slice.
+func (m *Message) Float64Slice() []float64 {
+	n := int(m.Uvarint())
+	m.checkLen(n, 8)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.Float64()
+	}
+	return out
+}
+
+// PutUint64 appends a fixed 8-byte unsigned integer (used for field
+// elements, where values are uniform over ~2^61 and varints would not
+// compress anyway).
+func (m *Message) PutUint64(v uint64) {
+	m.buf = binary.LittleEndian.AppendUint64(m.buf, v)
+}
+
+// Uint64 reads a fixed 8-byte unsigned integer.
+func (m *Message) Uint64() uint64 {
+	if m.pos+8 > len(m.buf) {
+		panic("comm: truncated uint64")
+	}
+	v := binary.LittleEndian.Uint64(m.buf[m.pos:])
+	m.pos += 8
+	return v
+}
+
+// PutUint64Slice appends a length-prefixed slice of fixed 8-byte values.
+func (m *Message) PutUint64Slice(v []uint64) {
+	m.PutUvarint(uint64(len(v)))
+	for _, x := range v {
+		m.PutUint64(x)
+	}
+}
+
+// Uint64Slice reads a slice written by PutUint64Slice.
+func (m *Message) Uint64Slice() []uint64 {
+	n := int(m.Uvarint())
+	m.checkLen(n, 8)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = m.Uint64()
+	}
+	return out
+}
+
+// PutVarintSlice appends a length-prefixed slice of signed varints.
+func (m *Message) PutVarintSlice(v []int64) {
+	m.PutUvarint(uint64(len(v)))
+	for _, x := range v {
+		m.PutVarint(x)
+	}
+}
+
+// VarintSlice reads a slice written by PutVarintSlice.
+func (m *Message) VarintSlice() []int64 {
+	n := int(m.Uvarint())
+	m.checkLen(n, 1)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = m.Varint()
+	}
+	return out
+}
+
+// PutBitmap appends an n-bit bitmap packed into ⌈n/8⌉ bytes. This is the
+// cheapest encoding of a dense Boolean row (n bits, as the paper counts).
+func (m *Message) PutBitmap(bits []bool) {
+	m.PutUvarint(uint64(len(bits)))
+	b := byte(0)
+	for i, v := range bits {
+		if v {
+			b |= 1 << uint(i%8)
+		}
+		if i%8 == 7 {
+			m.buf = append(m.buf, b)
+			b = 0
+		}
+	}
+	if len(bits)%8 != 0 {
+		m.buf = append(m.buf, b)
+	}
+}
+
+// Bitmap reads a bitmap written by PutBitmap.
+func (m *Message) Bitmap() []bool {
+	n := int(m.Uvarint())
+	nb := (n + 7) / 8
+	if m.pos+nb > len(m.buf) {
+		panic("comm: truncated bitmap")
+	}
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.buf[m.pos+i/8]&(1<<uint(i%8)) != 0
+	}
+	m.pos += nb
+	return out
+}
+
+// PutWordBitmap appends an n-bit bitmap given as packed uint64 words,
+// avoiding a []bool round trip for bit-matrix rows.
+func (m *Message) PutWordBitmap(words []uint64, nbits int) {
+	m.PutUvarint(uint64(nbits))
+	nb := (nbits + 7) / 8
+	for i := 0; i < nb; i++ {
+		m.buf = append(m.buf, byte(words[i/8]>>uint(8*(i%8))))
+	}
+}
+
+// WordBitmap reads a bitmap into packed uint64 words.
+func (m *Message) WordBitmap() (words []uint64, nbits int) {
+	nbits = int(m.Uvarint())
+	nb := (nbits + 7) / 8
+	if m.pos+nb > len(m.buf) {
+		panic("comm: truncated bitmap")
+	}
+	words = make([]uint64, (nbits+63)/64)
+	for i := 0; i < nb; i++ {
+		words[i/8] |= uint64(m.buf[m.pos+i]) << uint(8*(i%8))
+	}
+	m.pos += nb
+	return words, nbits
+}
+
+// PutIndexList appends a strictly increasing list of indices using delta
+// varint coding — the natural encoding of "the set of rows containing item
+// j" exchanged in Algorithms 2 and 3.
+func (m *Message) PutIndexList(idx []int) {
+	m.PutUvarint(uint64(len(idx)))
+	prev := -1
+	for _, v := range idx {
+		if v <= prev {
+			panic("comm: PutIndexList requires strictly increasing indices")
+		}
+		m.PutUvarint(uint64(v - prev))
+		prev = v
+	}
+}
+
+// IndexList reads a list written by PutIndexList.
+func (m *Message) IndexList() []int {
+	n := int(m.Uvarint())
+	m.checkLen(n, 1)
+	out := make([]int, n)
+	prev := -1
+	for i := range out {
+		prev += int(m.Uvarint())
+		out[i] = prev
+	}
+	return out
+}
+
+// PutSparse appends a sparse integer matrix: dimensions, nnz, then
+// row-major (delta-row, col, value) triples with varint coding.
+func (m *Message) PutSparse(s *intmat.Sparse) {
+	entries := s.Entries()
+	m.PutUvarint(uint64(s.Rows()))
+	m.PutUvarint(uint64(s.Cols()))
+	m.PutUvarint(uint64(len(entries)))
+	prevRow := 0
+	for _, e := range entries {
+		m.PutUvarint(uint64(e.I - prevRow))
+		prevRow = e.I
+		m.PutUvarint(uint64(e.J))
+		m.PutVarint(e.V)
+	}
+}
+
+// Sparse reads a matrix written by PutSparse.
+func (m *Message) Sparse() *intmat.Sparse {
+	rows := int(m.Uvarint())
+	cols := int(m.Uvarint())
+	nnz := int(m.Uvarint())
+	m.checkLen(nnz, 3) // at least one byte each for row delta, col, value
+	entries := make([]intmat.Entry, nnz)
+	row := 0
+	for i := range entries {
+		row += int(m.Uvarint())
+		j := int(m.Uvarint())
+		v := m.Varint()
+		entries[i] = intmat.Entry{I: row, J: j, V: v}
+	}
+	return intmat.NewSparse(rows, cols, entries)
+}
+
+// PutFloatMatrix appends an r×c float64 matrix given as a flat row-major
+// slice (8·r·c bytes plus dimension prefix). Used for sketch transmissions
+// such as S·Bᵀ.
+func (m *Message) PutFloatMatrix(rows, cols int, data []float64) {
+	if len(data) != rows*cols {
+		panic("comm: PutFloatMatrix shape mismatch")
+	}
+	m.PutUvarint(uint64(rows))
+	m.PutUvarint(uint64(cols))
+	for _, x := range data {
+		m.PutFloat64(x)
+	}
+}
+
+// FloatMatrix reads a matrix written by PutFloatMatrix.
+func (m *Message) FloatMatrix() (rows, cols int, data []float64) {
+	rows = int(m.Uvarint())
+	cols = int(m.Uvarint())
+	if rows < 0 || cols < 0 || (cols != 0 && rows > (1<<31)/cols) {
+		panic("comm: matrix dimensions exceed payload")
+	}
+	m.checkLen(rows*cols, 8)
+	data = make([]float64, rows*cols)
+	for i := range data {
+		data[i] = m.Float64()
+	}
+	return rows, cols, data
+}
+
+// Remaining reports how many unread bytes are left; protocols use it in
+// tests to assert messages are fully consumed.
+func (m *Message) Remaining() int { return len(m.buf) - m.pos }
+
+// Bytes returns the serialized payload of the message. Together with
+// FromBytes it lets callers move messages across real transports
+// (sockets, pipes) instead of the in-process connection.
+func (m *Message) Bytes() []byte { return m.buf }
+
+// FromBytes wraps a received payload as a readable message.
+func FromBytes(payload []byte) *Message { return &Message{buf: payload} }

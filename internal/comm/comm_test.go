@@ -1,0 +1,264 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/intmat"
+)
+
+func TestRoundCounting(t *testing.T) {
+	c := NewConn()
+	// Two consecutive Alice messages are one round; a flip starts a new one.
+	c.Send(AliceToBob, NewMessage())
+	c.Send(AliceToBob, NewMessage())
+	if got := c.Stats().Rounds; got != 1 {
+		t.Fatalf("rounds = %d, want 1", got)
+	}
+	c.Send(BobToAlice, NewMessage())
+	if got := c.Stats().Rounds; got != 2 {
+		t.Fatalf("rounds = %d, want 2", got)
+	}
+	c.Send(BobToAlice, NewMessage())
+	c.Send(AliceToBob, NewMessage())
+	if got := c.Stats().Rounds; got != 3 {
+		t.Fatalf("rounds = %d, want 3", got)
+	}
+	if got := c.Stats().Messages; got != 5 {
+		t.Fatalf("messages = %d, want 5", got)
+	}
+}
+
+func TestBitAccounting(t *testing.T) {
+	c := NewConn()
+	m := NewMessage()
+	m.PutFloat64(3.14) // 8 bytes
+	c.Send(AliceToBob, m)
+	if got := c.Stats().BitsAliceToBob; got != 64 {
+		t.Fatalf("A→B bits = %d, want 64", got)
+	}
+	m2 := NewMessage()
+	m2.PutUint64(7) // 8 bytes
+	c.Send(BobToAlice, m2)
+	if got := c.Stats().BitsBobToAlice; got != 64 {
+		t.Fatalf("B→A bits = %d, want 64", got)
+	}
+	if got := c.Stats().TotalBits(); got != 128 {
+		t.Fatalf("total = %d, want 128", got)
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	m := NewMessage()
+	values := []int64{0, 1, -1, 300, -300, 1 << 40, -(1 << 40)}
+	for _, v := range values {
+		m.PutVarint(v)
+	}
+	m.PutUvarint(12345)
+	m.pos = 0
+	for _, v := range values {
+		if got := m.Varint(); got != v {
+			t.Fatalf("Varint = %d, want %d", got, v)
+		}
+	}
+	if got := m.Uvarint(); got != 12345 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if m.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", m.Remaining())
+	}
+}
+
+func TestFloatSliceRoundTrip(t *testing.T) {
+	m := NewMessage()
+	in := []float64{1.5, -2.25, 0, 1e300}
+	m.PutFloat64Slice(in)
+	m.pos = 0
+	out := m.Float64Slice()
+	if len(out) != len(in) {
+		t.Fatal("length mismatch")
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("slice[%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestBitmapRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 130} {
+		in := make([]bool, n)
+		for i := range in {
+			in[i] = i%3 == 0
+		}
+		m := NewMessage()
+		m.PutBitmap(in)
+		wantBytes := (n+7)/8 + 1 // payload + 1-byte length for small n
+		if n >= 128 {
+			wantBytes++ // two-byte varint length
+		}
+		if m.Len() != wantBytes {
+			t.Errorf("n=%d: bitmap encoded to %d bytes, want %d", n, m.Len(), wantBytes)
+		}
+		m.pos = 0
+		out := m.Bitmap()
+		if len(out) != n {
+			t.Fatalf("n=%d: decoded length %d", n, len(out))
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Fatalf("n=%d: bit %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestWordBitmapRoundTrip(t *testing.T) {
+	words := []uint64{0xdeadbeefcafebabe, 0x0123456789abcdef, 0x1}
+	nbits := 130
+	m := NewMessage()
+	m.PutWordBitmap(words, nbits)
+	m.pos = 0
+	got, n := m.WordBitmap()
+	if n != nbits {
+		t.Fatalf("nbits = %d, want %d", n, nbits)
+	}
+	for i := 0; i < nbits; i++ {
+		want := words[i/64]&(1<<uint(i%64)) != 0
+		have := got[i/64]&(1<<uint(i%64)) != 0
+		if want != have {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func TestIndexListRoundTrip(t *testing.T) {
+	in := []int{0, 3, 4, 100, 1000}
+	m := NewMessage()
+	m.PutIndexList(in)
+	m.pos = 0
+	out := m.IndexList()
+	if len(out) != len(in) {
+		t.Fatal("length mismatch")
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("index %d: %d != %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestIndexListRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unsorted index list")
+		}
+	}()
+	NewMessage().PutIndexList([]int{3, 3})
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	s := intmat.NewSparse(5, 7, []intmat.Entry{
+		{I: 0, J: 1, V: 5}, {I: 0, J: 6, V: -2}, {I: 2, J: 0, V: 100}, {I: 4, J: 3, V: -77},
+	})
+	m := NewMessage()
+	m.PutSparse(s)
+	m.pos = 0
+	got := m.Sparse()
+	if !got.ToDense().Equal(s.ToDense()) {
+		t.Fatal("sparse round trip mismatch")
+	}
+}
+
+func TestFloatMatrixRoundTrip(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := NewMessage()
+	m.PutFloatMatrix(2, 3, data)
+	m.pos = 0
+	r, c, got := m.FloatMatrix()
+	if r != 2 || c != 3 {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatal("data mismatch")
+		}
+	}
+}
+
+func TestFloatMatrixShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMessage().PutFloatMatrix(2, 2, []float64{1})
+}
+
+func TestTruncatedReadsPanic(t *testing.T) {
+	m := NewMessage()
+	m.PutUvarint(4)
+	m.pos = 0
+	m.Uvarint()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on truncated read")
+		}
+	}()
+	m.Float64()
+}
+
+func TestQuickVarintSlice(t *testing.T) {
+	f := func(v []int64) bool {
+		m := NewMessage()
+		m.PutVarintSlice(v)
+		m.pos = 0
+		got := m.VarintSlice()
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return m.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUint64Slice(t *testing.T) {
+	f := func(v []uint64) bool {
+		m := NewMessage()
+		m.PutUint64Slice(v)
+		m.pos = 0
+		got := m.Uint64Slice()
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := NewConn()
+	m := NewMessage()
+	m.PutUvarint(1)
+	c.Send(AliceToBob, m)
+	if s := c.Stats().String(); s == "" {
+		t.Fatal("empty stats string")
+	}
+	if AliceToBob.String() != "Alice→Bob" || BobToAlice.String() != "Bob→Alice" {
+		t.Fatal("direction strings wrong")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+// Edge-case tests for protocol boundaries that the main accuracy tests
+// do not reach.
+
+func TestLinfGeneralKappaLargerThanMatrix(t *testing.T) {
+	// κ² above the row count: the block size caps at m1 and the sketch
+	// degenerates gracefully to a single block per column.
+	a := randomInt(800, 16, 16, 0.3, 3, false)
+	b := randomInt(801, 16, 16, 0.3, 3, false)
+	truth, _, _ := a.Mul(b).Linf()
+	est, _, err := EstimateLinfGeneral(a, b, LinfGeneralOpts{Kappa: 16, Seed: 802})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth > 0 && (est <= 0 || est > 64*float64(truth)) {
+		t.Fatalf("degenerate block estimate %v vs truth %d", est, truth)
+	}
+}
+
+func TestHeavyHittersFractionalP(t *testing.T) {
+	a, b, c := plantedHH(803, 64, 1, 50, 0.01)
+	phi, eps := 0.1, 0.05
+	must, may := hhSets(c, 0.5, phi, eps)
+	out, _, err := HeavyHitters(a, b, HHOpts{Phi: phi, Eps: eps, P: 0.5, Seed: 804})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHHOutput(t, out, must, may, "p=0.5")
+}
+
+func TestHeavyHittersBinaryCandidateWithEmptyRow(t *testing.T) {
+	// A candidate entry whose row of A is empty must be skipped in
+	// verification, not crash or emit garbage.
+	a := bitmat.New(32, 32)
+	b := bitmat.New(32, 32)
+	// One real heavy pair plus an otherwise-empty matrix.
+	for k := 0; k < 20; k++ {
+		a.Set(2, k, true)
+		b.Set(k, 5, true)
+	}
+	out, _, err := HeavyHittersBinary(a, b, HHBinaryOpts{Phi: 0.5, Eps: 0.25, Seed: 805})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wp := range out {
+		if wp.I != 2 || wp.J != 5 {
+			t.Fatalf("spurious output %v", wp)
+		}
+	}
+	if len(out) != 1 {
+		t.Fatalf("expected exactly the planted pair, got %v", out)
+	}
+}
+
+func TestEstimateLinfBinarySingleEntry(t *testing.T) {
+	a := bitmat.New(8, 8)
+	b := bitmat.New(8, 8)
+	a.Set(1, 3, true)
+	b.Set(3, 6, true) // C[1][6] = 1, everything else zero
+	est, pair, _, err := EstimateLinfBinary(a, b, LinfOpts{Eps: 0.5, Seed: 806})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 1 {
+		t.Fatalf("single-entry ℓ∞ = %v, want 1", est)
+	}
+	if pair != (Pair{I: 1, J: 6}) {
+		t.Fatalf("pair = %v", pair)
+	}
+}
+
+func TestExactL1EmptyMatrices(t *testing.T) {
+	a := randomInt(807, 8, 8, 0, 1, true)
+	b := randomInt(808, 8, 8, 0, 1, true)
+	got, _, err := ExactL1(a, b)
+	if err != nil || got != 0 {
+		t.Fatalf("empty exact ℓ1 = %d, err %v", got, err)
+	}
+}
+
+func TestEstimateLpTinyMatrices(t *testing.T) {
+	// 1×1: degenerate shapes must flow through grouping and sampling.
+	a := randomInt(809, 1, 1, 0, 1, true)
+	a.Set(0, 0, 3)
+	b := randomInt(810, 1, 1, 0, 1, true)
+	b.Set(0, 0, 2)
+	est, _, err := EstimateLp(a, b, 1, LpOpts{Eps: 0.5, Seed: 811})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 6 {
+		t.Fatalf("1×1 estimate %v, want exactly 6 (everything ships)", est)
+	}
+}
+
+func TestSampleL1SingleEntry(t *testing.T) {
+	a := randomInt(812, 4, 4, 0, 1, true)
+	b := randomInt(813, 4, 4, 0, 1, true)
+	a.Set(2, 1, 5)
+	b.Set(1, 3, 2)
+	i, j, w, _, err := SampleL1(a, b, 814)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 2 || j != 3 || w != 1 {
+		t.Fatalf("sample = (%d,%d,%d), want (2,3,1)", i, j, w)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/comm"
+	"repro/internal/field"
+	"repro/internal/intmat"
+	"repro/internal/rng"
+)
+
+// This file provides transport-separable endpoints for the one-round
+// ‖AB‖0 protocol: unlike the in-process simulation (which interleaves
+// both parties in one function for exact accounting), BobL0Endpoint and
+// AliceL0Endpoint each hold only their own party's data and exchange one
+// length-framed byte message over any io.Writer/io.Reader — a TCP
+// connection, a pipe, a file. They demonstrate that the protocol logic
+// genuinely factors into two isolated parties; the in-process versions
+// remain the reference for cost accounting.
+
+// BobL0Endpoint is Bob's side of the one-round ℓ0 estimation: he holds
+// B and emits one message of per-row ℓ0 sketches.
+type BobL0Endpoint struct {
+	b    *intmat.Dense
+	opts LpOpts
+}
+
+// NewBobL0Endpoint wraps Bob's matrix. The options must match Alice's.
+func NewBobL0Endpoint(b *intmat.Dense, opts LpOpts) (*BobL0Endpoint, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &BobL0Endpoint{b: b, opts: opts}, nil
+}
+
+// Run writes Bob's single message to w and returns the payload size in
+// bytes (including framing).
+func (e *BobL0Endpoint) Run(w io.Writer) (int, error) {
+	sizeWords := oneRoundSketchWords(e.opts)
+	shared := rng.New(e.opts.Seed)
+	msg := comm.NewMessage()
+	msg.PutUvarint(uint64(e.b.Cols())) // sketched dimension, so Alice rebuilds identical hashes
+	for rep := 0; rep < e.opts.Reps; rep++ {
+		rs := newRowSketcher(shared.Derive("lp1r", strconv.Itoa(rep)), e.b.Cols(), 0, sizeWords)
+		rs.encodeRows(msg, e.b)
+	}
+	return writeFrame(w, msg)
+}
+
+// AliceL0Endpoint is Alice's side: she holds A, consumes Bob's message,
+// and produces the ‖AB‖0 estimate.
+type AliceL0Endpoint struct {
+	a    *intmat.Dense
+	opts LpOpts
+}
+
+// NewAliceL0Endpoint wraps Alice's matrix. The options must match Bob's.
+func NewAliceL0Endpoint(a *intmat.Dense, opts LpOpts) (*AliceL0Endpoint, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &AliceL0Endpoint{a: a, opts: opts}, nil
+}
+
+// Run reads Bob's message from r and returns the estimate of ‖AB‖0.
+// Malformed payloads surface as errors, not panics.
+func (e *AliceL0Endpoint) Run(r io.Reader) (est float64, err error) {
+	defer recoverDecodeError(&err)
+	msg, err := readFrame(r)
+	if err != nil {
+		return 0, err
+	}
+	sizeWords := oneRoundSketchWords(e.opts)
+	shared := rng.New(e.opts.Seed)
+	n := e.a.Cols()
+	m2 := int(msg.Uvarint())
+
+	rowCols := make([][]int, e.a.Rows())
+	rowVals := make([][]int64, e.a.Rows())
+	for i := range rowCols {
+		rowCols[i], rowVals[i] = sparseRow(e.a, i)
+	}
+	perRep := make([]float64, e.opts.Reps)
+	for rep := 0; rep < e.opts.Reps; rep++ {
+		rs := newRowSketcher(shared.Derive("lp1r", strconv.Itoa(rep)), m2, 0, sizeWords)
+		fieldSk := make([][]field.Elem, n)
+		for k := 0; k < n; k++ {
+			fieldSk[k] = msg.Uint64Slice()
+		}
+		total := 0.0
+		for i := range rowCols {
+			if len(rowCols[i]) == 0 {
+				continue
+			}
+			if est := rs.estimateRow(rowCols[i], rowVals[i], fieldSk, nil); est > 0 {
+				total += est
+			}
+		}
+		perRep[rep] = total
+	}
+	return median(perRep), nil
+}
+
+func oneRoundSketchWords(o LpOpts) int {
+	sizeWords := int(math.Ceil(o.SketchC / (o.Eps * o.Eps)))
+	if sizeWords < 4 {
+		sizeWords = 4
+	}
+	return sizeWords
+}
+
+// writeFrame writes a 4-byte big-endian length prefix plus payload.
+func writeFrame(w io.Writer, msg *comm.Message) (int, error) {
+	payload := msg.Bytes()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(payload)
+	return n + 4, err
+}
+
+// readFrame reads one frame written by writeFrame.
+func readFrame(r io.Reader) (*comm.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: reading frame header: %w", err)
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	const maxFrame = 1 << 30
+	if size > maxFrame {
+		return nil, fmt.Errorf("core: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("core: reading frame payload: %w", err)
+	}
+	return comm.FromBytes(payload), nil
+}
+
+// recoverDecodeError converts the message readers' malformed-payload
+// panics into errors at the transport boundary, where the peer is not
+// trusted to frame correctly.
+func recoverDecodeError(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("core: malformed protocol message: %v", r)
+	}
+}

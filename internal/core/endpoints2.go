@@ -1,0 +1,140 @@
+package core
+
+import (
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/comm"
+	"repro/internal/field"
+	"repro/internal/intmat"
+	"repro/internal/rng"
+)
+
+// Two-round transport-separable endpoints for Algorithm 1 (Theorem 3.1).
+// RunBobLp and RunAliceLp each hold one party's matrix and drive the full
+// protocol over an io.ReadWriter (socket, pipe):
+//
+//	round 1: Bob → Alice   per-row ℓp sketches of B
+//	round 2: Alice → Bob   sampled rows of A with weights
+//	output:  Bob           the ‖AB‖p^p estimate
+//
+// Both functions must be called with identical options; they are the
+// byte-exact counterparts of EstimateLp (the in-process reference that
+// also accounts cost), which the tests verify.
+
+// RunBobLp drives Bob's side of Algorithm 1 over conn and returns the
+// protocol output (the estimate lives at Bob, as in the paper).
+func RunBobLp(conn io.ReadWriter, b *intmat.Dense, p float64, o LpOpts) (est float64, err error) {
+	defer recoverDecodeError(&err)
+	if p < 0 || p > 2 {
+		return 0, ErrBadP
+	}
+	if err := o.setDefaults(); err != nil {
+		return 0, err
+	}
+	sketchers := lpSketchFamilies(o, b.Cols(), p)
+
+	// Round 1: sketches out.
+	msg1 := comm.NewMessage()
+	msg1.PutUvarint(uint64(b.Cols()))
+	for _, rs := range sketchers {
+		rs.encodeRows(msg1, b)
+	}
+	if _, err := writeFrame(conn, msg1); err != nil {
+		return 0, err
+	}
+
+	// Round 2: sampled rows in; exact norms out of them.
+	recv, err := readFrame(conn)
+	if err != nil {
+		return 0, err
+	}
+	perRep := make([]float64, o.Reps)
+	for rep := range perRep {
+		count := int(recv.Uvarint())
+		var est float64
+		for s := 0; s < count; s++ {
+			_ = recv.Uvarint()
+			w := recv.Float64()
+			cols, vals := getSparseRow(recv)
+			y := mulRowSparse(cols, vals, b)
+			est += w * rowLpPow(y, p)
+		}
+		perRep[rep] = est
+	}
+	return median(perRep), nil
+}
+
+// RunAliceLp drives Alice's side of Algorithm 1 over conn. Alice learns
+// nothing beyond the transcript; the estimate is Bob's output.
+func RunAliceLp(conn io.ReadWriter, a *intmat.Dense, p float64, o LpOpts) (err error) {
+	defer recoverDecodeError(&err)
+	if p < 0 || p > 2 {
+		return ErrBadP
+	}
+	if err := o.setDefaults(); err != nil {
+		return err
+	}
+	recv, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	m2 := int(recv.Uvarint())
+	if a.Cols() <= 0 {
+		return ErrDimensionMismatch
+	}
+	sketchers := lpSketchFamilies(o, m2, p)
+
+	beta := math.Sqrt(o.Eps)
+	rho := o.RhoC / o.Eps
+	alicePriv := rng.New(o.Seed).Derive("alice-private", "lp")
+	rowCols := make([][]int, a.Rows())
+	rowVals := make([][]int64, a.Rows())
+	for i := range rowCols {
+		rowCols[i], rowVals[i] = sparseRow(a, i)
+	}
+
+	msg2 := comm.NewMessage()
+	for _, rs := range sketchers {
+		var fieldSk [][]field.Elem
+		var floatSk [][]float64
+		if rs.l0 != nil {
+			fieldSk = make([][]field.Elem, a.Cols())
+			for k := range fieldSk {
+				fieldSk[k] = recv.Uint64Slice()
+			}
+		} else {
+			floatSk = make([][]float64, a.Cols())
+			for k := range floatSk {
+				floatSk[k] = recv.Float64Slice()
+			}
+		}
+		picks := sampleRowsByNorm(rs, rowCols, rowVals, fieldSk, floatSk, beta, rho, alicePriv)
+		msg2.PutUvarint(uint64(len(picks)))
+		for _, s := range picks {
+			msg2.PutUvarint(uint64(s.i))
+			msg2.PutFloat64(s.weight)
+			putSparseRow(msg2, rowCols[s.i], rowVals[s.i])
+		}
+	}
+	_, err = writeFrame(conn, msg2)
+	return err
+}
+
+// lpSketchFamilies derives the per-repetition shared sketch families for
+// Algorithm 1 with the given options — the common construction both
+// endpoints (and the in-process EstimateLp) must agree on.
+func lpSketchFamilies(o LpOpts, dim int, p float64) []rowSketcher {
+	beta := math.Sqrt(o.Eps)
+	sizeWords := int(math.Ceil(o.SketchC / (beta * beta)))
+	if sizeWords < 4 {
+		sizeWords = 4
+	}
+	shared := rng.New(o.Seed)
+	sketchers := make([]rowSketcher, o.Reps)
+	for rep := range sketchers {
+		sketchers[rep] = newRowSketcher(shared.Derive("lp", strconv.Itoa(rep)), dim, p, sizeWords)
+	}
+	return sketchers
+}

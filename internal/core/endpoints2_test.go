@@ -1,0 +1,62 @@
+package core
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/intmat"
+)
+
+func runLpOverPipe(t *testing.T, a, b *intmat.Dense, p float64, o LpOpts) float64 {
+	t.Helper()
+	aliceConn, bobConn := net.Pipe()
+	aliceErr := make(chan error, 1)
+	go func() {
+		defer aliceConn.Close()
+		aliceErr <- RunAliceLp(aliceConn, a, p, o)
+	}()
+	est, err := RunBobLp(bobConn, b, p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-aliceErr; err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestTwoRoundEndpointsMatchInProcess(t *testing.T) {
+	a := randomBinary(700, 64, 64, 0.1).ToInt()
+	b := randomBinary(701, 64, 64, 0.1).ToInt()
+	for _, p := range []float64{0, 1, 2} {
+		o := LpOpts{Eps: 0.4, Seed: 702}
+		want, _, err := EstimateLp(a, b, p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runLpOverPipe(t, a, b, p, o)
+		if got != want {
+			t.Fatalf("p=%v: endpoint estimate %v != in-process %v", p, got, want)
+		}
+	}
+}
+
+func TestTwoRoundEndpointsAccuracy(t *testing.T) {
+	a := randomInt(703, 96, 96, 0.1, 3, true)
+	b := randomInt(704, 96, 96, 0.1, 3, true)
+	truth := float64(a.Mul(b).L1())
+	est := runLpOverPipe(t, a, b, 1, LpOpts{Eps: 0.3, Seed: 705})
+	if re := relErr(est, truth); re > 0.4 {
+		t.Fatalf("pipe estimate %v vs truth %v (rel %.3f)", est, truth, re)
+	}
+}
+
+func TestTwoRoundEndpointsValidation(t *testing.T) {
+	b := randomInt(706, 8, 8, 0.3, 2, true)
+	if _, err := RunBobLp(nil, b, 3, LpOpts{Eps: 0.5}); err != ErrBadP {
+		t.Errorf("bad p: %v", err)
+	}
+	if err := RunAliceLp(nil, b, 1, LpOpts{Eps: 0}); err != ErrBadEps {
+		t.Errorf("bad eps: %v", err)
+	}
+}

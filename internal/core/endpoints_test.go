@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+func TestEndpointsOverBuffer(t *testing.T) {
+	a := randomBinary(600, 96, 96, 0.08).ToInt()
+	b := randomBinary(601, 96, 96, 0.08).ToInt()
+	opts := LpOpts{Eps: 0.3, Seed: 602}
+
+	bob, err := NewBobL0Endpoint(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := NewAliceL0Endpoint(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := bob.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	est, err := alice.Run(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(a.Mul(b).L0())
+	if re := relErr(est, truth); re > 0.35 {
+		t.Fatalf("endpoint estimate %v vs truth %v (rel %.3f)", est, truth, re)
+	}
+}
+
+func TestEndpointsOverNetPipe(t *testing.T) {
+	// The two parties run concurrently over a real byte-stream
+	// connection — no shared memory beyond the seed.
+	a := randomBinary(603, 64, 64, 0.1).ToInt()
+	b := randomBinary(604, 64, 64, 0.1).ToInt()
+	opts := LpOpts{Eps: 0.4, Seed: 605}
+
+	bobConn, aliceConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		defer bobConn.Close()
+		bob, err := NewBobL0Endpoint(b, opts)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		_, err = bob.Run(bobConn)
+		errCh <- err
+	}()
+	alice, err := NewAliceL0Endpoint(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := alice.Run(aliceConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(a.Mul(b).L0())
+	if re := relErr(est, truth); re > 0.45 {
+		t.Fatalf("net.Pipe estimate %v vs truth %v (rel %.3f)", est, truth, re)
+	}
+}
+
+func TestEndpointsMatchInProcessProtocol(t *testing.T) {
+	// The endpoint pair must produce exactly the estimate of the
+	// in-process OneRoundLp with the same options (identical shared
+	// randomness path).
+	a := randomBinary(606, 48, 48, 0.1).ToInt()
+	b := randomBinary(607, 48, 48, 0.1).ToInt()
+	opts := LpOpts{Eps: 0.4, Seed: 608}
+
+	want, _, err := OneRoundLp(a, b, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, _ := NewBobL0Endpoint(b, opts)
+	alice, _ := NewAliceL0Endpoint(a, opts)
+	var buf bytes.Buffer
+	if _, err := bob.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := alice.Run(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("endpoint estimate %v != in-process %v", got, want)
+	}
+}
+
+func TestEndpointFrameErrors(t *testing.T) {
+	a := randomBinary(609, 8, 8, 0.3).ToInt()
+	alice, _ := NewAliceL0Endpoint(a, LpOpts{Eps: 0.5, Seed: 1})
+	// Truncated header.
+	if _, err := alice.Run(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("truncated header not reported")
+	}
+	// Oversized frame.
+	if _, err := alice.Run(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+		t.Fatal("oversized frame not reported")
+	}
+	// Truncated payload.
+	if _, err := alice.Run(bytes.NewReader([]byte{0, 0, 0, 9, 1, 2})); err == nil {
+		t.Fatal("truncated payload not reported")
+	}
+}
+
+func TestEndpointMalformedPayloadIsError(t *testing.T) {
+	a := randomBinary(610, 8, 8, 0.3).ToInt()
+	alice, _ := NewAliceL0Endpoint(a, LpOpts{Eps: 0.5, Seed: 1})
+	// A well-framed but garbage payload: decode must error, not panic.
+	payload := []byte{0, 0, 0, 3, 0xff, 0xff, 0x7f}
+	if _, err := alice.Run(bytes.NewReader(payload)); err == nil {
+		t.Fatal("garbage payload not reported as error")
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/intmat"
+	"repro/internal/rng"
+	"repro/internal/sketch"
+)
+
+// HHOpts configures HeavyHitters (Algorithm 4 / Corollary 5.2).
+type HHOpts struct {
+	// Phi and Eps define the ℓp-(ϕ,ε)-heavy-hitter guarantee: the output
+	// S satisfies HH_ϕ(AB) ⊆ S ⊆ HH_{ϕ-ε}(AB). Must satisfy
+	// 0 < Eps ≤ Phi ≤ 1.
+	Phi, Eps float64
+	// P is the norm index in (0, 2]. Default 1, the natural-join case the
+	// paper presents first; other p follow Corollary 5.2.
+	P float64
+	// BetaC scales the entry-sampling rate (the paper's 10⁴ log n,
+	// scaled). Default 2.
+	BetaC float64
+	// Reps is the tensor-CountSketch repetition count for the embedded
+	// Lemma 2.5 recovery. Default 11.
+	Reps int
+	// Seed is the shared public-coin seed.
+	Seed uint64
+}
+
+func (o *HHOpts) setDefaults() error {
+	if o.Eps <= 0 || o.Phi < o.Eps || o.Phi > 1 {
+		return ErrBadPhi
+	}
+	if o.P == 0 {
+		o.P = 1
+	}
+	if o.P < 0 || o.P > 2 {
+		return ErrBadP
+	}
+	if o.BetaC <= 0 {
+		o.BetaC = 2
+	}
+	if o.Reps <= 0 {
+		o.Reps = 11
+	}
+	return nil
+}
+
+func addCost(a, b Cost) Cost {
+	return Cost{
+		Bits:   a.Bits + b.Bits,
+		Rounds: a.Rounds + b.Rounds,
+		Stats: comm.Stats{
+			BitsAliceToBob: a.Stats.BitsAliceToBob + b.Stats.BitsAliceToBob,
+			BitsBobToAlice: a.Stats.BitsBobToAlice + b.Stats.BitsBobToAlice,
+			Messages:       a.Stats.Messages + b.Stats.Messages,
+			Rounds:         a.Stats.Rounds + b.Stats.Rounds,
+		},
+	}
+}
+
+// HeavyHitters is Algorithm 4 (Theorem 5.1) extended to p ∈ (0, 2]
+// (Corollary 5.2): an O(1)-round protocol computing the
+// ℓp-(ϕ,ε)-heavy-hitters of C = A·B for integer matrices with
+// Õ(√ϕ/ε·n) bits of communication.
+//
+// The idea mirrors the ℓ∞ protocols: Alice downsamples the non-zero
+// entries of A at rate β chosen so heavy entries of C^β = A^β·B stay
+// concentrated (1 ± ε/4ϕ) while ‖C^β‖1 collapses to Õ(ϕ/ε²). The sparse
+// C^β is then recovered exactly through the embedded Lemma 2.5 tensor
+// sketch (grid side Θ(√(ϕ)/ε), hence the √ϕ/ε·n bits), candidate entries
+// above (εβ/8)·ϕ^{... } are exchanged, and entries above
+// β·((ϕ−ε/2)‖C‖p^p)^{1/p} are output.
+//
+// ‖C‖p^p (the heaviness scale) is computed exactly via Remark 2 when
+// p = 1 and both matrices are non-negative, and estimated with
+// Algorithm 1 otherwise — its cost is included in the returned Cost.
+//
+// Returned values are the recovered C^β entries rescaled by 1/β, i.e.
+// unbiased estimates of C[i][j].
+func HeavyHitters(a, b *intmat.Dense, o HHOpts) ([]WeightedPair, Cost, error) {
+	if err := checkDims(a.Cols(), b.Rows()); err != nil {
+		return nil, Cost{}, err
+	}
+	if err := o.setDefaults(); err != nil {
+		return nil, Cost{}, err
+	}
+	n := a.Cols()
+	m1, m2 := a.Rows(), b.Cols()
+	conn := comm.NewConn()
+	extra := Cost{}
+
+	// Step 1a (Alice→Bob): column sums of |A|; Bob derives the exact
+	// ‖ |A|·|B| ‖1, which upper-bounds the sampled sparsity for any sign
+	// pattern and equals ‖C‖1 for non-negative inputs.
+	msg1 := comm.NewMessage()
+	absColSums := make([]int64, n)
+	for i := 0; i < m1; i++ {
+		for k, v := range a.Row(i) {
+			if v < 0 {
+				v = -v
+			}
+			absColSums[k] += v
+		}
+	}
+	for _, s := range absColSums {
+		msg1.PutUvarint(uint64(s))
+	}
+	recv1 := conn.Send(comm.AliceToBob, msg1)
+
+	var t1abs int64
+	for k := 0; k < n; k++ {
+		cs := int64(recv1.Uvarint())
+		var rs int64
+		for _, v := range b.Row(k) {
+			if v < 0 {
+				v = -v
+			}
+			rs += v
+		}
+		t1abs += cs * rs
+	}
+
+	// Step 1b: the heaviness scale ‖C‖p^p.
+	var tp float64
+	if o.P == 1 && requireNonNegative(a, b) == nil {
+		tp = float64(t1abs)
+	} else {
+		est, lpCost, err := EstimateLp(a, b, o.P, LpOpts{Eps: math.Min(0.25, o.Eps/(4*o.Phi)), Seed: o.Seed + 1})
+		if err != nil {
+			return nil, Cost{}, err
+		}
+		tp = est
+		extra = addCost(extra, lpCost)
+	}
+
+	// Step 1c (Bob→Alice): share the scale so Alice can set β.
+	msg2 := comm.NewMessage()
+	msg2.PutVarint(t1abs)
+	msg2.PutFloat64(tp)
+	recv2 := conn.Send(comm.BobToAlice, msg2)
+	t1absAlice := recv2.Varint()
+	tpAlice := recv2.Float64()
+
+	if tpAlice <= 0 {
+		// Empty (or estimated-empty) product: no heavy hitters.
+		return nil, addCost(costOf(conn), extra), nil
+	}
+
+	// Step 2: sampling rate. heavyVal is the magnitude of an entry at
+	// exactly the ϕ threshold; β keeps sampled heavy entries at
+	// Θ(log n·(ϕ/ε)²) for (1 ± ε/4ϕ) Chernoff concentration.
+	heavyVal := math.Pow(o.Phi*tpAlice, 1/o.P)
+	beta := math.Min(8*o.BetaC*lnDim(n)*(o.Phi/o.Eps)*(o.Phi/o.Eps)/heavyVal, 1)
+
+	// Step 3: Alice samples the non-zero entries of A.
+	alicePriv := rng.New(o.Seed).Derive("alice-private", "hh")
+	aBeta := intmat.NewDense(m1, n)
+	for i := 0; i < m1; i++ {
+		for k, v := range a.Row(i) {
+			if v != 0 && alicePriv.Bernoulli(beta) {
+				aBeta.Set(i, k, v)
+			}
+		}
+	}
+
+	// Step 4: recover C^β = A^β·B via the Lemma 2.5 tensor sketch,
+	// inlined on the same connection. Sparsity bound: E‖C^β‖1 ≤ β·t1abs.
+	sBound := int(math.Ceil(4*beta*float64(t1absAlice))) + 64
+	if cap := m1 * m2; sBound > cap {
+		sBound = cap
+	}
+	shared := rng.New(o.Seed)
+	ts := sketch.NewTensorCS(shared.Derive("hh-matmul"), m1, n, m2, sBound, o.Reps)
+	msg3 := comm.NewMessage()
+	msg3.PutVarintSlice(ts.ColCompress(b))
+	recv3 := conn.Send(comm.BobToAlice, msg3)
+	sk := ts.SketchFromCompressed(aBeta, recv3.VarintSlice())
+	recovered := ts.Decode(sk)
+
+	// Step 5 (Alice→Bob): ship entries above the εβ·heavyVal/(8ϕ) floor;
+	// Bob keeps those at or above β·((ϕ−ε/2)·tp)^{1/p}.
+	sendCutoff := (o.Eps / (8 * o.Phi)) * beta * heavyVal
+	msg4 := comm.NewMessage()
+	var shipped []intmat.Entry
+	for _, e := range recovered {
+		if math.Abs(float64(e.V)) >= sendCutoff {
+			shipped = append(shipped, e)
+		}
+	}
+	msg4.PutUvarint(uint64(len(shipped)))
+	for _, e := range shipped {
+		msg4.PutUvarint(uint64(e.I))
+		msg4.PutUvarint(uint64(e.J))
+		msg4.PutVarint(e.V)
+	}
+	recv4 := conn.Send(comm.AliceToBob, msg4)
+
+	keepCutoff := beta * math.Pow((o.Phi-o.Eps/2)*tp, 1/o.P)
+	count := int(recv4.Uvarint())
+	var out []WeightedPair
+	for t := 0; t < count; t++ {
+		i := int(recv4.Uvarint())
+		j := int(recv4.Uvarint())
+		v := float64(recv4.Varint())
+		if math.Abs(v) >= keepCutoff {
+			out = append(out, WeightedPair{I: i, J: j, Value: v / beta})
+		}
+	}
+	sortPairs(out)
+	return out, addCost(costOf(conn), extra), nil
+}
+
+func sortPairs(ps []WeightedPair) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].I != ps[b].I {
+			return ps[a].I < ps[b].I
+		}
+		return ps[a].J < ps[b].J
+	})
+}

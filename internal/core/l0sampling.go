@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/field"
+	"repro/internal/intmat"
+	"repro/internal/rng"
+	"repro/internal/sketch"
+)
+
+// L0SampleOpts configures SampleL0.
+type L0SampleOpts struct {
+	// Eps controls the uniformity of the sample: each non-zero entry of C
+	// is returned with probability (1±ε)/‖C‖0. It drives the per-column
+	// ℓ0 sketch size (Θ(1/ε²) words). Required, in (0, 1].
+	Eps float64
+	// SamplerReps is the number of ℓ0-sampler repetitions per column
+	// (failure probability decays exponentially). Default 4.
+	SamplerReps int
+	// SketchC scales the per-column ℓ0 sketch: buckets = SketchC/ε².
+	// Default 8.
+	SketchC float64
+	// Seed is the shared public-coin seed.
+	Seed uint64
+}
+
+func (o *L0SampleOpts) setDefaults() error {
+	if o.Eps <= 0 || o.Eps > 1 {
+		return ErrBadEps
+	}
+	if o.SamplerReps <= 0 {
+		o.SamplerReps = 4
+	}
+	if o.SketchC <= 0 {
+		o.SketchC = 8
+	}
+	return nil
+}
+
+// SampleL0 is Theorem 3.2: a one-round protocol that samples a uniformly
+// random non-zero entry of C = A·B (each entry with probability
+// (1±ε)/‖C‖0) using Õ(n/ε²) bits.
+//
+// Alice ships, for every item k, an ℓ0 sketch and an ℓ0-sampler sketch of
+// column A_{*,k}; since both are linear, Bob assembles per-column-of-C
+// sketches sk(C_{*,j}) = Σ_k B[k][j]·sk(A_{*,k}), samples a column j
+// proportionally to its estimated ℓ0 norm, and decodes the ℓ0-sampler of
+// that column to get the row index. The returned value is the exact
+// C[i][j] (a bonus of the exact 1-sparse recovery in the sampler).
+func SampleL0(a, b *intmat.Dense, o L0SampleOpts) (pair Pair, value int64, cost Cost, err error) {
+	if err := checkDims(a.Cols(), b.Rows()); err != nil {
+		return Pair{}, 0, Cost{}, err
+	}
+	if err := o.setDefaults(); err != nil {
+		return Pair{}, 0, Cost{}, err
+	}
+	m1 := a.Rows()
+	n := a.Cols()
+	m2 := b.Cols()
+	conn := comm.NewConn()
+	shared := rng.New(o.Seed)
+
+	buckets := int(math.Ceil(o.SketchC / (o.Eps * o.Eps)))
+	if buckets < 8 {
+		buckets = 8
+	}
+	l0 := sketch.NewL0(shared.Derive("l0sample", "norm"), m1, buckets)
+	sampler := sketch.NewL0Sampler(shared.Derive("l0sample", "sampler"), m1, o.SamplerReps)
+
+	// Round 1 (Alice→Bob): sketches of every column of A.
+	msg := comm.NewMessage()
+	msg.Label = "per-column ℓ0 sketches and samplers of A"
+	col := make([]int64, m1)
+	for k := 0; k < n; k++ {
+		for i := 0; i < m1; i++ {
+			col[i] = a.Get(i, k)
+		}
+		msg.PutUint64Slice(l0.Apply(col))
+		msg.PutUint64Slice(sampler.Apply(col))
+	}
+	recv := conn.Send(comm.AliceToBob, msg)
+
+	normSk := make([][]field.Elem, n)
+	sampSk := make([][]field.Elem, n)
+	for k := 0; k < n; k++ {
+		normSk[k] = recv.Uint64Slice()
+		sampSk[k] = recv.Uint64Slice()
+	}
+
+	// Bob: per-column ℓ0 estimates of C.
+	colEst := make([]float64, m2)
+	total := 0.0
+	accNorm := make([]field.Elem, l0.Dim())
+	for j := 0; j < m2; j++ {
+		for i := range accNorm {
+			accNorm[i] = 0
+		}
+		any := false
+		for k := 0; k < n; k++ {
+			if v := b.Get(k, j); v != 0 {
+				sketch.AxpyField(accNorm, v, normSk[k])
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		if e := l0.Estimate(accNorm); e > 0 {
+			colEst[j] = e
+			total += e
+		}
+	}
+	if total == 0 {
+		return Pair{}, 0, costOf(conn), ErrSampleFailed
+	}
+
+	// Sample a column proportionally to its estimated ℓ0 norm, then
+	// decode that column's ℓ0-sampler.
+	bobPriv := rng.New(o.Seed).Derive("bob-private", "l0sample")
+	target := bobPriv.Float64() * total
+	j := 0
+	acc := 0.0
+	for ; j < m2; j++ {
+		acc += colEst[j]
+		if acc > target {
+			break
+		}
+	}
+	if j >= m2 {
+		j = m2 - 1
+	}
+	accSamp := make([]field.Elem, sampler.Dim())
+	for k := 0; k < n; k++ {
+		if v := b.Get(k, j); v != 0 {
+			sketch.AxpyField(accSamp, v, sampSk[k])
+		}
+	}
+	i, v, ok := sampler.Decode(accSamp)
+	if !ok {
+		return Pair{}, 0, costOf(conn), ErrSampleFailed
+	}
+	return Pair{I: i, J: j}, v, costOf(conn), nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"repro/internal/comm"
+	"repro/internal/intmat"
+	"repro/internal/rng"
+)
+
+// ExactL1 is Remark 2: for non-negative matrices, ‖AB‖1 decomposes as
+// Σ_k ‖A_{*,k}‖1·‖B_{k,*}‖1, so Alice ships her n column sums —
+// O(n log n) bits, one round — and Bob computes the exact value.
+//
+// The identity needs non-negativity (for signed matrices cancellations
+// make ‖AB‖1 genuinely hard, which is why the paper's Remark 2 is stated
+// for the Boolean-matrix join setting); signed inputs return
+// ErrNeedNonNegative.
+func ExactL1(a, b *intmat.Dense) (int64, Cost, error) {
+	if err := checkDims(a.Cols(), b.Rows()); err != nil {
+		return 0, Cost{}, err
+	}
+	if err := requireNonNegative(a, b); err != nil {
+		return 0, Cost{}, err
+	}
+	conn := comm.NewConn()
+
+	// Alice: column sums of A.
+	msg := comm.NewMessage()
+	colSums := columnSums(a)
+	for _, s := range colSums {
+		msg.PutUvarint(uint64(s))
+	}
+	recv := conn.Send(comm.AliceToBob, msg)
+
+	// Bob: Σ_k colSumA(k)·rowSumB(k).
+	var total int64
+	for k := 0; k < b.Rows(); k++ {
+		cs := int64(recv.Uvarint())
+		var rs int64
+		for _, v := range b.Row(k) {
+			rs += v
+		}
+		total += cs * rs
+	}
+	return total, costOf(conn), nil
+}
+
+// SampleL1 is Remark 3: one-round ℓ1-sampling of C = AB for non-negative
+// matrices in O(n log n) bits. Alice ships, for every item k, the column
+// sum ‖A_{*,k}‖1 and one row index sampled from column k proportionally
+// to its entries; Bob picks k proportionally to ‖A_{*,k}‖1·‖B_{k,*}‖1,
+// then a column j from row B_{k,*} proportionally to its entries. The
+// returned entry (i, j) is distributed exactly ∝ C[i][j]; k is the
+// sampled join witness.
+func SampleL1(a, b *intmat.Dense, seed uint64) (i, j, witness int, cost Cost, err error) {
+	if err := checkDims(a.Cols(), b.Rows()); err != nil {
+		return 0, 0, 0, Cost{}, err
+	}
+	if err := requireNonNegative(a, b); err != nil {
+		return 0, 0, 0, Cost{}, err
+	}
+	conn := comm.NewConn()
+	alicePriv := rng.New(seed).Derive("alice-private", "l1sample")
+	bobPriv := rng.New(seed).Derive("bob-private", "l1sample")
+
+	// Alice: per item k, column sum and a value-weighted row sample.
+	msg := comm.NewMessage()
+	n := a.Cols()
+	for k := 0; k < n; k++ {
+		var sum int64
+		for i := 0; i < a.Rows(); i++ {
+			sum += a.Get(i, k)
+		}
+		msg.PutUvarint(uint64(sum))
+		pick := -1
+		if sum > 0 {
+			target := alicePriv.Int63n(sum)
+			var acc int64
+			for i := 0; i < a.Rows(); i++ {
+				acc += a.Get(i, k)
+				if acc > target {
+					pick = i
+					break
+				}
+			}
+		}
+		msg.PutVarint(int64(pick))
+	}
+	recv := conn.Send(comm.AliceToBob, msg)
+
+	// Bob: weight each k by colSumA(k)·rowSumB(k) and sample.
+	colSums := make([]int64, n)
+	rowPicks := make([]int, n)
+	weights := make([]int64, n)
+	var total int64
+	for k := 0; k < n; k++ {
+		colSums[k] = int64(recv.Uvarint())
+		rowPicks[k] = int(recv.Varint())
+		var rs int64
+		for _, v := range b.Row(k) {
+			rs += v
+		}
+		weights[k] = colSums[k] * rs
+		total += weights[k]
+	}
+	if total == 0 {
+		return 0, 0, 0, costOf(conn), ErrSampleFailed
+	}
+	target := bobPriv.Int63n(total)
+	var acc int64
+	k := 0
+	for ; k < n; k++ {
+		acc += weights[k]
+		if acc > target {
+			break
+		}
+	}
+	// Column sample from row B_{k,*} proportional to values.
+	var rowSum int64
+	for _, v := range b.Row(k) {
+		rowSum += v
+	}
+	jt := bobPriv.Int63n(rowSum)
+	var jacc int64
+	col := 0
+	for jj, v := range b.Row(k) {
+		jacc += v
+		if jacc > jt {
+			col = jj
+			break
+		}
+	}
+	return rowPicks[k], col, k, costOf(conn), nil
+}
+
+func requireNonNegative(ms ...*intmat.Dense) error {
+	for _, m := range ms {
+		for i := 0; i < m.Rows(); i++ {
+			for _, v := range m.Row(i) {
+				if v < 0 {
+					return ErrNeedNonNegative
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func columnSums(m *intmat.Dense) []int64 {
+	out := make([]int64, m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j, v := range m.Row(i) {
+			out[j] += v
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/rng"
+)
+
+// plantedMaxPair builds Boolean matrices whose product has a planted
+// dominant entry: row hotRow of A and column hotCol of B share `overlap`
+// items, over background density bg.
+func plantedMaxPair(seed uint64, n, overlap int, bg float64) (*bitmat.Matrix, *bitmat.Matrix, int, int) {
+	r := rng.New(seed)
+	a := bitmat.New(n, n)
+	b := bitmat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Bernoulli(bg) {
+				a.Set(i, j, true)
+			}
+			if r.Bernoulli(bg) {
+				b.Set(i, j, true)
+			}
+		}
+	}
+	hotRow, hotCol := n/3, 2*n/3
+	perm := r.Perm(n)
+	for t := 0; t < overlap; t++ {
+		k := perm[t]
+		a.Set(hotRow, k, true)
+		b.Set(k, hotCol, true)
+	}
+	return a, b, hotRow, hotCol
+}
+
+func TestLinfBinaryPlantedPair(t *testing.T) {
+	a, b, _, _ := plantedMaxPair(80, 96, 40, 0.05)
+	truth, _, _ := a.Mul(b).Linf()
+	est, _, cost, err := EstimateLinfBinary(a, b, LinfOpts{Eps: 0.5, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := float64(truth) / 3.0 // (2+ε) factor with slack
+	hi := float64(truth) * 2.0
+	if est < lo || est > hi {
+		t.Fatalf("ℓ∞ estimate %v outside [%v, %v] (truth %d)", est, lo, hi, truth)
+	}
+	if cost.Rounds > 3 {
+		t.Fatalf("rounds = %d, want ≤ 3", cost.Rounds)
+	}
+}
+
+func TestLinfBinaryUnsampledWithinFactor2(t *testing.T) {
+	// Small, light inputs keep ‖C‖1 under the γn² threshold, so ℓ* = 0
+	// and C splits exactly into CA + CB: the output is then within a
+	// factor 2 of ‖C‖∞ deterministically (the factor the Ω(n²) lower
+	// bound of Theorem 4.4 shows is unavoidable to beat).
+	a := randomBinary(82, 32, 32, 0.15)
+	b := randomBinary(83, 32, 32, 0.15)
+	truth, _, _ := a.Mul(b).Linf()
+	est, arg, _, err := EstimateLinfBinary(a, b, LinfOpts{Eps: 0.5, Seed: 84})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < float64(truth)/2 || est > float64(truth) {
+		t.Fatalf("unsampled ℓ∞ = %v, want in [%d/2, %d]", est, truth, truth)
+	}
+	// The reported pair's true value dominates the reported partial max.
+	if got := a.Mul(b).Get(arg.I, arg.J); float64(got) < est {
+		t.Fatalf("argmax (%d,%d) has value %d < reported %v", arg.I, arg.J, got, est)
+	}
+}
+
+func TestLinfBinaryZeroMatrix(t *testing.T) {
+	a := bitmat.New(16, 16)
+	b := randomBinary(85, 16, 16, 0.3)
+	est, _, _, err := EstimateLinfBinary(a, b, LinfOpts{Eps: 0.5, Seed: 86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Fatalf("ℓ∞ of zero product = %v", est)
+	}
+}
+
+func TestLinfBinaryDenseTriggersSampling(t *testing.T) {
+	// Dense inputs exceed the level-0 threshold, forcing ℓ* > 0; the
+	// rescaled estimate must still track the truth within (2+ε)·slack.
+	a, b, _, _ := plantedMaxPair(87, 128, 100, 0.35)
+	truth, _, _ := a.Mul(b).Linf()
+	est, _, _, err := EstimateLinfBinary(a, b, LinfOpts{Eps: 0.5, GammaC: 0.3, Seed: 88})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < float64(truth)/4 || est > float64(truth)*2.5 {
+		t.Fatalf("sampled ℓ∞ estimate %v vs truth %d", est, truth)
+	}
+}
+
+func TestLinfKappaPlantedPair(t *testing.T) {
+	a, b, _, _ := plantedMaxPair(89, 96, 50, 0.04)
+	truth, _, _ := a.Mul(b).Linf()
+	kappa := 6.0
+	est, _, cost, err := EstimateLinfKappa(a, b, LinfKappaOpts{Kappa: kappa, Seed: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// κ-approximation: X ∈ [Y/β, γY] with βγ ≤ κ; allow 2× slack for
+	// the scaled constants.
+	if est < float64(truth)/(2*kappa) || est > 2*kappa*float64(truth) {
+		t.Fatalf("κ=%v estimate %v vs truth %d", kappa, est, truth)
+	}
+	if cost.Rounds > 4 {
+		t.Fatalf("rounds = %d, want O(1) (≤4)", cost.Rounds)
+	}
+}
+
+func TestLinfKappaZeroProduct(t *testing.T) {
+	a := bitmat.New(24, 24)
+	b := randomBinary(91, 24, 24, 0.3)
+	est, _, _, err := EstimateLinfKappa(a, b, LinfKappaOpts{Kappa: 4, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Fatalf("κ-approx of zero product = %v", est)
+	}
+}
+
+func TestLinfKappaEmptySampleNonzeroC(t *testing.T) {
+	// Force q extremely small via huge κ on a sparse C: when the sampled
+	// D is empty but C is not, the protocol must output 1.
+	a := bitmat.New(64, 64)
+	b := bitmat.New(64, 64)
+	a.Set(0, 0, true)
+	b.Set(0, 0, true) // C[0][0] = 1
+	est, _, _, err := EstimateLinfKappa(a, b, LinfKappaOpts{Kappa: 64, AlphaC: 0.0001, Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 1 {
+		t.Fatalf("empty-sample fallback = %v, want 1", est)
+	}
+}
+
+func TestLinfKappaUniverseSamplingSavesBits(t *testing.T) {
+	// The ablation the paper motivates: with universe sampling the
+	// exchange is cheaper than without, at large κ.
+	a, b, _, _ := plantedMaxPair(94, 160, 60, 0.15)
+	// AlphaC is lowered so q = α/κ is well below 1 at this size.
+	o := LinfKappaOpts{Kappa: 16, AlphaC: 0.8, Seed: 95}
+	_, _, with, err := EstimateLinfKappa(a, b, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, without, err := EstimateLinfKappaNoUniverse(a, b, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Bits >= without.Bits {
+		t.Fatalf("universe sampling did not reduce bits: %d vs %d", with.Bits, without.Bits)
+	}
+}
+
+func TestLinfGeneralPlanted(t *testing.T) {
+	// Integer matrices with one dominant entry.
+	a := randomInt(96, 80, 80, 0.1, 3, false)
+	b := randomInt(97, 80, 80, 0.1, 3, false)
+	a.Set(7, 0, 900)
+	b.Set(0, 13, 1000) // C[7][13] ≈ 900000 dominates
+	c := a.Mul(b)
+	truth, _, _ := c.Linf()
+	kappa := 4.0
+	est, cost, err := EstimateLinfGeneral(a, b, LinfGeneralOpts{Kappa: kappa, Seed: 98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimate ∈ [‖C‖∞, κ‖C‖∞] up to AMS error (2× slack).
+	if est < float64(truth)/2 || est > 2*kappa*float64(truth) {
+		t.Fatalf("general ℓ∞ estimate %v vs truth %d (κ=%v)", est, truth, kappa)
+	}
+	if cost.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", cost.Rounds)
+	}
+}
+
+func TestLinfGeneralCommunicationShrinksWithKappa(t *testing.T) {
+	a := randomInt(99, 64, 64, 0.2, 5, false)
+	b := randomInt(100, 64, 64, 0.2, 5, false)
+	_, c2, err := EstimateLinfGeneral(a, b, LinfGeneralOpts{Kappa: 2, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c8, err := EstimateLinfGeneral(a, b, LinfGeneralOpts{Kappa: 8, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c8.Bits >= c2.Bits {
+		t.Fatalf("κ=8 used %d bits ≥ κ=2's %d — want ~n²/κ² scaling", c8.Bits, c2.Bits)
+	}
+}
+
+func TestLinfGeneralZero(t *testing.T) {
+	a := randomInt(102, 20, 20, 0, 1, true)
+	b := randomInt(103, 20, 20, 0.3, 3, false)
+	est, _, err := EstimateLinfGeneral(a, b, LinfGeneralOpts{Kappa: 2, Seed: 104})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Fatalf("zero product estimate = %v", est)
+	}
+}

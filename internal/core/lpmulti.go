@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/comm"
+	"repro/internal/field"
+	"repro/internal/intmat"
+	"repro/internal/rng"
+)
+
+// EstimateLpMulti runs Algorithm 1 for several norm indices in a single
+// two-round execution: round 1 carries one sketch family per (p, rep)
+// pair and round 2 one sample set per (p, rep). This amortizes the round
+// cost when a caller (e.g. a query optimizer wanting both the
+// composition size ‖AB‖0 and the join size ‖AB‖1) needs several
+// statistics of the same product: total bits are the sum of the
+// individual protocols' bits, but rounds stay at 2 instead of 2·len(ps).
+//
+// The returned slice is aligned with ps. Every p must lie in [0, 2].
+func EstimateLpMulti(a, b *intmat.Dense, ps []float64, o LpOpts) ([]float64, Cost, error) {
+	if err := checkDims(a.Cols(), b.Rows()); err != nil {
+		return nil, Cost{}, err
+	}
+	if len(ps) == 0 {
+		return nil, Cost{}, ErrBadP
+	}
+	for _, p := range ps {
+		if p < 0 || p > 2 {
+			return nil, Cost{}, ErrBadP
+		}
+	}
+	if err := o.setDefaults(); err != nil {
+		return nil, Cost{}, err
+	}
+	beta := math.Sqrt(o.Eps)
+	sizeWords := int(math.Ceil(o.SketchC / (beta * beta)))
+	if sizeWords < 4 {
+		sizeWords = 4
+	}
+	n := a.Cols()
+	m1 := a.Rows()
+	conn := comm.NewConn()
+	shared := rng.New(o.Seed)
+
+	// One sketch family per (p, rep).
+	sketchers := make([][]rowSketcher, len(ps))
+	for pi, p := range ps {
+		sketchers[pi] = make([]rowSketcher, o.Reps)
+		for rep := range sketchers[pi] {
+			sketchers[pi][rep] = newRowSketcher(
+				shared.Derive("lpmulti", strconv.Itoa(pi), strconv.Itoa(rep)), b.Cols(), p, sizeWords)
+		}
+	}
+
+	// Round 1: Bob → Alice, all families batched.
+	msg1 := comm.NewMessage()
+	msg1.Label = "per-row ℓp sketches of B (all p, batched)"
+	for _, fam := range sketchers {
+		for _, rs := range fam {
+			rs.encodeRows(msg1, b)
+		}
+	}
+	recv1 := conn.Send(comm.BobToAlice, msg1)
+
+	// Alice: per family, group and sample exactly as EstimateLp.
+	alicePriv := rng.New(o.Seed).Derive("alice-private", "lpmulti")
+	rho := o.RhoC / o.Eps
+	rowCols := make([][]int, m1)
+	rowVals := make([][]int64, m1)
+	for i := 0; i < m1; i++ {
+		rowCols[i], rowVals[i] = sparseRow(a, i)
+	}
+	msg2 := comm.NewMessage()
+	msg2.Label = "sampled rows of A (all p, batched)"
+	for _, fam := range sketchers {
+		for _, rs := range fam {
+			fieldSk, floatSk := rs.decodeRows(recv1, n)
+			picks := sampleRowsByNorm(rs, rowCols, rowVals, fieldSk, floatSk, beta, rho, alicePriv)
+			msg2.PutUvarint(uint64(len(picks)))
+			for _, s := range picks {
+				msg2.PutUvarint(uint64(s.i))
+				msg2.PutFloat64(s.weight)
+				putSparseRow(msg2, rowCols[s.i], rowVals[s.i])
+			}
+		}
+	}
+	recv2 := conn.Send(comm.AliceToBob, msg2)
+
+	// Bob: exact norms of sampled rows, median per family.
+	out := make([]float64, len(ps))
+	for pi, p := range ps {
+		perRep := make([]float64, o.Reps)
+		for rep := range perRep {
+			count := int(recv2.Uvarint())
+			var est float64
+			for s := 0; s < count; s++ {
+				_ = recv2.Uvarint()
+				w := recv2.Float64()
+				cols, vals := getSparseRow(recv2)
+				y := mulRowSparse(cols, vals, b)
+				est += w * rowLpPow(y, p)
+			}
+			perRep[rep] = est
+		}
+		out[pi] = median(perRep)
+	}
+	return out, costOf(conn), nil
+}
+
+// weightedPick is one sampled row with its inverse-probability weight.
+type weightedPick struct {
+	i      int
+	weight float64
+}
+
+// sampleRowsByNorm performs Algorithm 1's group-and-sample step for one
+// sketch family: estimate every row norm, partition into (1+β)-geometric
+// groups, and sample each group at rate ∝ its share of the total.
+func sampleRowsByNorm(rs rowSketcher, rowCols [][]int, rowVals [][]int64, fieldSk [][]field.Elem, floatSk [][]float64, beta, rho float64, priv *rng.RNG) []weightedPick {
+	m1 := len(rowCols)
+	rowEst := make([]float64, m1)
+	total := 0.0
+	for i := 0; i < m1; i++ {
+		if len(rowCols[i]) == 0 {
+			continue
+		}
+		e := rs.estimateRow(rowCols[i], rowVals[i], fieldSk, floatSk)
+		if e < 0 {
+			e = 0
+		}
+		rowEst[i] = e
+		total += e
+	}
+	type group struct {
+		members []int
+		sum     float64
+	}
+	groups := map[int]*group{}
+	logBase := math.Log(1 + beta)
+	for i, e := range rowEst {
+		if e <= 0 {
+			continue
+		}
+		ell := int(math.Floor(math.Log(math.Max(e, 1)) / logBase))
+		g := groups[ell]
+		if g == nil {
+			g = &group{}
+			groups[ell] = g
+		}
+		g.members = append(g.members, i)
+		g.sum += e
+	}
+	keys := make([]int, 0, len(groups))
+	for ell := range groups {
+		keys = append(keys, ell)
+	}
+	sortInts(keys)
+	var picks []weightedPick
+	for _, key := range keys {
+		g := groups[key]
+		pl := 1.0
+		if total > 0 {
+			pl = math.Min(1, rho/float64(len(g.members))*(g.sum/total))
+		}
+		for _, i := range g.members {
+			if priv.Bernoulli(pl) {
+				picks = append(picks, weightedPick{i: i, weight: 1 / pl})
+			}
+		}
+	}
+	return picks
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestEstimateLpMultiAccuracy(t *testing.T) {
+	a := randomInt(500, 96, 96, 0.1, 3, true)
+	b := randomInt(501, 96, 96, 0.1, 3, true)
+	c := a.Mul(b)
+	ps := []float64{0, 1, 2}
+	ests, cost, err := EstimateLpMulti(a, b, ps, LpOpts{Eps: 0.3, Seed: 502})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != len(ps) {
+		t.Fatalf("got %d estimates for %d norms", len(ests), len(ps))
+	}
+	for pi, p := range ps {
+		truth := c.Lp(p)
+		if re := relErr(ests[pi], truth); re > 0.4 {
+			t.Errorf("p=%v: estimate %v vs truth %v (rel %.3f)", p, ests[pi], truth, re)
+		}
+	}
+	if cost.Rounds != 2 {
+		t.Fatalf("multi-norm protocol used %d rounds, want 2", cost.Rounds)
+	}
+}
+
+func TestEstimateLpMultiRoundAmortization(t *testing.T) {
+	// Three norms in one execution must cost 2 rounds, not 6, while the
+	// bits are comparable to the sum of the singles.
+	a := randomInt(503, 64, 64, 0.1, 2, true)
+	b := randomInt(504, 64, 64, 0.1, 2, true)
+	ps := []float64{0, 1, 2}
+	_, multi, err := EstimateLpMulti(a, b, ps, LpOpts{Eps: 0.4, Seed: 505})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var singleBits int64
+	for _, p := range ps {
+		_, c, err := EstimateLp(a, b, p, LpOpts{Eps: 0.4, Seed: 505})
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleBits += c.Bits
+	}
+	if multi.Rounds != 2 {
+		t.Fatalf("multi rounds = %d", multi.Rounds)
+	}
+	ratio := float64(multi.Bits) / float64(singleBits)
+	if ratio < 0.5 || ratio > 1.5 {
+		t.Fatalf("multi bits %d vs singles sum %d (ratio %.2f), want comparable", multi.Bits, singleBits, ratio)
+	}
+}
+
+func TestEstimateLpMultiValidation(t *testing.T) {
+	a := randomInt(506, 8, 8, 0.3, 2, true)
+	b := randomInt(507, 8, 8, 0.3, 2, true)
+	if _, _, err := EstimateLpMulti(a, b, nil, LpOpts{Eps: 0.5}); err != ErrBadP {
+		t.Errorf("empty ps: %v", err)
+	}
+	if _, _, err := EstimateLpMulti(a, b, []float64{3}, LpOpts{Eps: 0.5}); err != ErrBadP {
+		t.Errorf("p=3: %v", err)
+	}
+	if _, _, err := EstimateLpMulti(a, randomInt(1, 9, 9, 0.3, 2, true), []float64{1}, LpOpts{Eps: 0.5}); err != ErrDimensionMismatch {
+		t.Errorf("dims: %v", err)
+	}
+}
+
+func TestTraceRecordsLabelledMessages(t *testing.T) {
+	a := randomInt(508, 48, 48, 0.1, 2, true)
+	b := randomInt(509, 48, 48, 0.1, 2, true)
+	_, cost, err := EstimateLp(a, b, 0, LpOpts{Eps: 0.4, Seed: 510})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cost.Trace) != 2 {
+		t.Fatalf("trace has %d messages, want 2", len(cost.Trace))
+	}
+	if cost.Trace[0].Label == "" || cost.Trace[1].Label == "" {
+		t.Fatal("unlabeled protocol messages")
+	}
+	if cost.Trace[0].Round != 1 || cost.Trace[1].Round != 2 {
+		t.Fatalf("trace rounds = %d, %d", cost.Trace[0].Round, cost.Trace[1].Round)
+	}
+	var total int64
+	for _, m := range cost.Trace {
+		total += m.Bits
+	}
+	if total != cost.Bits {
+		t.Fatalf("trace bits %d != total %d", total, cost.Bits)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDistributedProductVerifyPasses(t *testing.T) {
+	a := randomInt(200, 40, 40, 0.05, 3, false)
+	b := randomInt(201, 40, 40, 0.05, 3, false)
+	c := a.Mul(b)
+	ca, cb, _, err := DistributedProduct(a, b, MatMulOpts{Sparsity: c.L0() + 1, Verify: true, Seed: 202})
+	if err != nil {
+		t.Fatalf("verification rejected a correct recovery: %v", err)
+	}
+	sum := ca.Clone()
+	sum.AddMatrix(cb)
+	if !sum.Equal(c) {
+		t.Fatal("CA + CB != AB")
+	}
+}
+
+func TestDistributedProductVerifyCatchesUndersizedSparsity(t *testing.T) {
+	// Failure injection: a far-too-small sparsity bound makes the grid
+	// collide everywhere; without Verify this silently returns garbage,
+	// with Verify it must be flagged across every seed tried.
+	a := randomInt(203, 64, 64, 0.2, 3, false)
+	b := randomInt(204, 64, 64, 0.2, 3, false)
+	c := a.Mul(b)
+	if c.L0() < 500 {
+		t.Fatalf("workload not dense enough (L0=%d)", c.L0())
+	}
+	caught := 0
+	const trials = 5
+	for s := 0; s < trials; s++ {
+		_, _, _, err := DistributedProduct(a, b, MatMulOpts{Sparsity: 4, Reps: 3, Verify: true, Seed: uint64(300 + s)})
+		if err == ErrRecoveryFailed {
+			caught++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if caught != trials {
+		t.Fatalf("verification caught only %d/%d corrupted recoveries", caught, trials)
+	}
+}
+
+func TestDistributedProductVerifyCostIsSmall(t *testing.T) {
+	a := randomInt(205, 48, 48, 0.05, 2, true)
+	b := randomInt(206, 48, 48, 0.05, 2, true)
+	s := a.Mul(b).L0() + 1
+	_, _, plain, err := DistributedProduct(a, b, MatMulOpts{Sparsity: s, Seed: 207})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, verified, err := DistributedProduct(a, b, MatMulOpts{Sparsity: s, Verify: true, Seed: 207})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := verified.Bits - plain.Bits
+	// The witness is one field word per inner index plus framing.
+	if extra <= 0 || extra > int64(48*64+128) {
+		t.Fatalf("verification overhead %d bits, want ≈ n words", extra)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactL1Correct(t *testing.T) {
+	a := randomInt(60, 50, 60, 0.2, 4, true)
+	b := randomInt(61, 60, 40, 0.2, 4, true)
+	got, cost, err := ExactL1(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := a.Mul(b).L1(); got != want {
+		t.Fatalf("ExactL1 = %d, want %d", got, want)
+	}
+	if cost.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", cost.Rounds)
+	}
+	// O(n log n) bits: generously, well under one bitmap row per item.
+	if cost.Bits > int64(60*64) {
+		t.Fatalf("ExactL1 used %d bits, want O(n log n)", cost.Bits)
+	}
+}
+
+func TestExactL1RejectsSigned(t *testing.T) {
+	a := randomInt(62, 10, 10, 0.5, 3, false)
+	b := randomInt(63, 10, 10, 0.5, 3, true)
+	if _, _, err := ExactL1(a, b); err != ErrNeedNonNegative {
+		t.Fatalf("err = %v, want ErrNeedNonNegative", err)
+	}
+}
+
+func TestSampleL1Distribution(t *testing.T) {
+	// 4×4 product with known entries; sampling frequency must be
+	// proportional to C[i][j].
+	a := randomInt(64, 4, 3, 0.9, 3, true)
+	b := randomInt(65, 3, 4, 0.9, 3, true)
+	c := a.Mul(b)
+	total := float64(c.L1())
+	if total == 0 {
+		t.Skip("degenerate workload")
+	}
+	counts := map[Pair]int{}
+	const trials = 3000
+	for s := 0; s < trials; s++ {
+		i, j, witness, _, err := SampleL1(a, b, uint64(9000+s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Get(i, j) == 0 {
+			t.Fatalf("sampled zero entry (%d,%d)", i, j)
+		}
+		// The witness must actually connect i to j.
+		if a.Get(i, witness) == 0 || b.Get(witness, j) == 0 {
+			t.Fatalf("witness %d does not connect (%d,%d)", witness, i, j)
+		}
+		counts[Pair{I: i, J: j}]++
+	}
+	for pr, got := range counts {
+		want := float64(c.Get(pr.I, pr.J)) / total * trials
+		sigma := math.Sqrt(want)
+		if math.Abs(float64(got)-want) > 6*sigma+6 {
+			t.Errorf("pair %v sampled %d times, want ~%.0f", pr, got, want)
+		}
+	}
+}
+
+func TestSampleL1EmptyProduct(t *testing.T) {
+	a := randomInt(66, 8, 8, 0, 1, true)
+	b := randomInt(67, 8, 8, 0.3, 1, true)
+	if _, _, _, _, err := SampleL1(a, b, 1); err != ErrSampleFailed {
+		t.Fatalf("err = %v, want ErrSampleFailed", err)
+	}
+}
+
+func TestSampleL0InSupport(t *testing.T) {
+	a := randomBinary(68, 64, 64, 0.08).ToInt()
+	b := randomBinary(69, 64, 64, 0.08).ToInt()
+	c := a.Mul(b)
+	if c.L0() == 0 {
+		t.Skip("degenerate workload")
+	}
+	for s := 0; s < 20; s++ {
+		pair, v, cost, err := SampleL0(a, b, L0SampleOpts{Eps: 0.5, Seed: uint64(100 + s)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Get(pair.I, pair.J) == 0 {
+			t.Fatalf("sampled zero entry %v", pair)
+		}
+		if v != c.Get(pair.I, pair.J) {
+			t.Fatalf("sampled value %d, want %d", v, c.Get(pair.I, pair.J))
+		}
+		if cost.Rounds != 1 {
+			t.Fatalf("rounds = %d, want 1", cost.Rounds)
+		}
+	}
+}
+
+func TestSampleL0NearUniform(t *testing.T) {
+	// Small support so frequencies are checkable. C's support is spread
+	// across columns; both the column-selection and in-column sampling
+	// stages must cooperate.
+	a := randomBinary(70, 32, 48, 0.03).ToInt()
+	b := randomBinary(71, 48, 32, 0.03).ToInt()
+	c := a.Mul(b)
+	support := c.L0()
+	if support < 5 || support > 60 {
+		t.Fatalf("workload support %d unsuitable, pick new seeds", support)
+	}
+	counts := map[Pair]int{}
+	const trials = 1500
+	fails := 0
+	for s := 0; s < trials; s++ {
+		pair, _, _, err := SampleL0(a, b, L0SampleOpts{Eps: 0.5, Seed: uint64(20000 + s)})
+		if err != nil {
+			fails++
+			continue
+		}
+		counts[pair]++
+	}
+	if fails > trials/10 {
+		t.Fatalf("sampler failed %d/%d times", fails, trials)
+	}
+	got := 0
+	for _, cnt := range counts {
+		got += cnt
+	}
+	want := float64(got) / float64(support)
+	for pr, cnt := range counts {
+		if math.Abs(float64(cnt)-want) > 6*math.Sqrt(want)+6 {
+			t.Errorf("pair %v sampled %d times, want ~%.0f", pr, cnt, want)
+		}
+	}
+	// Coverage: nearly every support entry should appear.
+	if len(counts) < support*8/10 {
+		t.Errorf("only %d/%d support entries ever sampled", len(counts), support)
+	}
+}
+
+func TestSampleL0EmptyProduct(t *testing.T) {
+	a := randomInt(72, 16, 16, 0, 1, true)
+	b := randomInt(73, 16, 16, 0.3, 1, true)
+	if _, _, _, err := SampleL0(a, b, L0SampleOpts{Eps: 0.5, Seed: 5}); err != ErrSampleFailed {
+		t.Fatalf("err = %v, want ErrSampleFailed", err)
+	}
+}

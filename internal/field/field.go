@@ -1,0 +1,120 @@
+// Package field implements arithmetic in the prime field GF(p) with
+// p = 2^61 - 1 (a Mersenne prime).
+//
+// All exact linear sketches in this repository (the occupancy-based ℓ0
+// estimator, the 1-sparse recovery structures, the ℓ0-sampler and the
+// polynomial fingerprints) operate over this field so that bucket sums of
+// integer matrix entries never overflow and so that random linear
+// combinations of distinct non-zero inputs vanish only with probability
+// O(1/p).
+//
+// Elements are represented as uint64 values in [0, p). The Mersenne
+// structure makes reduction after multiplication a pair of shifts and adds,
+// which keeps the sketches fast enough to run inside benchmarks that sweep
+// matrix sizes.
+package field
+
+import "math/bits"
+
+// P is the field modulus 2^61 - 1.
+const P uint64 = (1 << 61) - 1
+
+// Elem is a field element in [0, P).
+type Elem = uint64
+
+// Reduce maps an arbitrary uint64 into [0, P).
+func Reduce(x uint64) Elem {
+	x = (x >> 61) + (x & P)
+	if x >= P {
+		x -= P
+	}
+	return x
+}
+
+// ReduceInt maps a signed integer into [0, P), mapping negative values to
+// their additive inverses mod P.
+func ReduceInt(v int64) Elem {
+	if v >= 0 {
+		return Reduce(uint64(v))
+	}
+	return Neg(Reduce(uint64(-v)))
+}
+
+// Add returns a + b mod P. Inputs must already be reduced.
+func Add(a, b Elem) Elem {
+	s := a + b
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// Sub returns a - b mod P. Inputs must already be reduced.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// Neg returns -a mod P.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return P - a
+}
+
+// Mul returns a * b mod P using the Mersenne reduction.
+func Mul(a, b Elem) Elem {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo = hi*8*2^61 + lo ≡ hi*8 + lo (mod 2^61-1),
+	// folding 2^61 ≡ 1. Split lo into its low 61 bits and high 3 bits.
+	res := (hi << 3) | (lo >> 61)
+	res = Reduce(res + (lo & P))
+	return Reduce(res)
+}
+
+// Pow returns a^e mod P by square-and-multiply.
+func Pow(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := Reduce(a)
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a mod P. It panics if a == 0,
+// because a zero divisor always indicates a logic error in a sketch decode.
+func Inv(a Elem) Elem {
+	if a == 0 {
+		panic("field: inverse of zero")
+	}
+	// By Fermat's little theorem a^(P-2) = a^{-1}.
+	return Pow(a, P-2)
+}
+
+// AddInt adds a signed integer multiple into an accumulator: acc + v mod P.
+func AddInt(acc Elem, v int64) Elem {
+	return Add(acc, ReduceInt(v))
+}
+
+// MulInt returns a * v mod P for a signed integer v.
+func MulInt(a Elem, v int64) Elem {
+	return Mul(a, ReduceInt(v))
+}
+
+// ToInt interprets a field element as a signed integer in
+// (-P/2, P/2], the canonical lift used when a sketch decodes an integer
+// quantity that may be negative.
+func ToInt(a Elem) int64 {
+	if a > P/2 {
+		return -int64(P - a)
+	}
+	return int64(a)
+}

@@ -1,0 +1,154 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceIdentities(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{P - 1, P - 1},
+		{P, 0},
+		{P + 1, 1},
+		{2*P - 1, P - 1},
+		{^uint64(0), Reduce(^uint64(0))},
+	}
+	for _, c := range cases {
+		if got := Reduce(c.in); got != c.want {
+			t.Errorf("Reduce(%d) = %d, want %d", c.in, got, c.want)
+		}
+		if got := Reduce(c.in); got >= P {
+			t.Errorf("Reduce(%d) = %d, out of range", c.in, got)
+		}
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Reduce(rng.Uint64())
+		b := Reduce(rng.Uint64())
+		if got := Sub(Add(a, b), b); got != a {
+			t.Fatalf("(%d+%d)-%d = %d, want %d", a, b, b, got, a)
+		}
+		if got := Add(a, Neg(a)); got != 0 {
+			t.Fatalf("a + (-a) = %d, want 0", got)
+		}
+	}
+}
+
+func TestMulAgainstBigReduction(t *testing.T) {
+	// Cross-check Mul against 128-bit reference arithmetic via Pow.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		a := Reduce(rng.Uint64())
+		// a * a * a should equal Pow(a, 3).
+		if got, want := Mul(Mul(a, a), a), Pow(a, 3); got != want {
+			t.Fatalf("a^3 mismatch for a=%d: %d vs %d", a, got, want)
+		}
+	}
+}
+
+func TestMulSmallValues(t *testing.T) {
+	if got := Mul(3, 5); got != 15 {
+		t.Errorf("Mul(3,5) = %d, want 15", got)
+	}
+	if got := Mul(P-1, P-1); got != 1 {
+		// (-1) * (-1) = 1 mod P.
+		t.Errorf("Mul(P-1, P-1) = %d, want 1", got)
+	}
+	if got := Mul(P-1, 2); got != P-2 {
+		// (-1) * 2 = -2 mod P.
+		t.Errorf("Mul(P-1, 2) = %d, want %d", got, P-2)
+	}
+}
+
+func TestInv(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a := Reduce(rng.Uint64())
+		if a == 0 {
+			continue
+		}
+		if got := Mul(a, Inv(a)); got != 1 {
+			t.Fatalf("a * a^{-1} = %d for a=%d, want 1", got, a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestPow(t *testing.T) {
+	if got := Pow(2, 61); got != 1 {
+		// 2^61 = 2^61 - 1 + 1 ≡ 1 mod P.
+		t.Errorf("Pow(2,61) = %d, want 1", got)
+	}
+	if got := Pow(7, 0); got != 1 {
+		t.Errorf("Pow(7,0) = %d, want 1", got)
+	}
+	if got := Pow(0, 5); got != 0 {
+		t.Errorf("Pow(0,5) = %d, want 0", got)
+	}
+}
+
+func TestReduceIntAndToInt(t *testing.T) {
+	values := []int64{0, 1, -1, 42, -42, 1 << 40, -(1 << 40)}
+	for _, v := range values {
+		if got := ToInt(ReduceInt(v)); got != v {
+			t.Errorf("ToInt(ReduceInt(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	// Property: associativity and distributivity on reduced elements.
+	assoc := func(x, y, z uint64) bool {
+		a, b, c := Reduce(x), Reduce(y), Reduce(z)
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) &&
+			Add(Add(a, b), c) == Add(a, Add(b, c)) &&
+			Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(assoc, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearCombinationMatchesIntegerSum(t *testing.T) {
+	// Small linear combinations of integers must agree with exact integer
+	// arithmetic after lifting — the property every linear sketch relies on.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		var accField Elem
+		var accInt int64
+		for i := 0; i < 20; i++ {
+			v := rng.Int63n(1000) - 500
+			accField = AddInt(accField, v)
+			accInt += v
+		}
+		if got := ToInt(accField); got != accInt {
+			t.Fatalf("field sum %d != integer sum %d", got, accInt)
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x := Reduce(0x9e3779b97f4a7c15)
+	y := Reduce(0xbf58476d1ce4e5b9)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}

@@ -1,0 +1,207 @@
+package intmat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randomDense(r *rng.RNG, rows, cols int, density float64, maxAbs int64) *Dense {
+	d := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if r.Bernoulli(density) {
+				d.Set(i, j, r.Int63n(2*maxAbs+1)-maxAbs)
+			}
+		}
+	}
+	return d
+}
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(3, 4)
+	d.Set(1, 2, -7)
+	d.Add(1, 2, 3)
+	if got := d.Get(1, 2); got != -4 {
+		t.Fatalf("Get = %d, want -4", got)
+	}
+	if d.Rows() != 3 || d.Cols() != 4 {
+		t.Fatal("dims wrong")
+	}
+}
+
+func TestDenseOutOfRangePanics(t *testing.T) {
+	d := NewDense(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Get(2, 0)
+}
+
+func TestNorms(t *testing.T) {
+	d := NewDense(2, 3)
+	d.Set(0, 0, 3)
+	d.Set(0, 2, -4)
+	d.Set(1, 1, 5)
+	if got := d.L0(); got != 3 {
+		t.Errorf("L0 = %d, want 3", got)
+	}
+	if got := d.L1(); got != 12 {
+		t.Errorf("L1 = %d, want 12", got)
+	}
+	max, i, j := d.Linf()
+	if max != 5 || i != 1 || j != 1 {
+		t.Errorf("Linf = %d at (%d,%d), want 5 at (1,1)", max, i, j)
+	}
+	if got := d.Lp(2); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Lp(2) = %v, want 50", got)
+	}
+	if got := d.Lp(0); got != 3 {
+		t.Errorf("Lp(0) = %v, want 3", got)
+	}
+	if got := d.Lp(1); math.Abs(got-12) > 1e-9 {
+		t.Errorf("Lp(1) = %v, want 12", got)
+	}
+}
+
+func TestRowColLp(t *testing.T) {
+	d := NewDense(2, 2)
+	d.Set(0, 0, 2)
+	d.Set(0, 1, -2)
+	d.Set(1, 0, 3)
+	if got := d.RowLp(0, 2); math.Abs(got-8) > 1e-9 {
+		t.Errorf("RowLp(0,2) = %v, want 8", got)
+	}
+	if got := d.RowLp(0, 0); got != 2 {
+		t.Errorf("RowLp(0,0) = %v, want 2", got)
+	}
+	if got := d.ColLp(0, 1); math.Abs(got-5) > 1e-9 {
+		t.Errorf("ColLp(0,1) = %v, want 5", got)
+	}
+	if got := d.ColLp(1, 0); got != 1 {
+		t.Errorf("ColLp(1,0) = %v, want 1", got)
+	}
+}
+
+func TestLpDecomposesOverRows(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := randomDense(r, 8, 11, 0.5, 9)
+		for _, p := range []float64{0, 0.5, 1, 1.5, 2} {
+			var rows float64
+			for i := 0; i < 8; i++ {
+				rows += d.RowLp(i, p)
+			}
+			if math.Abs(rows-d.Lp(p)) > 1e-6*(1+math.Abs(rows)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseMul(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(3, 2)
+	// a = [1 2 0; 0 -1 3], b = [1 0; 2 1; 0 -2]
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 1, -1)
+	a.Set(1, 2, 3)
+	b.Set(0, 0, 1)
+	b.Set(1, 0, 2)
+	b.Set(1, 1, 1)
+	b.Set(2, 1, -2)
+	c := a.Mul(b)
+	want := [][]int64{{5, 2}, {-2, -7}}
+	for i := range want {
+		for j := range want[i] {
+			if c.Get(i, j) != want[i][j] {
+				t.Fatalf("C[%d][%d] = %d, want %d", i, j, c.Get(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	r := rng.New(20)
+	d := randomDense(r, 13, 17, 0.3, 50)
+	s := FromDense(d)
+	if !s.ToDense().Equal(d) {
+		t.Fatal("sparse round trip lost entries")
+	}
+	if s.NNZ() != d.L0() {
+		t.Fatalf("NNZ = %d, want %d", s.NNZ(), d.L0())
+	}
+}
+
+func TestSparseDuplicatesSummed(t *testing.T) {
+	s := NewSparse(2, 2, []Entry{{0, 0, 3}, {0, 0, 4}, {1, 1, 5}, {1, 1, -5}})
+	if got := s.NNZ(); got != 1 {
+		t.Fatalf("NNZ = %d, want 1 (dups summed, zeros dropped)", got)
+	}
+	d := s.ToDense()
+	if d.Get(0, 0) != 7 {
+		t.Fatalf("summed entry = %d, want 7", d.Get(0, 0))
+	}
+}
+
+func TestSparseMulMatchesDense(t *testing.T) {
+	r := rng.New(21)
+	da := randomDense(r, 10, 12, 0.3, 9)
+	db := randomDense(r, 12, 8, 0.3, 9)
+	want := da.Mul(db)
+	got := FromDense(da).Mul(FromDense(db))
+	if !got.Equal(want) {
+		t.Fatal("sparse Mul differs from dense Mul")
+	}
+	got2 := FromDense(da).MulDense(db)
+	if !got2.Equal(want) {
+		t.Fatal("MulDense differs from dense Mul")
+	}
+}
+
+func TestSparseEntryOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSparse(2, 2, []Entry{{2, 0, 1}})
+}
+
+func TestAddMatrix(t *testing.T) {
+	a := NewDense(2, 2)
+	b := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	b.Set(0, 0, 2)
+	b.Set(1, 1, 3)
+	a.AddMatrix(b)
+	if a.Get(0, 0) != 3 || a.Get(1, 1) != 3 {
+		t.Fatal("AddMatrix wrong")
+	}
+}
+
+func TestNonZerosOrder(t *testing.T) {
+	d := NewDense(2, 3)
+	d.Set(1, 0, 4)
+	d.Set(0, 2, 9)
+	nz := d.NonZeros()
+	if len(nz) != 2 || nz[0] != (Entry{0, 2, 9}) || nz[1] != (Entry{1, 0, 4}) {
+		t.Fatalf("NonZeros = %v", nz)
+	}
+}
+
+func TestSparseL1(t *testing.T) {
+	s := NewSparse(2, 2, []Entry{{0, 0, -3}, {1, 1, 4}})
+	if got := s.L1(); got != 7 {
+		t.Fatalf("L1 = %d, want 7", got)
+	}
+}

@@ -1,0 +1,91 @@
+package intmat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// quickDense builds a small bounded matrix from a seed.
+func quickDense(seed uint64, rows, cols int) *Dense {
+	r := rng.New(seed)
+	d := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if r.Bernoulli(0.4) {
+				d.Set(i, j, r.Int63n(9)-4)
+			}
+		}
+	}
+	return d
+}
+
+func TestQuickSparseRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := quickDense(seed, 9, 13)
+		return FromDense(d).ToDense().Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulDistributesOverAddition(t *testing.T) {
+	// (A + A') · B = A·B + A'·B.
+	f := func(s1, s2, s3 uint64) bool {
+		a1 := quickDense(s1, 7, 8)
+		a2 := quickDense(s2, 7, 8)
+		b := quickDense(s3, 8, 6)
+		sum := a1.Clone()
+		sum.AddMatrix(a2)
+		lhs := sum.Mul(b)
+		rhs := a1.Mul(b)
+		rhs.AddMatrix(a2.Mul(b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulAssociative(t *testing.T) {
+	f := func(s1, s2, s3 uint64) bool {
+		a := quickDense(s1, 5, 6)
+		b := quickDense(s2, 6, 7)
+		c := quickDense(s3, 7, 4)
+		return a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormsConsistent(t *testing.T) {
+	// L1 ≥ Linf; L0 ≤ rows·cols; Lp(1) == L1.
+	f := func(seed uint64) bool {
+		d := quickDense(seed, 8, 8)
+		linf, _, _ := d.Linf()
+		if d.L1() < linf {
+			return false
+		}
+		if d.L0() > 64 {
+			return false
+		}
+		return d.Lp(1) == float64(d.L1())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSparseMulAgreesWithDense(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		a := quickDense(s1, 6, 9)
+		b := quickDense(s2, 9, 5)
+		return FromDense(a).Mul(FromDense(b)).Equal(a.Mul(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package lowerbound implements the hard-instance constructions behind
+// the paper's communication lower bounds (Section 4.2 and Theorem 4.8(2)).
+//
+// Lower bounds cannot be "run", but their reductions can: each
+// construction here embeds a canonical hard communication problem
+// (set-disjointness, the AND/DISJ/SUM distributions, Gap-ℓ∞) into a
+// matrix-product instance, and the embedding is only valid if the
+// resulting product exhibits the gap the reduction relies on. The
+// experiments in the benchmark harness generate these instances and
+// verify the gaps, which both validates the constructions and provides
+// adversarial workloads for the upper-bound protocols.
+package lowerbound
+
+import (
+	"repro/internal/bitmat"
+	"repro/internal/intmat"
+	"repro/internal/rng"
+)
+
+// DISJInstance is a two-party set-disjointness instance: Alice holds x,
+// Bob holds y, and DISJ(x,y) = 1 iff some coordinate has x_i = y_i = 1.
+type DISJInstance struct {
+	X, Y []bool
+}
+
+// NewDISJ draws a random instance of length t. If intersect is true the
+// instance is conditioned to have exactly one intersecting coordinate
+// (the canonical hard regime); otherwise it has none.
+func NewDISJ(r *rng.RNG, t int, intersect bool) DISJInstance {
+	x := make([]bool, t)
+	y := make([]bool, t)
+	// Sparse random sets with no accidental intersections.
+	for i := 0; i < t; i++ {
+		switch r.Intn(4) {
+		case 0:
+			x[i] = true
+		case 1:
+			y[i] = true
+		}
+	}
+	if intersect {
+		i := r.Intn(t)
+		x[i] = true
+		y[i] = true
+	}
+	return DISJInstance{X: x, Y: y}
+}
+
+// Disjoint reports whether the instance is disjoint.
+func (d DISJInstance) Disjoint() bool {
+	for i := range d.X {
+		if d.X[i] && d.Y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EmbedDISJ is the reduction of Theorem 4.4: a DISJ instance on
+// t = (n/2)² coordinates becomes Boolean matrices
+//
+//	A = [A′ I; 0 0],  B = [I 0; B′ 0]
+//
+// with A′ and B′ the (n/2)×(n/2) matrices whose entries are the
+// coordinates of x and y. Then A·B = [A′+B′ 0; 0 0], so
+// ‖AB‖∞ = ‖A′+B′‖∞ = 2 iff the instance intersects and ≤ 1 otherwise —
+// a gap no 2-approximation can close without Ω(n²) bits.
+// n must be even and t = (n/2)².
+func EmbedDISJ(d DISJInstance, n int) (*bitmat.Matrix, *bitmat.Matrix) {
+	half := n / 2
+	if 2*half != n || len(d.X) != half*half || len(d.Y) != half*half {
+		panic("lowerbound: EmbedDISJ needs even n and instances of length (n/2)²")
+	}
+	a := bitmat.New(n, n)
+	b := bitmat.New(n, n)
+	for i := 0; i < half; i++ {
+		for j := 0; j < half; j++ {
+			if d.X[i*half+j] {
+				a.Set(i, j, true) // A′ block
+			}
+			if d.Y[i*half+j] {
+				b.Set(half+i, j, true) // B′ block, lower-left of B
+			}
+		}
+		a.Set(i, half+i, true) // I block of A (upper-right)
+		b.Set(i, i, true)      // I block of B (upper-left)
+	}
+	return a, b
+}
+
+// GapLinfInstance is the Gap-ℓ∞ problem: Alice holds x, Bob holds y in
+// [0,κ]^t with the promise that either |x_i − y_i| ≤ 1 everywhere or
+// |x_i − y_i| ≥ κ somewhere. Gap(x,y) = 1 in the second case.
+type GapLinfInstance struct {
+	X, Y  []int64
+	Kappa int64
+}
+
+// NewGapLinf draws an instance of length t. If far is true one
+// coordinate is planted at distance κ; otherwise all coordinates are
+// within 1.
+func NewGapLinf(r *rng.RNG, t int, kappa int64, far bool) GapLinfInstance {
+	x := make([]int64, t)
+	y := make([]int64, t)
+	for i := 0; i < t; i++ {
+		v := r.Int63n(kappa + 1)
+		x[i] = v
+		d := r.Int63n(3) - 1 // y within distance 1
+		y[i] = v + d
+		if y[i] < 0 {
+			y[i] = 0
+		}
+		if y[i] > kappa {
+			y[i] = kappa
+		}
+	}
+	if far {
+		i := r.Intn(t)
+		x[i] = kappa
+		y[i] = 0
+	}
+	return GapLinfInstance{X: x, Y: y, Kappa: kappa}
+}
+
+// Far reports whether some coordinate has |x_i − y_i| ≥ κ.
+func (g GapLinfInstance) Far() bool {
+	for i := range g.X {
+		d := g.X[i] - g.Y[i]
+		if d < 0 {
+			d = -d
+		}
+		if d >= g.Kappa {
+			return true
+		}
+	}
+	return false
+}
+
+// EmbedGapLinf is the reduction of Theorem 4.8(2): the same identity-
+// block trick as EmbedDISJ turns the coordinate-wise difference x − y
+// into the product entries, so ‖AB‖∞ ≥ κ iff the instance is far and
+// ≤ 1 otherwise (here B′ carries −y). n must be even with instances of
+// length (n/2)².
+func EmbedGapLinf(g GapLinfInstance, n int) (*intmat.Dense, *intmat.Dense) {
+	half := n / 2
+	if 2*half != n || len(g.X) != half*half || len(g.Y) != half*half {
+		panic("lowerbound: EmbedGapLinf needs even n and instances of length (n/2)²")
+	}
+	a := intmat.NewDense(n, n)
+	b := intmat.NewDense(n, n)
+	for i := 0; i < half; i++ {
+		for j := 0; j < half; j++ {
+			a.Set(i, j, g.X[i*half+j])
+			b.Set(half+i, j, -g.Y[i*half+j])
+		}
+		a.Set(i, half+i, 1)
+		b.Set(i, i, 1)
+	}
+	return a, b
+}

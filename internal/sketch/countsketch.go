@@ -1,0 +1,80 @@
+package sketch
+
+import (
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// CountSketch is the classic Charikar–Chen–Farach-Colton frequency sketch
+// over int64 values: reps independent (bucket hash, sign hash) rows;
+// point queries return the median of signed bucket values. It is used by
+// the heavy-hitter baseline and by tests as a reference decoder.
+type CountSketch struct {
+	n       int
+	reps    int
+	buckets int
+	bucket  []*rng.PolyHash
+	sign    []*rng.PolyHash
+}
+
+// NewCountSketch constructs a CountSketch for dimension-n integer vectors.
+func NewCountSketch(r *rng.RNG, n, reps, buckets int) *CountSketch {
+	if reps < 1 || buckets < 1 {
+		panic("sketch: CountSketch needs reps, buckets >= 1")
+	}
+	cs := &CountSketch{n: n, reps: reps, buckets: buckets}
+	for i := 0; i < reps; i++ {
+		cs.bucket = append(cs.bucket, rng.NewPolyHash(r, 2))
+		cs.sign = append(cs.sign, rng.NewPolyHash(r, 4))
+	}
+	return cs
+}
+
+// Dim returns the sketch length in int64 words.
+func (cs *CountSketch) Dim() int { return cs.reps * cs.buckets }
+
+// Apply sketches the integer vector x.
+func (cs *CountSketch) Apply(x []int64) []int64 {
+	if len(x) != cs.n {
+		panic("sketch: CountSketch dimension mismatch")
+	}
+	y := make([]int64, cs.Dim())
+	for j, v := range x {
+		if v == 0 {
+			continue
+		}
+		cs.AddCoord(y, j, v)
+	}
+	return y
+}
+
+// AddCoord adds value v at coordinate j into a sketch.
+func (cs *CountSketch) AddCoord(y []int64, j int, v int64) {
+	for r := 0; r < cs.reps; r++ {
+		b := cs.bucket[r].Bucket(uint64(j), cs.buckets)
+		if cs.sign[r].Sign(uint64(j)) > 0 {
+			y[r*cs.buckets+b] += v
+		} else {
+			y[r*cs.buckets+b] -= v
+		}
+	}
+}
+
+// PointQuery estimates x_j from a sketch of x.
+func (cs *CountSketch) PointQuery(y []int64, j int) int64 {
+	if len(y) != cs.Dim() {
+		panic("sketch: CountSketch sketch length mismatch")
+	}
+	vals := make([]int64, cs.reps)
+	for r := 0; r < cs.reps; r++ {
+		b := cs.bucket[r].Bucket(uint64(j), cs.buckets)
+		v := y[r*cs.buckets+b]
+		if cs.sign[r].Sign(uint64(j)) < 0 {
+			v = -v
+		}
+		vals[r] = v
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	return vals[cs.reps/2]
+}

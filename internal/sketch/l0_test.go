@@ -1,0 +1,138 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/rng"
+)
+
+func sparseVector(r *rng.RNG, n, support int, maxAbs int64) []int64 {
+	x := make([]int64, n)
+	placed := 0
+	for placed < support {
+		j := r.Intn(n)
+		if x[j] != 0 {
+			continue
+		}
+		v := r.Int63n(2*maxAbs+1) - maxAbs
+		if v == 0 {
+			v = 1
+		}
+		x[j] = v
+		placed++
+	}
+	return x
+}
+
+func TestL0ZeroVector(t *testing.T) {
+	s := NewL0(rng.New(200), 64, 16)
+	if est := s.Estimate(s.Apply(make([]int64, 64))); est != 0 {
+		t.Fatalf("estimate of zero vector = %v", est)
+	}
+}
+
+func TestL0SmallSupportNearExact(t *testing.T) {
+	r := rng.New(201)
+	n := 1024
+	s := NewL0(r, n, 64)
+	for _, support := range []int{1, 2, 5, 10} {
+		x := sparseVector(r.Derive("x"), n, support, 100)
+		est := s.Estimate(s.Apply(x))
+		if math.Abs(est-float64(support)) > 2+0.3*float64(support) {
+			t.Errorf("support=%d: estimate %v", support, est)
+		}
+	}
+}
+
+func TestL0Accuracy(t *testing.T) {
+	r := rng.New(202)
+	n := 2048
+	buckets := 128
+	// Average the relative error over several supports and fresh sketches.
+	var worst float64
+	for trial := 0; trial < 5; trial++ {
+		s := NewL0(r.Derive("sk", string(rune('a'+trial))), n, buckets)
+		support := 200 + 150*trial
+		x := sparseVector(r.Derive("vec", string(rune('a'+trial))), n, support, 50)
+		est := s.Estimate(s.Apply(x))
+		rel := math.Abs(est-float64(support)) / float64(support)
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 0.35 {
+		t.Fatalf("worst relative error %.3f over trials", worst)
+	}
+}
+
+func TestL0Linearity(t *testing.T) {
+	r := rng.New(203)
+	n := 128
+	s := NewL0(r, n, 16)
+	x := sparseVector(rng.New(1), n, 20, 9)
+	y := sparseVector(rng.New(2), n, 20, 9)
+	z := make([]int64, n)
+	for i := range z {
+		z[i] = 3*x[i] - 2*y[i]
+	}
+	sx, sy, sz := s.Apply(x), s.Apply(y), s.Apply(z)
+	combined := make([]field.Elem, len(sx))
+	AxpyField(combined, 3, sx)
+	AxpyField(combined, -2, sy)
+	for i := range sz {
+		if combined[i] != sz[i] {
+			t.Fatalf("L0 sketch not linear at %d", i)
+		}
+	}
+}
+
+func TestL0SharedSeedAgreement(t *testing.T) {
+	x := sparseVector(rng.New(3), 64, 10, 5)
+	a := NewL0(rng.New(42).Derive("l0"), 64, 16)
+	b := NewL0(rng.New(42).Derive("l0"), 64, 16)
+	sa, sb := a.Apply(x), b.Apply(x)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("shared-seed L0 sketches differ")
+		}
+	}
+}
+
+func TestL0FullSupport(t *testing.T) {
+	// Dense vector: every coordinate non-zero.
+	r := rng.New(204)
+	n := 512
+	s := NewL0(r, n, 128)
+	x := make([]int64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	est := s.Estimate(s.Apply(x))
+	if rel := math.Abs(est-float64(n)) / float64(n); rel > 0.35 {
+		t.Fatalf("dense estimate %v vs %d", est, n)
+	}
+}
+
+func TestAxpyFieldZeroCoefficient(t *testing.T) {
+	y := []field.Elem{5, 6}
+	AxpyField(y, 0, []field.Elem{100, 100})
+	if y[0] != 5 || y[1] != 6 {
+		t.Fatal("AxpyField with zero coefficient changed the accumulator")
+	}
+}
+
+func TestAxpyFieldNegative(t *testing.T) {
+	s := NewL0(rng.New(205), 32, 8)
+	x := sparseVector(rng.New(6), 32, 5, 9)
+	sx := s.Apply(x)
+	acc := make([]field.Elem, len(sx))
+	AxpyField(acc, 1, sx)
+	AxpyField(acc, -1, sx)
+	for i, v := range acc {
+		if v != 0 {
+			t.Fatalf("x - x sketch non-zero at %d", i)
+		}
+	}
+}

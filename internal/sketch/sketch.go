@@ -1,0 +1,67 @@
+// Package sketch implements the linear sketches the paper's protocols are
+// built from (its Lemmas 2.1, 2.5 and 2.6):
+//
+//   - AMS sign sketches for the ℓ2 norm (Alon–Matias–Szegedy),
+//   - Indyk p-stable sketches for ℓp norms, 0 < p < 2,
+//   - an occupancy-based linear ℓ0 (distinct elements) sketch over
+//     GF(2^61−1),
+//   - exact 1-sparse recovery and the ℓ0-sampler built on it,
+//   - CountSketch and the tensor CountSketch used to realize the
+//     distributed matrix product of Lemma 2.5,
+//   - the block-partitioned AMS sketch behind the general-matrix ℓ∞
+//     protocol of Theorem 4.8(1).
+//
+// Every sketch here is *linear* in the input vector (over R or over the
+// field), which is the property the protocols exploit: Bob sketches his
+// rows of B, ships the sketches, and Alice assembles sketches of rows of
+// C = A·B as integer linear combinations without ever seeing B.
+//
+// All randomness is drawn from rng.RNG streams derived from a shared seed,
+// so the two parties construct identical sketching matrices for free
+// (public-coin model).
+package sketch
+
+import "sort"
+
+// median returns the median of v (averaging the middle pair for even
+// lengths). It copies the input.
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+// FloatSketch is a linear sketch over the reals: Apply maps an integer
+// vector to its sketch, and EstimatePow maps a sketch back to an estimate
+// of ‖x‖p^p (with the paper's convention ‖x‖0^0 = ‖x‖0). Sketches of
+// x and y add: Apply(x+y) = Apply(x) + Apply(y) entrywise, so callers can
+// assemble sketches of linear combinations themselves.
+type FloatSketch interface {
+	// Dim is the sketch length in float64 words.
+	Dim() int
+	// Apply sketches an integer vector of the configured dimension.
+	Apply(x []int64) []float64
+	// EstimatePow estimates ‖x‖p^p from a sketch of x.
+	EstimatePow(y []float64) float64
+	// P returns the norm index the sketch estimates.
+	P() float64
+}
+
+// axpyFloat accumulates y += a·x for float sketches.
+func axpyFloat(y []float64, a float64, x []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// AxpyFloat exposes the sketch combination primitive: y += a·x.
+// Protocols use it to build sketches of rows of C from sketches of rows
+// of B with integer coefficients from A.
+func AxpyFloat(y []float64, a float64, x []float64) { axpyFloat(y, a, x) }

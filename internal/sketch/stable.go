@@ -1,0 +1,115 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Stable is Indyk's p-stable sketch for ℓp norms with 0 < p < 2. The
+// sketching matrix S has i.i.d. standard symmetric p-stable entries
+// (Chambers–Mallows–Stuck generator); each measurement (Sx)_i is then
+// distributed as ‖x‖p · X for a standard p-stable X, so
+// median(|Sx|) / median(|X|) estimates ‖x‖p.
+//
+// The normalizer median(|X|) has no closed form for general p; it is
+// calibrated empirically once per p from a large fixed-seed sample and
+// cached process-wide. The calibration error (< 0.3% at 400001 samples)
+// is far below the sketch's own O(1/√rows) estimation error.
+type Stable struct {
+	n     int
+	rows  int
+	p     float64
+	scale float64     // median of |standard p-stable|
+	mat   [][]float64 // rows × n sketching matrix
+}
+
+var (
+	stableMedianMu    sync.Mutex
+	stableMedianCache = map[float64]float64{}
+)
+
+// stableMedian returns the median of |X| for standard p-stable X,
+// calibrated empirically with a fixed seed and cached.
+func stableMedian(p float64) float64 {
+	stableMedianMu.Lock()
+	defer stableMedianMu.Unlock()
+	if m, ok := stableMedianCache[p]; ok {
+		return m
+	}
+	const samples = 400001
+	r := rng.New(0x57ab1e0ca1) // fixed calibration stream, independent of sketches
+	v := make([]float64, samples)
+	for i := range v {
+		v[i] = math.Abs(r.Stable(p))
+	}
+	m := median(v)
+	stableMedianCache[p] = m
+	return m
+}
+
+// NewStable constructs a p-stable sketch with the given number of
+// measurement rows for dimension-n vectors. rows = O(1/ε²) yields a
+// (1±ε) estimate with constant probability.
+func NewStable(r *rng.RNG, n int, p float64, rows int) *Stable {
+	if p <= 0 || p >= 2 {
+		panic(fmt.Sprintf("sketch: Stable requires 0 < p < 2, got %v", p))
+	}
+	if rows < 1 {
+		panic("sketch: Stable needs rows >= 1")
+	}
+	s := &Stable{n: n, rows: rows, p: p, scale: stableMedian(p)}
+	s.mat = make([][]float64, rows)
+	for i := range s.mat {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = r.Stable(p)
+		}
+		s.mat[i] = row
+	}
+	return s
+}
+
+// Dim returns the sketch length.
+func (s *Stable) Dim() int { return s.rows }
+
+// P returns the norm index.
+func (s *Stable) P() float64 { return s.p }
+
+// Apply sketches the integer vector x.
+func (s *Stable) Apply(x []int64) []float64 {
+	if len(x) != s.n {
+		panic("sketch: Stable dimension mismatch")
+	}
+	y := make([]float64, s.rows)
+	for j, v := range x {
+		if v != 0 {
+			s.AddCoord(y, j, v)
+		}
+	}
+	return y
+}
+
+// AddCoord adds value v at coordinate j into an existing sketch
+// (turnstile update).
+func (s *Stable) AddCoord(y []float64, j int, v int64) {
+	fv := float64(v)
+	for i := range y {
+		y[i] += s.mat[i][j] * fv
+	}
+}
+
+// EstimatePow estimates ‖x‖p^p from a sketch of x.
+func (s *Stable) EstimatePow(y []float64) float64 {
+	if len(y) != s.rows {
+		panic("sketch: Stable sketch length mismatch")
+	}
+	abs := make([]float64, len(y))
+	for i, v := range y {
+		abs[i] = math.Abs(v)
+	}
+	norm := median(abs) / s.scale
+	return math.Pow(norm, s.p)
+}

@@ -1,0 +1,192 @@
+package sketch
+
+import (
+	"sort"
+
+	"repro/internal/intmat"
+	"repro/internal/rng"
+)
+
+// TensorCS is a CountSketch over matrix entries whose hash factors across
+// the row and column coordinate: entry (i, j) lands in grid cell
+// (h(i), g(j)) with sign s(i)·t(j). The factored structure is what makes
+// the sketch computable from a *product*: for C = A·B,
+//
+//	T = RowCompress(A) · ColCompress(B),
+//
+// where RowCompress(A) is br×n and ColCompress(B) is n×bc, so Bob can ship
+// ColCompress(B) — n·bc words — and Alice completes the sketch locally.
+// This realizes Lemma 2.5 (distributed matrix multiplication in
+// Õ(n·√‖AB‖0) bits): with ‖C‖0 ≤ s and grid side Θ(√s), shipping costs
+// n·Θ(√s) words, and median point queries over reps repetitions decode
+// every non-zero entry of the integer matrix C exactly with high
+// probability.
+type TensorCS struct {
+	rows, cols int // dimensions of the sketched matrix C
+	inner      int // shared dimension of A (rows×inner) and B (inner×cols)
+	reps       int
+	br, bc     int
+	rowHash    []*rng.PolyHash
+	colHash    []*rng.PolyHash
+	rowSign    []*rng.PolyHash
+	colSign    []*rng.PolyHash
+}
+
+// NewTensorCS constructs a tensor CountSketch for products C = A·B with
+// A ∈ Z^{rows×inner} and B ∈ Z^{inner×cols}, targeting sparsity s
+// (buckets per axis ≈ 4√s) with reps independent repetitions.
+func NewTensorCS(r *rng.RNG, rows, inner, cols, s, reps int) *TensorCS {
+	if s < 1 {
+		s = 1
+	}
+	if reps < 1 {
+		panic("sketch: TensorCS needs reps >= 1")
+	}
+	// side ≈ 8√s keeps the per-repetition point-query collision
+	// probability below s/side² = 1/64, so a median over ≥5 repetitions
+	// answers all rows·cols queries correctly with high probability.
+	side := 4
+	for side*side < 64*s {
+		side++
+	}
+	t := &TensorCS{rows: rows, cols: cols, inner: inner, reps: reps, br: side, bc: side}
+	for i := 0; i < reps; i++ {
+		t.rowHash = append(t.rowHash, rng.NewPolyHash(r, 2))
+		t.colHash = append(t.colHash, rng.NewPolyHash(r, 2))
+		t.rowSign = append(t.rowSign, rng.NewPolyHash(r, 4))
+		t.colSign = append(t.colSign, rng.NewPolyHash(r, 4))
+	}
+	return t
+}
+
+// GridSide returns the per-axis bucket count.
+func (t *TensorCS) GridSide() int { return t.br }
+
+// Reps returns the number of repetitions.
+func (t *TensorCS) Reps() int { return t.reps }
+
+// CompressedSize returns the int64 word count of ColCompress output —
+// the quantity a protocol transmits.
+func (t *TensorCS) CompressedSize() int { return t.reps * t.inner * t.bc }
+
+// ColCompress computes, for each repetition, the n×bc matrix
+// (B·Scᵀ)[k][v] = Σ_j t(j)·B[k][j]·[g(j)=v], flattened rep-major.
+func (t *TensorCS) ColCompress(b *intmat.Dense) []int64 {
+	if b.Rows() != t.inner || b.Cols() != t.cols {
+		panic("sketch: TensorCS ColCompress shape mismatch")
+	}
+	out := make([]int64, t.CompressedSize())
+	for rep := 0; rep < t.reps; rep++ {
+		// Precompute per-column bucket and sign.
+		colB := make([]int, t.cols)
+		colS := make([]int64, t.cols)
+		for j := 0; j < t.cols; j++ {
+			colB[j] = t.colHash[rep].Bucket(uint64(j), t.bc)
+			colS[j] = int64(t.colSign[rep].Sign(uint64(j)))
+		}
+		base := rep * t.inner * t.bc
+		for k := 0; k < t.inner; k++ {
+			row := b.Row(k)
+			off := base + k*t.bc
+			for j, v := range row {
+				if v != 0 {
+					out[off+colB[j]] += colS[j] * v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SketchFromCompressed completes the sketch T = RowCompress(A)·compressed
+// on Alice's side: T_rep[u][v] = Σ_i s(i)·[h(i)=u]·Σ_k A[i][k]·RB[k][v].
+// The result is flattened rep-major, br×bc per repetition.
+func (t *TensorCS) SketchFromCompressed(a *intmat.Dense, compressed []int64) []int64 {
+	if a.Rows() != t.rows || a.Cols() != t.inner {
+		panic("sketch: TensorCS SketchFromCompressed shape mismatch")
+	}
+	if len(compressed) != t.CompressedSize() {
+		panic("sketch: TensorCS compressed length mismatch")
+	}
+	out := make([]int64, t.reps*t.br*t.bc)
+	for rep := 0; rep < t.reps; rep++ {
+		cbase := rep * t.inner * t.bc
+		tbase := rep * t.br * t.bc
+		for i := 0; i < t.rows; i++ {
+			u := t.rowHash[rep].Bucket(uint64(i), t.br)
+			si := int64(t.rowSign[rep].Sign(uint64(i)))
+			row := a.Row(i)
+			dst := out[tbase+u*t.bc : tbase+(u+1)*t.bc]
+			for k, av := range row {
+				if av == 0 {
+					continue
+				}
+				w := si * av
+				src := compressed[cbase+k*t.bc : cbase+(k+1)*t.bc]
+				for v, cv := range src {
+					if cv != 0 {
+						dst[v] += w * cv
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SketchDirect sketches a fully known matrix C — the reference path used
+// by tests to validate the distributed assembly.
+func (t *TensorCS) SketchDirect(c *intmat.Dense) []int64 {
+	if c.Rows() != t.rows || c.Cols() != t.cols {
+		panic("sketch: TensorCS SketchDirect shape mismatch")
+	}
+	out := make([]int64, t.reps*t.br*t.bc)
+	for rep := 0; rep < t.reps; rep++ {
+		tbase := rep * t.br * t.bc
+		for i := 0; i < t.rows; i++ {
+			u := t.rowHash[rep].Bucket(uint64(i), t.br)
+			si := int64(t.rowSign[rep].Sign(uint64(i)))
+			row := c.Row(i)
+			for j, v := range row {
+				if v == 0 {
+					continue
+				}
+				cell := tbase + u*t.bc + t.colHash[rep].Bucket(uint64(j), t.bc)
+				out[cell] += si * int64(t.colSign[rep].Sign(uint64(j))) * v
+			}
+		}
+	}
+	return out
+}
+
+// PointQuery estimates C[i][j] from a sketch as the median over
+// repetitions of the signed cell value.
+func (t *TensorCS) PointQuery(sk []int64, i, j int) int64 {
+	vals := make([]int64, t.reps)
+	for rep := 0; rep < t.reps; rep++ {
+		cell := rep*t.br*t.bc + t.rowHash[rep].Bucket(uint64(i), t.br)*t.bc +
+			t.colHash[rep].Bucket(uint64(j), t.bc)
+		v := sk[cell]
+		if t.rowSign[rep].Sign(uint64(i))*t.colSign[rep].Sign(uint64(j)) < 0 {
+			v = -v
+		}
+		vals[rep] = v
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	return vals[t.reps/2]
+}
+
+// Decode point-queries every cell of the rows×cols matrix and returns the
+// non-zero entries. With grid side ≥ 4√‖C‖0 and ≥ 5 repetitions the
+// decoded set equals the support of C with high probability.
+func (t *TensorCS) Decode(sk []int64) []intmat.Entry {
+	var out []intmat.Entry
+	for i := 0; i < t.rows; i++ {
+		for j := 0; j < t.cols; j++ {
+			if v := t.PointQuery(sk, i, j); v != 0 {
+				out = append(out, intmat.Entry{I: i, J: j, V: v})
+			}
+		}
+	}
+	return out
+}

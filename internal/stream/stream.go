@@ -1,0 +1,124 @@
+// Package stream adapts the protocols' linear sketches to dynamic
+// (turnstile) inputs: Bob's matrix B evolves under single-entry updates
+// (k, j, Δ), and because every sketch in this repository is linear, his
+// per-row sketch state absorbs each update in O(sketch entries touched)
+// time without ever storing B. A join-size query then replays round 1
+// of the one-round estimation protocol from the maintained state.
+//
+// This is the setting the paper inherits from the data-stream
+// literature ([8, 14, 20, 21, 30] there): linear sketches are exactly
+// the summaries that survive insertions and deletions.
+package stream
+
+import (
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/field"
+	"repro/internal/intmat"
+	"repro/internal/rng"
+	"repro/internal/sketch"
+)
+
+// DynamicJoin maintains Bob's side of the one-round composition-size
+// (‖AB‖0) protocol over an evolving matrix B ∈ Z^{n×m2}: Update feeds
+// entry deltas into the per-row ℓ0 sketches, and EstimateJoinSize runs
+// the one-round protocol from the current state against a (current)
+// matrix held by Alice.
+//
+// The state is the sketches alone — B itself is never stored — so
+// memory is Õ(n/ε²) regardless of how many updates stream through.
+type DynamicJoin struct {
+	n, m2 int
+	eps   float64
+	sk    *sketch.L0
+	rows  [][]field.Elem // Bob's per-row-of-B sketch state
+}
+
+// NewDynamicJoin creates the maintained state for B ∈ Z^{n×m2},
+// starting from the zero matrix. eps controls the per-row sketch
+// accuracy exactly as in core.OneRoundLp; seed is the shared
+// public-coin seed (Alice derives the same sketch for estimation).
+func NewDynamicJoin(seed uint64, n, m2 int, eps float64) *DynamicJoin {
+	if eps <= 0 || eps > 1 {
+		panic("stream: eps out of range")
+	}
+	buckets := int(math.Ceil(8 / (eps * eps)))
+	if buckets < 4 {
+		buckets = 4
+	}
+	sk := sketch.NewL0(rng.New(seed).Derive("dynjoin"), m2, buckets)
+	d := &DynamicJoin{n: n, m2: m2, eps: eps, sk: sk}
+	d.rows = make([][]field.Elem, n)
+	for k := range d.rows {
+		d.rows[k] = make([]field.Elem, sk.Dim())
+	}
+	return d
+}
+
+// Update applies B[k][j] += delta to the maintained sketches.
+func (d *DynamicJoin) Update(k, j int, delta int64) {
+	if k < 0 || k >= d.n || j < 0 || j >= d.m2 {
+		panic("stream: update out of range")
+	}
+	if delta == 0 {
+		return
+	}
+	d.sk.AddCoord(d.rows[k], j, delta)
+}
+
+// RowSketch exposes the maintained sketch of row k (aliased; callers
+// must not modify it). Tests use it to check batch equivalence.
+func (d *DynamicJoin) RowSketch(k int) []field.Elem { return d.rows[k] }
+
+// EstimateJoinSize runs round 1 of the one-round ‖AB‖0 protocol from
+// the maintained state: Bob ships the current row sketches, Alice
+// combines them along her rows of A and sums the per-row estimates.
+// The result matches core.OneRoundLp on the materialized B up to the
+// protocols' differing repetition defaults (this maintained variant is
+// single-shot: the state is one sketch family).
+func (d *DynamicJoin) EstimateJoinSize(a *intmat.Dense) (float64, comm.Stats, error) {
+	if a.Cols() != d.n {
+		return 0, comm.Stats{}, errDimension
+	}
+	conn := comm.NewConn()
+	msg := comm.NewMessage()
+	for k := 0; k < d.n; k++ {
+		msg.PutUint64Slice(d.rows[k])
+	}
+	recv := conn.Send(comm.BobToAlice, msg)
+
+	received := make([][]field.Elem, d.n)
+	for k := range received {
+		received[k] = recv.Uint64Slice()
+	}
+	total := 0.0
+	acc := make([]field.Elem, d.sk.Dim())
+	for i := 0; i < a.Rows(); i++ {
+		for x := range acc {
+			acc[x] = 0
+		}
+		any := false
+		for k, v := range a.Row(i) {
+			if v != 0 {
+				sketch.AxpyField(acc, v, received[k])
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		if e := d.sk.Estimate(acc); e > 0 {
+			total += e
+		}
+	}
+	return total, conn.Stats(), nil
+}
+
+var errDimension = dimensionError{}
+
+type dimensionError struct{}
+
+func (dimensionError) Error() string {
+	return "stream: A's inner dimension does not match the maintained state"
+}

@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/intmat"
+	"repro/internal/rng"
+	"repro/internal/sketch"
+)
+
+func TestDynamicMatchesBatch(t *testing.T) {
+	// Stream random updates (including deletions); the maintained row
+	// sketches must equal batch sketches of the materialized matrix.
+	n, m2 := 32, 40
+	d := NewDynamicJoin(5, n, m2, 0.5)
+	shadow := intmat.NewDense(n, m2)
+	r := rng.New(6)
+	for u := 0; u < 2000; u++ {
+		k, j := r.Intn(n), r.Intn(m2)
+		delta := r.Int63n(7) - 3
+		d.Update(k, j, delta)
+		shadow.Add(k, j, delta)
+	}
+	batch := sketch.NewL0(rng.New(5).Derive("dynjoin"), m2, 32)
+	for k := 0; k < n; k++ {
+		want := batch.Apply(shadow.Row(k))
+		got := d.RowSketch(k)
+		if len(want) != len(got) {
+			t.Fatal("sketch sizes differ")
+		}
+		for x := range want {
+			if want[x] != field.Elem(got[x]) {
+				t.Fatalf("row %d sketch differs at word %d", k, x)
+			}
+		}
+	}
+}
+
+func TestDynamicDeletionsCancelExactly(t *testing.T) {
+	// Insert then delete everything: the state must return to all-zero.
+	n, m2 := 16, 16
+	d := NewDynamicJoin(7, n, m2, 0.5)
+	type upd struct {
+		k, j  int
+		delta int64
+	}
+	var history []upd
+	r := rng.New(8)
+	for u := 0; u < 300; u++ {
+		h := upd{k: r.Intn(n), j: r.Intn(m2), delta: 1 + r.Int63n(5)}
+		history = append(history, h)
+		d.Update(h.k, h.j, h.delta)
+	}
+	for _, h := range history {
+		d.Update(h.k, h.j, -h.delta)
+	}
+	for k := 0; k < n; k++ {
+		for x, w := range d.RowSketch(k) {
+			if w != 0 {
+				t.Fatalf("row %d word %d non-zero after full cancellation", k, x)
+			}
+		}
+	}
+}
+
+func TestDynamicEstimateAccuracy(t *testing.T) {
+	n, m2 := 96, 96
+	d := NewDynamicJoin(9, n, m2, 0.4)
+	shadow := intmat.NewDense(n, m2)
+	r := rng.New(10)
+	for u := 0; u < 900; u++ {
+		k, j := r.Intn(n), r.Intn(m2)
+		d.Update(k, j, 1)
+		shadow.Add(k, j, 1)
+	}
+	a := intmat.NewDense(96, n)
+	for i := 0; i < 96; i++ {
+		for k := 0; k < n; k++ {
+			if r.Bernoulli(0.08) {
+				a.Set(i, k, 1)
+			}
+		}
+	}
+	truth := float64(a.Mul(shadow).L0())
+	est, stats, err := d.EstimateJoinSize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth == 0 {
+		t.Skip("degenerate")
+	}
+	if rel := math.Abs(est-truth) / truth; rel > 0.45 {
+		t.Fatalf("dynamic estimate %v vs truth %v (rel %.3f)", est, truth, rel)
+	}
+	if stats.Rounds != 1 {
+		t.Fatalf("rounds = %d", stats.Rounds)
+	}
+	if stats.BitsAliceToBob != 0 {
+		t.Fatal("query sent Alice→Bob traffic")
+	}
+}
+
+func TestDynamicEstimateTracksChanges(t *testing.T) {
+	// The estimate must move with the data: grow B and watch the join
+	// size estimate grow.
+	n, m2 := 64, 64
+	d := NewDynamicJoin(11, n, m2, 0.4)
+	r := rng.New(12)
+	a := intmat.NewDense(64, n)
+	for i := 0; i < 64; i++ {
+		for k := 0; k < n; k++ {
+			if r.Bernoulli(0.1) {
+				a.Set(i, k, 1)
+			}
+		}
+	}
+	shadow := intmat.NewDense(n, m2)
+	for phase := 0; phase < 3; phase++ {
+		for u := 0; u < 80; u++ {
+			k, j := r.Intn(n), r.Intn(m2)
+			d.Update(k, j, 1)
+			shadow.Add(k, j, 1)
+		}
+		est, _, err := d.EstimateJoinSize(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := float64(a.Mul(shadow).L0())
+		if truth == 0 {
+			continue
+		}
+		if rel := math.Abs(est-truth) / truth; rel > 0.5 {
+			t.Fatalf("phase %d: estimate %v vs truth %v (rel %.3f)", phase, est, truth, rel)
+		}
+	}
+}
+
+func TestDynamicErrors(t *testing.T) {
+	d := NewDynamicJoin(13, 8, 8, 0.5)
+	if _, _, err := d.EstimateJoinSize(intmat.NewDense(4, 9)); err == nil {
+		t.Fatal("dimension mismatch not reported")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range update did not panic")
+		}
+	}()
+	d.Update(8, 0, 1)
+}
+
+func TestDynamicBadEpsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad eps did not panic")
+		}
+	}()
+	NewDynamicJoin(1, 4, 4, 0)
+}

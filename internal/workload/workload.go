@@ -1,0 +1,172 @@
+// Package workload generates the matrix-product workloads the benchmark
+// harness and examples run on: uniform sparse matrices, Zipf-distributed
+// set sizes (the skew typical of database joins), planted max-overlap
+// pairs, planted heavy hitters, and the applicant/job skills scenario
+// from Section 1.1 of the paper.
+package workload
+
+import (
+	"math"
+
+	"repro/internal/bitmat"
+	"repro/internal/intmat"
+	"repro/internal/rng"
+)
+
+// Binary generates a rows×cols Boolean matrix with i.i.d. density.
+func Binary(seed uint64, rows, cols int, density float64) *bitmat.Matrix {
+	r := rng.New(seed)
+	m := bitmat.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if r.Bernoulli(density) {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+// Integer generates a rows×cols integer matrix with i.i.d. density and
+// entries uniform in [1, maxAbs] (or [-maxAbs, maxAbs]\{0} when signed).
+func Integer(seed uint64, rows, cols int, density float64, maxAbs int64, signed bool) *intmat.Dense {
+	r := rng.New(seed)
+	m := intmat.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if !r.Bernoulli(density) {
+				continue
+			}
+			if signed {
+				v := r.Int63n(2*maxAbs+1) - maxAbs
+				if v == 0 {
+					v = 1
+				}
+				m.Set(i, j, v)
+			} else {
+				m.Set(i, j, 1+r.Int63n(maxAbs))
+			}
+		}
+	}
+	return m
+}
+
+// Zipf generates a Boolean matrix whose row (set) sizes follow a Zipf
+// law with exponent s: row i has size ≈ maxSize/(i+1)^s, with set
+// elements drawn uniformly — the skewed-join workload that motivates
+// sampling-based size estimation in query optimizers.
+func Zipf(seed uint64, rows, cols int, maxSize int, s float64) *bitmat.Matrix {
+	r := rng.New(seed)
+	m := bitmat.New(rows, cols)
+	order := r.Perm(rows) // decouple size rank from row index
+	for rank, i := range order {
+		size := int(float64(maxSize) / math.Pow(float64(rank+1), s))
+		if size < 1 {
+			size = 1
+		}
+		if size > cols {
+			size = cols
+		}
+		for _, j := range r.Perm(cols)[:size] {
+			m.Set(i, j, true)
+		}
+	}
+	return m
+}
+
+// PlantedPair builds n×n Boolean matrices over background density bg
+// whose product has a planted dominant entry of value ≈ overlap at
+// (hotRow, hotCol).
+func PlantedPair(seed uint64, n, overlap int, bg float64) (a, b *bitmat.Matrix, hotRow, hotCol int) {
+	r := rng.New(seed)
+	a = bitmat.New(n, n)
+	b = bitmat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Bernoulli(bg) {
+				a.Set(i, j, true)
+			}
+			if r.Bernoulli(bg) {
+				b.Set(i, j, true)
+			}
+		}
+	}
+	hotRow, hotCol = n/3, 2*n/3
+	perm := r.Perm(n)
+	if overlap > n {
+		overlap = n
+	}
+	for t := 0; t < overlap; t++ {
+		k := perm[t]
+		a.Set(hotRow, k, true)
+		b.Set(k, hotCol, true)
+	}
+	return a, b, hotRow, hotCol
+}
+
+// PlantedHeavy builds non-negative integer matrices whose product has
+// `heavies` entries of weight ≈ weight each over light background noise —
+// the heavy-hitter benchmark workload.
+func PlantedHeavy(seed uint64, n, heavies, weight int, bg float64) (a, b *intmat.Dense) {
+	r := rng.New(seed)
+	a = intmat.NewDense(n, n)
+	b = intmat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Bernoulli(bg) {
+				a.Set(i, j, 1)
+			}
+			if r.Bernoulli(bg) {
+				b.Set(i, j, 1)
+			}
+		}
+	}
+	for h := 0; h < heavies; h++ {
+		i := r.Intn(n)
+		j := r.Intn(n)
+		for t := 0; t < weight; t++ {
+			k := r.Intn(n)
+			a.Set(i, k, 1)
+			b.Set(k, j, 1)
+		}
+	}
+	return a, b
+}
+
+// SkillsScenario is the job-matching application from Section 1.1:
+// applicants hold skill sets (rows of A), jobs require skill sets
+// (columns of B), and (A·B)[i][j] = |skills of i ∩ requirements of j|.
+type SkillsScenario struct {
+	Applicants *bitmat.Matrix // applicants × skills
+	Jobs       *bitmat.Matrix // skills × jobs
+	Skills     int
+}
+
+// NewSkillsScenario generates a scenario with Zipf-distributed skill
+// popularity: a few common skills (held by many applicants, required by
+// many jobs) and a long tail, plus one "star" applicant-job pair with a
+// large planted overlap.
+func NewSkillsScenario(seed uint64, applicants, jobs, skills int) SkillsScenario {
+	r := rng.New(seed)
+	a := bitmat.New(applicants, skills)
+	b := bitmat.New(skills, jobs)
+	for s := 0; s < skills; s++ {
+		pop := 0.4 / math.Pow(float64(s+1), 0.7) // popularity of skill s
+		for i := 0; i < applicants; i++ {
+			if r.Bernoulli(pop) {
+				a.Set(i, s, true)
+			}
+		}
+		for j := 0; j < jobs; j++ {
+			if r.Bernoulli(pop * 0.6) {
+				b.Set(s, j, true)
+			}
+		}
+	}
+	// Star pair: applicant 0 matches job 0 on a block of rare skills.
+	for s := skills / 2; s < skills/2+skills/8; s++ {
+		a.Set(0, s, true)
+		b.Set(s, 0, true)
+	}
+	return SkillsScenario{Applicants: a, Jobs: b, Skills: skills}
+}

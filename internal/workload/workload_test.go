@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinaryDensity(t *testing.T) {
+	m := Binary(1, 100, 100, 0.2)
+	got := float64(m.Weight()) / 10000
+	if math.Abs(got-0.2) > 0.02 {
+		t.Fatalf("density %v, want ~0.2", got)
+	}
+}
+
+func TestIntegerSignedAndUnsigned(t *testing.T) {
+	pos := Integer(2, 50, 50, 0.3, 5, false)
+	for i := 0; i < 50; i++ {
+		for _, v := range pos.Row(i) {
+			if v < 0 || v > 5 {
+				t.Fatalf("unsigned entry %d out of range", v)
+			}
+		}
+	}
+	sig := Integer(3, 50, 50, 0.5, 5, true)
+	neg := 0
+	for i := 0; i < 50; i++ {
+		for _, v := range sig.Row(i) {
+			if v < -5 || v > 5 {
+				t.Fatalf("signed entry %d out of range", v)
+			}
+			if v < 0 {
+				neg++
+			}
+		}
+	}
+	if neg == 0 {
+		t.Fatal("signed matrix has no negative entries")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	m := Zipf(4, 64, 256, 128, 1.0)
+	// Sizes must span a wide range: some large, many small.
+	largest, smallest := 0, 1<<30
+	for i := 0; i < 64; i++ {
+		w := m.RowWeight(i)
+		if w > largest {
+			largest = w
+		}
+		if w < smallest {
+			smallest = w
+		}
+	}
+	if largest < 50 {
+		t.Fatalf("largest set %d, want ≥ 50", largest)
+	}
+	if smallest > 5 {
+		t.Fatalf("smallest set %d, want ≤ 5", smallest)
+	}
+}
+
+func TestPlantedPairDominates(t *testing.T) {
+	a, b, hotRow, hotCol := PlantedPair(5, 96, 48, 0.03)
+	c := a.Mul(b)
+	max, i, j := c.Linf()
+	if i != hotRow || j != hotCol {
+		t.Fatalf("max at (%d,%d), planted at (%d,%d)", i, j, hotRow, hotCol)
+	}
+	if max < 40 {
+		t.Fatalf("planted overlap only %d", max)
+	}
+}
+
+func TestPlantedHeavyProducesHeavyEntry(t *testing.T) {
+	a, b := PlantedHeavy(6, 96, 1, 60, 0.01)
+	c := a.Mul(b)
+	max, _, _ := c.Linf()
+	if float64(max) < 0.08*float64(c.L1()) {
+		t.Fatalf("heaviest entry %d is only %.3f of ‖C‖1",
+			max, float64(max)/float64(c.L1()))
+	}
+}
+
+func TestSkillsScenarioShape(t *testing.T) {
+	sc := NewSkillsScenario(7, 200, 100, 64)
+	if sc.Applicants.Rows() != 200 || sc.Applicants.Cols() != 64 {
+		t.Fatal("applicants shape wrong")
+	}
+	if sc.Jobs.Rows() != 64 || sc.Jobs.Cols() != 100 {
+		t.Fatal("jobs shape wrong")
+	}
+	// The star pair must be among the top matches.
+	c := sc.Applicants.Mul(sc.Jobs)
+	star := c.Get(0, 0)
+	max, _, _ := c.Linf()
+	if star < max/2 {
+		t.Fatalf("star pair %d far below max %d", star, max)
+	}
+}

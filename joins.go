@@ -1,0 +1,80 @@
+package matprod
+
+// This file provides the database-facing convenience layer from the
+// paper's Section 1.1: compositions (set-intersection joins), natural
+// joins, and their size estimates, phrased over set families rather than
+// matrices.
+
+// CompositionSize estimates |A∘B| = ‖AB‖0, the number of pairs (i, j)
+// with A_i ∩ B_j ≠ ∅ (the set-intersection join size), within (1±ε)
+// using Algorithm 1 with p = 0: two rounds and Õ(n/ε) bits.
+func CompositionSize(a, b *BoolMatrix, o LpOptions) (float64, Cost, error) {
+	return EstimateLp(a.ToInt(), b.ToInt(), 0, o)
+}
+
+// NaturalJoinSize computes |A⋈B| = ‖AB‖1, the natural-join size,
+// exactly in O(n log n) bits and one round (Remark 2).
+func NaturalJoinSize(a, b *BoolMatrix) (int64, Cost, error) {
+	return ExactL1(a.ToInt(), b.ToInt())
+}
+
+// MaxOverlapPair approximates the pair of sets with the largest
+// intersection (the entry realizing ‖AB‖∞) within a (2+ε) factor in
+// Õ(n^1.5/ε) bits (Algorithm 2). The returned pair witnesses at least
+// the returned estimate.
+func MaxOverlapPair(a, b *BoolMatrix, o LinfOptions) (float64, Pair, Cost, error) {
+	return EstimateLinf(a, b, o)
+}
+
+// OverlapsAboveThreshold returns (approximately) the pairs whose
+// intersection size is at least ϕ·‖AB‖1 — the ℓ1-heavy-hitters of the
+// join (Theorem 5.3), in Õ(n + ϕ/ε²) bits.
+func OverlapsAboveThreshold(a, b *BoolMatrix, o HHBinaryOptions) ([]WeightedPair, Cost, error) {
+	return HeavyHittersBinary(a, b, o)
+}
+
+// PairsWithOverlapAtLeast approximately returns the pairs (i, j) with
+// |A_i ∩ B_j| ≥ threshold — the "at-least-T join" of [16], answered
+// here through the heavy-hitter machinery: the absolute threshold is
+// converted to a relative ϕ against the exact join size ‖AB‖1
+// (Remark 2, O(n log n) bits) and handed to the Theorem 5.3 protocol.
+// Pairs with overlap in [threshold/2, threshold) may also appear
+// (the protocol's ε = ϕ/2 slack); pairs at or above threshold are
+// found with constant probability.
+func PairsWithOverlapAtLeast(a, b *BoolMatrix, threshold int64, seed uint64) ([]WeightedPair, Cost, error) {
+	if threshold < 1 {
+		return nil, Cost{}, ErrBadPhi
+	}
+	total, c1, err := ExactL1(a.ToInt(), b.ToInt())
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	if total == 0 || threshold > total {
+		return nil, c1, nil
+	}
+	phi := float64(threshold) / float64(total)
+	if phi > 1 {
+		return nil, c1, nil
+	}
+	out, c2, err := HeavyHittersBinary(a, b, HHBinaryOptions{Phi: phi, Eps: phi / 2, Seed: seed})
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	cost := Cost{Bits: c1.Bits + c2.Bits, Rounds: c1.Rounds + c2.Rounds}
+	return out, cost, nil
+}
+
+// RandomJoiningPair samples a uniformly random pair (i, j) with
+// A_i ∩ B_j ≠ ∅ (an ℓ0-sample of AB, Theorem 3.2) and returns the exact
+// intersection size of the sampled pair.
+func RandomJoiningPair(a, b *BoolMatrix, o L0SampleOptions) (Pair, int64, Cost, error) {
+	return SampleL0(a.ToInt(), b.ToInt(), o)
+}
+
+// RandomJoinTuple samples a uniformly random tuple (i, k, j) of the
+// natural join A⋈B — pair (i, j) with witness k — via ℓ1-sampling
+// (Remark 3), in O(n log n) bits.
+func RandomJoinTuple(a, b *BoolMatrix, seed uint64) (i, witness, j int, cost Cost, err error) {
+	pi, pj, pk, cost, err := SampleL1(a.ToInt(), b.ToInt(), seed)
+	return pi, pk, pj, cost, err
+}

@@ -1,0 +1,205 @@
+package matprod
+
+import (
+	"math"
+	"testing"
+)
+
+func testSets(n int, seed uint64) (*BoolMatrix, *BoolMatrix) {
+	// Deterministic pseudo-random sets without importing internal/rng in
+	// the public-facing test: linear congruential steps are plenty here.
+	state := seed | 1
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	a := NewBoolMatrix(n, n)
+	b := NewBoolMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if next()%10 == 0 {
+				a.Set(i, j, true)
+			}
+			if next()%10 == 0 {
+				b.Set(j, i, true)
+			}
+		}
+	}
+	return a, b
+}
+
+func TestPublicCompositionSize(t *testing.T) {
+	a, b := testSets(96, 11)
+	truth := float64(a.ToInt().Mul(b.ToInt()).L0())
+	est, cost, err := CompositionSize(a, b, LpOptions{Eps: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth)/truth > 0.35 {
+		t.Fatalf("composition size %v vs truth %v", est, truth)
+	}
+	if cost.Rounds != 2 {
+		t.Fatalf("rounds = %d", cost.Rounds)
+	}
+}
+
+func TestPublicNaturalJoinSize(t *testing.T) {
+	a, b := testSets(64, 12)
+	got, _, err := NaturalJoinSize(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := a.ToInt().Mul(b.ToInt()).L1(); got != want {
+		t.Fatalf("join size %d, want %d", got, want)
+	}
+}
+
+func TestPublicMaxOverlapPair(t *testing.T) {
+	a, b := testSets(64, 13)
+	// Plant a dominant pair.
+	for k := 0; k < 40; k++ {
+		a.Set(10, k, true)
+		b.Set(k, 20, true)
+	}
+	truth, _ := a.Mul(b).Linf()
+	est, pair, _, err := MaxOverlapPair(a, b, LinfOptions{Eps: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < float64(truth)/3 {
+		t.Fatalf("max overlap estimate %v vs truth %d", est, truth)
+	}
+	if got := a.Mul(b).Get(pair.I, pair.J); float64(got) < est/1.01 {
+		t.Fatalf("witness pair value %d below estimate %v", got, est)
+	}
+}
+
+func TestPublicRandomJoiningPair(t *testing.T) {
+	a, b := testSets(48, 14)
+	c := a.Mul(b)
+	pair, v, _, err := RandomJoiningPair(a, b, L0SampleOptions{Eps: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(pair.I, pair.J) == 0 || v != c.Get(pair.I, pair.J) {
+		t.Fatalf("sampled (%v, %d) inconsistent with product", pair, v)
+	}
+}
+
+func TestPublicRandomJoinTuple(t *testing.T) {
+	a, b := testSets(48, 15)
+	i, k, j, _, err := RandomJoinTuple(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Get(i, k) || !b.Get(k, j) {
+		t.Fatalf("tuple (%d,%d,%d) is not in the join", i, k, j)
+	}
+}
+
+func TestPublicHeavyHittersBinary(t *testing.T) {
+	a, b := testSets(96, 16)
+	for k := 0; k < 60; k++ {
+		a.Set(5, k, true)
+		b.Set(k, 7, true)
+	}
+	c := a.Mul(b)
+	phi := 0.1
+	norm := float64(c.L1())
+	out, _, err := OverlapsAboveThreshold(a, b, HHBinaryOptions{Phi: phi, Eps: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, wp := range out {
+		if wp.I == 5 && wp.J == 7 {
+			found = true
+		}
+	}
+	if heavy := float64(c.Get(5, 7)); heavy >= phi*norm && !found {
+		t.Fatalf("planted heavy pair (share %.3f) not found; got %v", heavy/norm, out)
+	}
+}
+
+func TestPublicDistributedProduct(t *testing.T) {
+	a := NewIntMatrix(32, 32)
+	b := NewIntMatrix(32, 32)
+	a.Set(3, 4, 5)
+	a.Set(9, 2, -1)
+	b.Set(4, 8, 2)
+	b.Set(2, 30, 7)
+	want := a.Mul(b)
+	ca, cb, _, err := DistributedProduct(a, b, MatMulOptions{Sparsity: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ca.Add(cb).Equal(want) {
+		t.Fatal("CA + CB != AB")
+	}
+}
+
+func TestPublicNaive(t *testing.T) {
+	a, b := testSets(40, 17)
+	st, cost, err := NaiveExact(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Mul(b)
+	if st.L0 != int64(c.L0()) || st.L1 != c.L1() {
+		t.Fatal("naive stats mismatch")
+	}
+	if cost.Bits < int64(40*40) {
+		t.Fatal("naive bits below matrix size")
+	}
+}
+
+func TestBoolMatrixFromSets(t *testing.T) {
+	m := BoolMatrixFromSets([][]int{{0, 2}, {1}}, 4)
+	if !m.Get(0, 0) || !m.Get(0, 2) || !m.Get(1, 1) || m.Get(0, 1) {
+		t.Fatal("FromSets entries wrong")
+	}
+	if m.Rows() != 2 || m.Cols() != 4 {
+		t.Fatal("FromSets shape wrong")
+	}
+	if m.Weight() != 3 {
+		t.Fatal("FromSets weight wrong")
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	a := NewIntMatrix(3, 3)
+	a.Set(1, 2, -9)
+	if a.Get(1, 2) != -9 || a.L0() != 1 || a.L1() != 9 {
+		t.Fatal("IntMatrix accessors wrong")
+	}
+	v, p := a.Linf()
+	if v != 9 || p != (Pair{I: 1, J: 2}) {
+		t.Fatal("Linf wrong")
+	}
+	if a.Lp(2) != 81 {
+		t.Fatal("Lp wrong")
+	}
+	bm := NewBoolMatrix(2, 3)
+	bm.Set(0, 1, true)
+	tr := bm.Transpose()
+	if !tr.Get(1, 0) || tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatal("Transpose wrong")
+	}
+	if bm.ToInt().Get(0, 1) != 1 {
+		t.Fatal("ToInt wrong")
+	}
+}
+
+func TestPublicEstimateLinfGeneral(t *testing.T) {
+	a := NewIntMatrix(48, 48)
+	b := NewIntMatrix(48, 48)
+	a.Set(0, 0, 50)
+	b.Set(0, 0, 60) // C[0][0] = 3000
+	est, _, err := EstimateLinfGeneral(a, b, LinfGeneralOptions{Kappa: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 1500 || est > 18000 {
+		t.Fatalf("general ℓ∞ estimate %v for truth 3000, κ=3", est)
+	}
+}

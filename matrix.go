@@ -1,0 +1,110 @@
+package matprod
+
+import (
+	"repro/internal/bitmat"
+	"repro/internal/intmat"
+)
+
+// BoolMatrix is a dense bit-packed Boolean matrix — Alice's input when
+// rows are interpreted as sets A_i ⊆ [n], Bob's when columns are sets
+// B_j ⊆ [n].
+type BoolMatrix struct {
+	m *bitmat.Matrix
+}
+
+// NewBoolMatrix returns an all-zero rows×cols Boolean matrix.
+func NewBoolMatrix(rows, cols int) *BoolMatrix {
+	return &BoolMatrix{m: bitmat.New(rows, cols)}
+}
+
+// BoolMatrixFromSets builds the matrix whose i-th row is the indicator
+// vector of sets[i] over the universe [cols] — the set-family view from
+// the paper's join applications.
+func BoolMatrixFromSets(sets [][]int, cols int) *BoolMatrix {
+	m := bitmat.New(len(sets), cols)
+	for i, set := range sets {
+		for _, j := range set {
+			m.Set(i, j, true)
+		}
+	}
+	return &BoolMatrix{m: m}
+}
+
+// Set assigns entry (i, j).
+func (b *BoolMatrix) Set(i, j int, v bool) { b.m.Set(i, j, v) }
+
+// Get returns entry (i, j).
+func (b *BoolMatrix) Get(i, j int) bool { return b.m.Get(i, j) }
+
+// Rows returns the number of rows.
+func (b *BoolMatrix) Rows() int { return b.m.Rows() }
+
+// Cols returns the number of columns.
+func (b *BoolMatrix) Cols() int { return b.m.Cols() }
+
+// Weight returns the number of 1-entries.
+func (b *BoolMatrix) Weight() int { return b.m.Weight() }
+
+// Transpose returns the transpose — handy for building Bob's matrix from
+// column sets expressed as rows.
+func (b *BoolMatrix) Transpose() *BoolMatrix { return &BoolMatrix{m: b.m.Transpose()} }
+
+// ToInt converts to an IntMatrix with 0/1 entries, as required by the
+// protocols stated for integer inputs.
+func (b *BoolMatrix) ToInt() *IntMatrix { return &IntMatrix{m: b.m.ToInt()} }
+
+// Mul computes the exact integer product — local ground truth, not a
+// protocol (it requires both matrices on one machine).
+func (b *BoolMatrix) Mul(o *BoolMatrix) *IntMatrix { return &IntMatrix{m: b.m.Mul(o.m)} }
+
+// IntMatrix is a dense integer matrix with polynomially bounded entries.
+type IntMatrix struct {
+	m *intmat.Dense
+}
+
+// NewIntMatrix returns an all-zero rows×cols integer matrix.
+func NewIntMatrix(rows, cols int) *IntMatrix {
+	return &IntMatrix{m: intmat.NewDense(rows, cols)}
+}
+
+// Set assigns entry (i, j).
+func (a *IntMatrix) Set(i, j int, v int64) { a.m.Set(i, j, v) }
+
+// Get returns entry (i, j).
+func (a *IntMatrix) Get(i, j int) int64 { return a.m.Get(i, j) }
+
+// Rows returns the number of rows.
+func (a *IntMatrix) Rows() int { return a.m.Rows() }
+
+// Cols returns the number of columns.
+func (a *IntMatrix) Cols() int { return a.m.Cols() }
+
+// L0 returns the number of non-zero entries.
+func (a *IntMatrix) L0() int { return a.m.L0() }
+
+// L1 returns Σ|entries|.
+func (a *IntMatrix) L1() int64 { return a.m.L1() }
+
+// Linf returns the maximum absolute entry and its position.
+func (a *IntMatrix) Linf() (int64, Pair) {
+	v, i, j := a.m.Linf()
+	return v, Pair{I: i, J: j}
+}
+
+// Lp returns Σ|entries|^p (p = 0 counts non-zeros).
+func (a *IntMatrix) Lp(p float64) float64 { return a.m.Lp(p) }
+
+// Mul computes the exact integer product — local ground truth, not a
+// protocol.
+func (a *IntMatrix) Mul(o *IntMatrix) *IntMatrix { return &IntMatrix{m: a.m.Mul(o.m)} }
+
+// Add returns the entrywise sum with o (used to combine the CA, CB
+// outputs of DistributedProduct).
+func (a *IntMatrix) Add(o *IntMatrix) *IntMatrix {
+	sum := a.m.Clone()
+	sum.AddMatrix(o.m)
+	return &IntMatrix{m: sum}
+}
+
+// Equal reports entrywise equality.
+func (a *IntMatrix) Equal(o *IntMatrix) bool { return a.m.Equal(o.m) }

@@ -1,0 +1,29 @@
+package matprod
+
+// This file covers the inner-product similarity-join application the
+// paper points to ([3] in its references): Alice holds a family of
+// integer vectors (rows of A), Bob another family (columns of B), and
+// the pairs with inner product above a threshold are exactly the heavy
+// hitters of A·B.
+
+import "repro/internal/core"
+
+// EstimateLpMulti estimates several ‖AB‖p^p values in a single
+// two-round execution — the round-amortized variant of EstimateLp for
+// callers (query optimizers, statistics collectors) that need multiple
+// norms of the same product. Results align with ps.
+func EstimateLpMulti(a, b *IntMatrix, ps []float64, o LpOptions) ([]float64, Cost, error) {
+	return core.EstimateLpMulti(a.m, b.m, ps, o)
+}
+
+// SimilarityJoin approximately returns the vector pairs (i, j) with
+// ⟨A_i, B_j⟩ ≥ threshold·‖AB‖1 — the inner-product similarity join over
+// the two families, answered by Algorithm 4's heavy-hitter machinery in
+// Õ(√ϕ/ε·n) bits. threshold plays the role of ϕ; pairs between
+// threshold/2 and threshold may also be returned (ε = ϕ/2).
+func SimilarityJoin(a, b *IntMatrix, threshold float64, seed uint64) ([]WeightedPair, Cost, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, Cost{}, ErrBadPhi
+	}
+	return HeavyHitters(a, b, HHOptions{Phi: threshold, Eps: threshold / 2, Seed: seed})
+}

@@ -1,0 +1,130 @@
+package matprod
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimilarityJoinFindsAlignedPair(t *testing.T) {
+	// Two vector families with one strongly aligned pair.
+	n := 96
+	a := NewIntMatrix(n, n)
+	b := NewIntMatrix(n, n)
+	state := uint64(99)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if next()%50 == 0 {
+				a.Set(i, j, int64(next()%3)+1)
+			}
+			if next()%50 == 0 {
+				b.Set(i, j, int64(next()%3)+1)
+			}
+		}
+	}
+	// Aligned pair: row 4 of A and column 9 of B.
+	for k := 0; k < 40; k++ {
+		a.Set(4, k, 2)
+		b.Set(k, 9, 2)
+	}
+	c := a.Mul(b)
+	share := float64(c.Get(4, 9)) / float64(c.L1())
+	if share < 0.05 {
+		t.Fatalf("workload share %.3f too small; adjust", share)
+	}
+	out, cost, err := SimilarityJoin(a, b, share*0.8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, wp := range out {
+		if wp.I == 4 && wp.J == 9 {
+			found = true
+			if math.Abs(wp.Value-float64(c.Get(4, 9)))/float64(c.Get(4, 9)) > 0.5 {
+				t.Errorf("aligned pair value %v, true %d", wp.Value, c.Get(4, 9))
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("aligned pair not found; got %v", out)
+	}
+	if cost.Bits <= 0 {
+		t.Fatal("no communication recorded")
+	}
+}
+
+func TestSimilarityJoinValidation(t *testing.T) {
+	a := NewIntMatrix(4, 4)
+	b := NewIntMatrix(4, 4)
+	if _, _, err := SimilarityJoin(a, b, 0, 1); err != ErrBadPhi {
+		t.Errorf("threshold 0: %v", err)
+	}
+	if _, _, err := SimilarityJoin(a, b, 1.5, 1); err != ErrBadPhi {
+		t.Errorf("threshold 1.5: %v", err)
+	}
+}
+
+func TestPublicEstimateLpMulti(t *testing.T) {
+	a, b := testSets(64, 20)
+	ai, bi := a.ToInt(), b.ToInt()
+	c := ai.Mul(bi)
+	ests, cost, err := EstimateLpMulti(ai, bi, []float64{0, 1}, LpOptions{Eps: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Rounds != 2 {
+		t.Fatalf("rounds = %d", cost.Rounds)
+	}
+	if math.Abs(ests[0]-float64(c.L0()))/float64(c.L0()) > 0.4 {
+		t.Errorf("ℓ0 estimate %v vs %d", ests[0], c.L0())
+	}
+	if math.Abs(ests[1]-float64(c.L1()))/float64(c.L1()) > 0.4 {
+		t.Errorf("ℓ1 estimate %v vs %d", ests[1], c.L1())
+	}
+}
+
+func TestPairsWithOverlapAtLeast(t *testing.T) {
+	a, b := testSets(96, 21)
+	for k := 0; k < 50; k++ {
+		a.Set(3, k, true)
+		b.Set(k, 8, true)
+	}
+	c := a.Mul(b)
+	target := c.Get(3, 8) * 8 / 10
+	out, cost, err := PairsWithOverlapAtLeast(a, b, target, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, wp := range out {
+		if wp.I == 3 && wp.J == 8 {
+			found = true
+		}
+		// Everything returned must clear at least half the target
+		// (the ε = ϕ/2 slack).
+		if got := c.Get(wp.I, wp.J); float64(got) < 0.4*float64(target) {
+			t.Errorf("pair (%d,%d) with overlap %d far below target %d", wp.I, wp.J, got, target)
+		}
+	}
+	if !found {
+		t.Fatalf("planted pair above threshold not found; got %v", out)
+	}
+	if cost.Rounds < 2 {
+		t.Fatal("cost missing the exact-ℓ1 round")
+	}
+}
+
+func TestPairsWithOverlapValidation(t *testing.T) {
+	a, b := testSets(16, 22)
+	if _, _, err := PairsWithOverlapAtLeast(a, b, 0, 1); err != ErrBadPhi {
+		t.Errorf("threshold 0: %v", err)
+	}
+	// Threshold above the total join size returns empty, no error.
+	out, _, err := PairsWithOverlapAtLeast(a, b, 1<<40, 1)
+	if err != nil || len(out) != 0 {
+		t.Errorf("huge threshold: out=%v err=%v", out, err)
+	}
+}
