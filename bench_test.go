@@ -1,5 +1,5 @@
 // Benchmark harness: one benchmark per experiment in DESIGN.md's index
-// (E1–E13), regenerating the measurements EXPERIMENTS.md records. Each
+// (E1–E13), plus the end-to-end service benchmark. Each experiment
 // benchmark reports, alongside time/op:
 //
 //	bits/op     — total communication of one protocol execution,
@@ -12,8 +12,10 @@
 package matprod
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/core"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/lowerbound"
 	"repro/internal/rng"
 	"repro/internal/workload"
+	"repro/service"
 )
 
 // reportCost attaches communication metrics to a benchmark.
@@ -368,6 +371,49 @@ func BenchmarkE13_Rectangular(b *testing.B) {
 		}
 		reportCost(b, cost)
 	})
+}
+
+// BenchmarkServiceEstimateLp exercises the estimation service end to
+// end over HTTP loopback: a served 256×256 matrix answering Algorithm 1
+// queries through the engine's worker pool, with the full JSON
+// marshal → admission → protocol-over-transport → response path on the
+// measured critical path. Run against the in-process and loopback-TCP
+// protocol transports to price the socket hop.
+func BenchmarkServiceEstimateLp(b *testing.B) {
+	n := 256
+	served := service.MatrixFromBool(workload.Binary(200, n, n, 0.05))
+	query := service.MatrixFromBool(workload.Binary(201, n, n, 0.05))
+	for _, mode := range []struct {
+		name    string
+		factory service.TransportFactory
+	}{
+		{"inproc", service.InProcess},
+		{"tcp", service.TCPLoopback},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			engine := service.NewEngine(service.Config{Workers: 4, Transport: mode.factory})
+			defer engine.Close()
+			srv := httptest.NewServer(service.NewHandler(engine))
+			defer srv.Close()
+			client := service.NewClient(srv.URL)
+			ctx := context.Background()
+			if _, err := client.UploadMatrix(ctx, "bench", served); err != nil {
+				b.Fatal(err)
+			}
+			seed := uint64(202)
+			req := service.Request{Matrix: "bench", Kind: "lp", P: 1, Eps: 0.3, Seed: &seed, A: query}
+			b.ResetTimer()
+			var bits int64
+			for i := 0; i < b.N; i++ {
+				res, err := client.Estimate(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bits = res.Bits
+			}
+			b.ReportMetric(float64(bits), "bits/op")
+		})
+	}
 }
 
 // BenchmarkAblation_UniverseSampling isolates Algorithm 3's universe-

@@ -1,0 +1,279 @@
+// Command mpload is a closed-loop load generator for mpserver: it
+// uploads a served matrix, then drives a mixed estimation workload from
+// concurrent workers and reports per-kind latency percentiles and
+// communication costs.
+//
+//	mpserver -addr :8080 &
+//	mpload -addr http://127.0.0.1:8080 -n 512 -workers 8 -duration 5s
+//
+// The default mix exercises every protocol kind the server offers; set
+// -mix "lp=4,exact=1" style weights to shape it. With -qps 0 each
+// worker issues its next request as soon as the previous answer lands
+// (closed loop); -qps > 0 paces the aggregate request rate. The exit
+// code is non-zero if any request failed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+	"repro/service"
+)
+
+type kindWeight struct {
+	kind   string
+	weight int
+}
+
+// parseMix parses "lp=4,exact=2" into cumulative pick weights.
+func parseMix(s string) ([]kindWeight, int, error) {
+	var mix []kindWeight
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, weightStr, ok := strings.Cut(part, "=")
+		w := 1
+		if ok {
+			var err error
+			w, err = strconv.Atoi(weightStr)
+			if err != nil || w < 0 {
+				return nil, 0, fmt.Errorf("bad weight in %q", part)
+			}
+		}
+		if _, known := service.Kinds[kind]; !known {
+			return nil, 0, fmt.Errorf("unknown kind %q", kind)
+		}
+		if w == 0 {
+			continue
+		}
+		total += w
+		mix = append(mix, kindWeight{kind: kind, weight: w})
+	}
+	if total == 0 {
+		return nil, 0, fmt.Errorf("empty mix")
+	}
+	return mix, total, nil
+}
+
+// kindTally accumulates one kind's measurements under the shared lock.
+type kindTally struct {
+	requests int64
+	errors   int64
+	bits     int64
+	rounds   int64
+	lats     []time.Duration
+}
+
+type tallies struct {
+	mu      sync.Mutex
+	perKind map[string]*kindTally
+}
+
+func (t *tallies) record(kind string, lat time.Duration, bits int64, rounds int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kt := t.perKind[kind]
+	if kt == nil {
+		kt = &kindTally{}
+		t.perKind[kind] = kt
+	}
+	kt.requests++
+	if err != nil {
+		kt.errors++
+		return
+	}
+	kt.bits += bits
+	kt.rounds += int64(rounds)
+	kt.lats = append(kt.lats, lat)
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+	workers := flag.Int("workers", 8, "concurrent load workers")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive load")
+	qps := flag.Float64("qps", 0, "aggregate request rate (0 = closed loop, as fast as answers land)")
+	mixFlag := flag.String("mix", "lp=4,exact=2,l0sample=1,l1sample=1,linf=1,linfkappa=1,hh=1", "workload mix of kind=weight pairs")
+	matrix := flag.String("matrix", "bench", "served matrix name")
+	n := flag.Int("n", 512, "matrix dimension (served matrix is n×n, queries are n×n)")
+	density := flag.Float64("density", 0.02, "matrix density")
+	seed := flag.Uint64("seed", 1, "workload generation seed; job seeds derive from it")
+	upload := flag.Bool("upload", true, "generate and upload the served matrix before driving load")
+	eps := flag.Float64("eps", 0.3, "accuracy parameter for lp/l0sample/linf")
+	phi := flag.Float64("phi", 0.2, "heavy-hitter threshold (eps for hh is phi/2)")
+	p := flag.Float64("p", 1, "norm index for lp")
+	aPool := flag.Int("a-pool", 8, "distinct query (Alice) matrices to rotate through")
+	flag.Parse()
+
+	mix, mixTotal, err := parseMix(*mixFlag)
+	if err != nil {
+		log.Fatalf("-mix: %v", err)
+	}
+
+	client := service.NewClient(*addr)
+	ctx := context.Background()
+
+	// Boolean matrices satisfy every kind's preconditions (binary for
+	// the ℓ∞ kinds, non-negative for exact/l1sample).
+	if *upload {
+		b := workload.Binary(*seed, *n, *n, *density)
+		info, err := client.UploadMatrix(ctx, *matrix, service.MatrixFromBool(b))
+		if err != nil {
+			log.Fatalf("upload: %v", err)
+		}
+		log.Printf("uploaded %q: %dx%d, %d non-zeros", info.Name, info.Rows, info.Cols, info.NNZ)
+	}
+	pool := make([]service.Matrix, *aPool)
+	for i := range pool {
+		pool[i] = service.MatrixFromBool(workload.Binary(*seed+uint64(i)+1, *n, *n, *density))
+	}
+
+	// Optional aggregate pacing: a token per admitted request.
+	var tokens chan struct{}
+	if *qps > 0 {
+		interval := time.Duration(float64(time.Second) / *qps)
+		if interval <= 0 {
+			log.Fatalf("-qps %v too high (sub-nanosecond interval); use 0 for closed loop", *qps)
+		}
+		tokens = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for range tick.C {
+				select {
+				case tokens <- struct{}{}:
+				default: // workers saturated; shed the token
+				}
+			}
+		}()
+	}
+
+	tally := &tallies{perKind: make(map[string]*kindTally)}
+	deadline := time.Now().Add(*duration)
+	var firstErr error
+	var errOnce sync.Once
+
+	log.Printf("driving %d workers for %v (mix %s, qps %s)", *workers, *duration, *mixFlag,
+		map[bool]string{true: fmt.Sprintf("%.0f", *qps), false: "closed-loop"}[*qps > 0])
+
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(*seed).Derive("mpload", strconv.Itoa(w))
+			for time.Now().Before(deadline) {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-time.After(time.Until(deadline)):
+						return
+					}
+				}
+				pick := r.Intn(mixTotal)
+				kind := mix[len(mix)-1].kind
+				for _, kw := range mix {
+					if pick < kw.weight {
+						kind = kw.kind
+						break
+					}
+					pick -= kw.weight
+				}
+				req := service.Request{
+					Matrix: *matrix,
+					Kind:   kind,
+					A:      pool[r.Intn(len(pool))],
+					Eps:    *eps,
+				}
+				switch kind {
+				case "lp":
+					req.P = *p
+				case "hh":
+					req.Phi = *phi
+					req.Eps = *phi / 2
+				case "l1sample", "exact":
+					req.Eps = 0
+				}
+				start := time.Now()
+				res, err := client.Estimate(ctx, req)
+				lat := time.Since(start)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("%s: %w", kind, err) })
+					tally.record(kind, lat, 0, 0, err)
+					continue
+				}
+				tally.record(kind, lat, res.Bits, res.Rounds, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	printSummary(tally, *duration)
+	if firstErr != nil {
+		log.Printf("first error: %v", firstErr)
+		os.Exit(1)
+	}
+}
+
+func printSummary(t *tallies, dur time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kinds := make([]string, 0, len(t.perKind))
+	for k := range t.perKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kind\treqs\terrs\tp50\tp90\tp99\tmean bits\tmean rounds")
+	var totReq, totErr, totBits int64
+	var allLats []time.Duration
+	for _, k := range kinds {
+		kt := t.perKind[k]
+		sort.Slice(kt.lats, func(i, j int) bool { return kt.lats[i] < kt.lats[j] })
+		okReqs := kt.requests - kt.errors
+		meanBits, meanRounds := int64(0), 0.0
+		if okReqs > 0 {
+			meanBits = kt.bits / okReqs
+			meanRounds = float64(kt.rounds) / float64(okReqs)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%v\t%v\t%d\t%.1f\n",
+			k, kt.requests, kt.errors,
+			percentile(kt.lats, 0.50).Round(time.Microsecond),
+			percentile(kt.lats, 0.90).Round(time.Microsecond),
+			percentile(kt.lats, 0.99).Round(time.Microsecond),
+			meanBits, meanRounds)
+		totReq += kt.requests
+		totErr += kt.errors
+		totBits += kt.bits
+		allLats = append(allLats, kt.lats...)
+	}
+	sort.Slice(allLats, func(i, j int) bool { return allLats[i] < allLats[j] })
+	fmt.Fprintf(tw, "total\t%d\t%d\t%v\t%v\t%v\t\t\n", totReq, totErr,
+		percentile(allLats, 0.50).Round(time.Microsecond),
+		percentile(allLats, 0.90).Round(time.Microsecond),
+		percentile(allLats, 0.99).Round(time.Microsecond))
+	tw.Flush()
+	fmt.Printf("throughput: %.1f req/s, protocol payload: %d bits total\n",
+		float64(totReq-totErr)/dur.Seconds(), totBits)
+}

@@ -1,0 +1,100 @@
+// Command mpserver serves the two-party matrix-product estimation
+// protocols over HTTP: upload Bob's matrix once, then run estimation
+// queries against it. Every answer carries the protocol's exact
+// communication cost (bits, rounds) under the paper's model.
+//
+//	mpserver -addr :8080 -workers 16 -transport inproc
+//
+// API (JSON):
+//
+//	PUT    /matrix/{name}   {"rows":512,"cols":512,"entries":[[i,j,v],...]}
+//	POST   /estimate        {"matrix":"name","kind":"lp","p":1,"eps":0.25,"a":{...}}
+//	GET    /matrices        served matrices
+//	GET    /stats           aggregate serving statistics
+//	DELETE /matrix/{name}
+//	GET    /healthz
+//
+// Kinds: lp, l0sample, l1sample, exact, linf, linfkappa, hh — see the
+// service package for the protocol each runs.
+//
+// With -transport tcp every protocol execution crosses a real loopback
+// socket through the comm.NetConn framing; the reported costs are
+// identical to -transport inproc (the transport-parity tests pin this
+// down), so the flag is a live demonstration that the protocol layer is
+// transport-agnostic.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 8, "max concurrent protocol executions")
+	queue := flag.Int("queue", 64, "max queued jobs beyond the worker pool")
+	maxMatrices := flag.Int("max-matrices", 16, "registry capacity (LRU eviction beyond it)")
+	baseSeed := flag.Uint64("seed", 1, "base seed for server-assigned job seeds")
+	transport := flag.String("transport", "inproc", "protocol transport: inproc | tcp (loopback socket per job)")
+	flag.Parse()
+
+	factory, ok := service.TransportByName(*transport)
+	if !ok {
+		log.Fatalf("unknown -transport %q (want inproc or tcp)", *transport)
+	}
+	engine := service.NewEngine(service.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxMatrices: *maxMatrices,
+		BaseSeed:    *baseSeed,
+		Transport:   factory,
+	})
+	defer engine.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	kinds := make([]string, 0, len(service.Kinds))
+	for k := range service.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	log.Printf("mpserver listening on %s (workers=%d queue=%d max-matrices=%d transport=%s)",
+		*addr, *workers, *queue, *maxMatrices, *transport)
+	log.Printf("kinds: %v", kinds)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("received %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+	st := engine.Stats()
+	log.Printf("served %d requests (%d errors, %d rejected), %d protocol bits, p50=%v p99=%v",
+		st.Requests, st.Errors, st.Rejected, st.TotalBits, st.LatencyP50, st.LatencyP99)
+}

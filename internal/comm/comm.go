@@ -66,12 +66,15 @@ type MessageInfo struct {
 }
 
 // Conn is a two-party connection that accounts communication. The zero
-// value is ready to use.
+// value is ready to use. Conn implements Transport: it is the in-process
+// simulation, where both parties run interleaved in one function and
+// Send hands the payload straight to the receiving code.
 type Conn struct {
 	stats   Stats
 	lastDir Direction
 	started bool
 	trace   []MessageInfo
+	pending [2]*Message
 }
 
 // NewConn returns a fresh connection with zeroed counters.
@@ -105,6 +108,22 @@ func (c *Conn) Send(dir Direction, msg *Message) *Message {
 		Round:     c.stats.Rounds,
 		Label:     msg.Label,
 	})
+	msg.pos = 0
+	c.pending[dir] = msg
+	return msg
+}
+
+// Recv returns the message most recently Sent in direction dir, with
+// the read cursor rewound — the receiving party's view in the
+// in-process simulation. It panics if nothing is pending: interleaved
+// protocol code receiving before the matching Send is an implementation
+// bug, never a runtime condition.
+func (c *Conn) Recv(dir Direction) *Message {
+	msg := c.pending[dir]
+	if msg == nil {
+		panic("comm: Recv with no pending message in direction " + dir.String())
+	}
+	c.pending[dir] = nil
 	msg.pos = 0
 	return msg
 }

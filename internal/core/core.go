@@ -67,9 +67,13 @@ type Cost struct {
 	Trace []comm.MessageInfo
 }
 
-func costOf(c *comm.Conn) Cost {
-	s := c.Stats()
-	return Cost{Bits: s.TotalBits(), Rounds: s.Rounds, Stats: s, Trace: c.Trace()}
+// costOf builds a Cost from any transport endpoint — the in-process
+// Conn, one half of a Pair, or a NetConn; for all of them every
+// protocol message passes through the endpoint, so its Stats are the
+// full execution cost.
+func costOf(t comm.Transport) Cost {
+	s := t.Stats()
+	return Cost{Bits: s.TotalBits(), Rounds: s.Rounds, Stats: s, Trace: t.Trace()}
 }
 
 func (c Cost) String() string {

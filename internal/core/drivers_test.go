@@ -1,0 +1,225 @@
+package core
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// tcpPair dials a loopback TCP connection and returns party-scoped
+// transports for Alice and Bob.
+func tcpPair(t *testing.T) (alice, bob *comm.NetConn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	ac, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ac.Close() })
+	got := <-ch
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	t.Cleanup(func() { got.c.Close() })
+	return comm.NewNetConn(comm.Alice, ac), comm.NewNetConn(comm.Bob, got.c)
+}
+
+// runTCP executes the two drivers concurrently over a loopback TCP
+// connection and returns Bob's cost view.
+func runTCP(t *testing.T, alice func(tr comm.Transport) error, bob func(tr comm.Transport) error) Cost {
+	t.Helper()
+	at, bt := tcpPair(t)
+	errCh := make(chan error, 1)
+	go func() { errCh <- alice(at) }()
+	if err := bob(bt); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	return costOf(bt)
+}
+
+func TestLpOverTCPMatchesInProcess(t *testing.T) {
+	a := randomBinary(700, 64, 64, 0.1).ToInt()
+	b := randomBinary(701, 64, 64, 0.1).ToInt()
+	for _, p := range []float64{0, 1, 2} {
+		o := LpOpts{Eps: 0.4, Seed: 702}
+		want, wantCost, err := EstimateLp(a, b, p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got float64
+		gotCost := runTCP(t,
+			func(tr comm.Transport) error { return AliceLp(tr, a, b.Cols(), p, o) },
+			func(tr comm.Transport) (err error) { got, err = BobLp(tr, b, p, o); return err },
+		)
+		if got != want {
+			t.Fatalf("p=%v: TCP estimate %v != in-process %v", p, got, want)
+		}
+		if gotCost.Bits != wantCost.Bits || gotCost.Rounds != wantCost.Rounds {
+			t.Fatalf("p=%v: TCP cost (%d bits, %d rounds) != in-process (%d bits, %d rounds)",
+				p, gotCost.Bits, gotCost.Rounds, wantCost.Bits, wantCost.Rounds)
+		}
+		if gotCost.Stats != wantCost.Stats {
+			t.Fatalf("p=%v: TCP stats %+v != in-process %+v", p, gotCost.Stats, wantCost.Stats)
+		}
+	}
+}
+
+func TestL0SampleOverTCPMatchesInProcess(t *testing.T) {
+	a := randomBinary(710, 48, 48, 0.15).ToInt()
+	b := randomBinary(711, 48, 48, 0.15).ToInt()
+	o := L0SampleOpts{Eps: 0.5, Seed: 712}
+	wantPair, wantVal, wantCost, err := SampleL0(a, b, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotPair Pair
+	var gotVal int64
+	gotCost := runTCP(t,
+		func(tr comm.Transport) error { return AliceL0Sample(tr, a, o) },
+		func(tr comm.Transport) (err error) { gotPair, gotVal, err = BobL0Sample(tr, b, a.Rows(), o); return err },
+	)
+	if gotPair != wantPair || gotVal != wantVal {
+		t.Fatalf("TCP sample (%v, %d) != in-process (%v, %d)", gotPair, gotVal, wantPair, wantVal)
+	}
+	if gotCost.Bits != wantCost.Bits || gotCost.Rounds != wantCost.Rounds {
+		t.Fatalf("TCP cost (%d bits, %d rounds) != in-process (%d bits, %d rounds)",
+			gotCost.Bits, gotCost.Rounds, wantCost.Bits, wantCost.Rounds)
+	}
+}
+
+func TestLinfBinaryOverTCPMatchesInProcess(t *testing.T) {
+	a := randomBinary(720, 48, 32, 0.2)
+	b := randomBinary(721, 32, 48, 0.2)
+	o := LinfOpts{Eps: 0.5, Seed: 722}
+	want, wantArg, wantCost, err := EstimateLinfBinary(a, b, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got float64
+	var gotArg Pair
+	gotCost := runTCP(t,
+		func(tr comm.Transport) error { return AliceLinf(tr, a, b.Cols(), o) },
+		func(tr comm.Transport) (err error) { got, gotArg, err = BobLinf(tr, b, a.Rows(), o); return err },
+	)
+	if got != want || gotArg != wantArg {
+		t.Fatalf("TCP (%v, %v) != in-process (%v, %v)", got, gotArg, want, wantArg)
+	}
+	if gotCost.Stats != wantCost.Stats {
+		t.Fatalf("TCP stats %+v != in-process %+v", gotCost.Stats, wantCost.Stats)
+	}
+}
+
+func TestHeavyHittersOverTCPMatchesInProcess(t *testing.T) {
+	a := randomInt(730, 48, 48, 0.1, 3, true)
+	b := randomInt(731, 48, 48, 0.1, 3, true)
+	for _, p := range []float64{1, 2} { // p=1 exact-scale path, p=2 nested-Lp path
+		o := HHOpts{Phi: 0.2, Eps: 0.1, P: p, Seed: 732}
+		want, wantCost, err := HeavyHitters(a, b, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []WeightedPair
+		gotCost := runTCP(t,
+			func(tr comm.Transport) error { return AliceHH(tr, a, b.Cols(), true, o) },
+			func(tr comm.Transport) (err error) { got, err = BobHH(tr, b, a.Rows(), true, o); return err },
+		)
+		if len(got) != len(want) {
+			t.Fatalf("p=%v: TCP found %d pairs, in-process %d", p, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("p=%v: pair %d: %v != %v", p, i, got[i], want[i])
+			}
+		}
+		if gotCost.Stats != wantCost.Stats {
+			t.Fatalf("p=%v: TCP stats %+v != in-process %+v", p, gotCost.Stats, wantCost.Stats)
+		}
+	}
+}
+
+func TestExactAndL1SampleOverTCPMatchInProcess(t *testing.T) {
+	a := randomBinary(740, 40, 40, 0.2).ToInt()
+	b := randomBinary(741, 40, 40, 0.2).ToInt()
+
+	want, wantCost, err := ExactL1(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	gotCost := runTCP(t,
+		func(tr comm.Transport) error { return AliceExactL1(tr, a) },
+		func(tr comm.Transport) (err error) { got, err = BobExactL1(tr, b); return err },
+	)
+	if got != want || gotCost.Stats != wantCost.Stats {
+		t.Fatalf("exact: TCP (%d, %+v) != in-process (%d, %+v)", got, gotCost.Stats, want, wantCost.Stats)
+	}
+
+	wi, wj, wk, wCost, err := SampleL1(a, b, 742)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gi, gj, gk int
+	gCost := runTCP(t,
+		func(tr comm.Transport) error { return AliceSampleL1(tr, a, 742) },
+		func(tr comm.Transport) (err error) { gi, gj, gk, err = BobSampleL1(tr, b, 742); return err },
+	)
+	if gi != wi || gj != wj || gk != wk || gCost.Stats != wCost.Stats {
+		t.Fatalf("l1sample: TCP (%d,%d,%d) != in-process (%d,%d,%d)", gi, gj, gk, wi, wj, wk)
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	b := randomInt(706, 8, 8, 0.3, 2, true)
+	if _, err := BobLp(nil, b, 3, LpOpts{Eps: 0.5}); err != ErrBadP {
+		t.Errorf("bad p: %v", err)
+	}
+	if err := AliceLp(nil, b, 8, 1, LpOpts{Eps: 0}); err != ErrBadEps {
+		t.Errorf("bad eps: %v", err)
+	}
+	if err := AliceLp(nil, b, 0, 1, LpOpts{Eps: 0.5}); err != ErrDimensionMismatch {
+		t.Errorf("bad m2: %v", err)
+	}
+}
+
+func TestPairSurfacesOneSidedValidationError(t *testing.T) {
+	// Only one party's matrix is signed: that driver dies before (or
+	// after) the exchange and the peer must surface the real error, not
+	// deadlock.
+	a := randomInt(750, 12, 12, 0.4, 3, false) // signed
+	b := randomInt(751, 12, 12, 0.4, 3, true)  // non-negative
+	if _, _, err := ExactL1(a, b); err != ErrNeedNonNegative {
+		t.Fatalf("signed Alice: %v, want ErrNeedNonNegative", err)
+	}
+	if _, _, err := ExactL1(b, a); err != ErrNeedNonNegative {
+		t.Fatalf("signed Bob: %v, want ErrNeedNonNegative", err)
+	}
+}
+
+func TestDriverPeerDeathIsError(t *testing.T) {
+	// A Bob driver whose peer hangs up mid-protocol must fail with a
+	// transport error, not hang or panic.
+	ac, bc := net.Pipe()
+	bob := comm.NewNetConn(comm.Bob, bc)
+	go ac.Close()
+	b := randomBinary(760, 16, 16, 0.2).ToInt()
+	if _, err := BobExactL1(bob, b); err == nil {
+		t.Fatal("peer death not surfaced")
+	}
+}

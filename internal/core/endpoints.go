@@ -1,8 +1,6 @@
 package core
 
 import (
-	"encoding/binary"
-	"fmt"
 	"io"
 	"math"
 	"strconv"
@@ -48,7 +46,7 @@ func (e *BobL0Endpoint) Run(w io.Writer) (int, error) {
 		rs := newRowSketcher(shared.Derive("lp1r", strconv.Itoa(rep)), e.b.Cols(), 0, sizeWords)
 		rs.encodeRows(msg, e.b)
 	}
-	return writeFrame(w, msg)
+	return comm.WriteFrame(w, msg)
 }
 
 // AliceL0Endpoint is Alice's side: she holds A, consumes Bob's message,
@@ -70,7 +68,7 @@ func NewAliceL0Endpoint(a *intmat.Dense, opts LpOpts) (*AliceL0Endpoint, error) 
 // Malformed payloads surface as errors, not panics.
 func (e *AliceL0Endpoint) Run(r io.Reader) (est float64, err error) {
 	defer recoverDecodeError(&err)
-	msg, err := readFrame(r)
+	msg, err := comm.ReadFrame(r)
 	if err != nil {
 		return 0, err
 	}
@@ -111,43 +109,4 @@ func oneRoundSketchWords(o LpOpts) int {
 		sizeWords = 4
 	}
 	return sizeWords
-}
-
-// writeFrame writes a 4-byte big-endian length prefix plus payload.
-func writeFrame(w io.Writer, msg *comm.Message) (int, error) {
-	payload := msg.Bytes()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return 0, err
-	}
-	n, err := w.Write(payload)
-	return n + 4, err
-}
-
-// readFrame reads one frame written by writeFrame.
-func readFrame(r io.Reader) (*comm.Message, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("core: reading frame header: %w", err)
-	}
-	size := binary.BigEndian.Uint32(hdr[:])
-	const maxFrame = 1 << 30
-	if size > maxFrame {
-		return nil, fmt.Errorf("core: frame of %d bytes exceeds limit", size)
-	}
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("core: reading frame payload: %w", err)
-	}
-	return comm.FromBytes(payload), nil
-}
-
-// recoverDecodeError converts the message readers' malformed-payload
-// panics into errors at the transport boundary, where the peer is not
-// trusted to frame correctly.
-func recoverDecodeError(err *error) {
-	if r := recover(); r != nil {
-		*err = fmt.Errorf("core: malformed protocol message: %v", r)
-	}
 }

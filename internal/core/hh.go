@@ -61,6 +61,12 @@ func addCost(a, b Cost) Cost {
 	}
 }
 
+// hhNestedLpOpts is the option set of Algorithm 4's embedded ‖C‖p^p
+// estimation (step 1b) — the common choice both parties must agree on.
+func hhNestedLpOpts(o HHOpts) LpOpts {
+	return LpOpts{Eps: math.Min(0.25, o.Eps/(4*o.Phi)), Seed: o.Seed + 1}
+}
+
 // HeavyHitters is Algorithm 4 (Theorem 5.1) extended to p ∈ (0, 2]
 // (Corollary 5.2): an O(1)-round protocol computing the
 // ℓp-(ϕ,ε)-heavy-hitters of C = A·B for integer matrices with
@@ -76,7 +82,8 @@ func addCost(a, b Cost) Cost {
 //
 // ‖C‖p^p (the heaviness scale) is computed exactly via Remark 2 when
 // p = 1 and both matrices are non-negative, and estimated with
-// Algorithm 1 otherwise — its cost is included in the returned Cost.
+// Algorithm 1 otherwise — run inline on the same transport, so its cost
+// is included in the returned Cost.
 //
 // Returned values are the recovered C^β entries rescaled by 1/β, i.e.
 // unbiased estimates of C[i][j].
@@ -84,18 +91,36 @@ func HeavyHitters(a, b *intmat.Dense, o HHOpts) ([]WeightedPair, Cost, error) {
 	if err := checkDims(a.Cols(), b.Rows()); err != nil {
 		return nil, Cost{}, err
 	}
+	aNonNeg := requireNonNegative(a) == nil
+	bNonNeg := requireNonNegative(b) == nil
+	var out []WeightedPair
+	cost, err := runPair(
+		func(t comm.Transport) error { return AliceHH(t, a, b.Cols(), bNonNeg, o) },
+		func(t comm.Transport) (err error) { out, err = BobHH(t, b, a.Rows(), aNonNeg, o); return err },
+	)
+	if err != nil {
+		return nil, cost, err
+	}
+	return out, cost, nil
+}
+
+// AliceHH drives Alice's side of Algorithm 4: absolute column sums out,
+// the embedded scale estimation when needed, β-downsampling of A, her
+// side of the Lemma 2.5 recovery, and the candidate shipment. m2 is
+// Bob's column count and bNonNeg whether Bob's matrix is entrywise
+// non-negative — both catalog metadata known before the protocol
+// starts. The heavy-hitter set is Bob's output.
+func AliceHH(t comm.Transport, a *intmat.Dense, m2 int, bNonNeg bool, o HHOpts) (err error) {
+	defer recoverDecodeError(&err)
 	if err := o.setDefaults(); err != nil {
-		return nil, Cost{}, err
+		return err
 	}
 	n := a.Cols()
-	m1, m2 := a.Rows(), b.Cols()
-	conn := comm.NewConn()
-	extra := Cost{}
+	m1 := a.Rows()
 
-	// Step 1a (Alice→Bob): column sums of |A|; Bob derives the exact
-	// ‖ |A|·|B| ‖1, which upper-bounds the sampled sparsity for any sign
-	// pattern and equals ‖C‖1 for non-negative inputs.
+	// Step 1a (Alice→Bob): column sums of |A|.
 	msg1 := comm.NewMessage()
+	msg1.Label = "column sums of |A|"
 	absColSums := make([]int64, n)
 	for i := 0; i < m1; i++ {
 		for k, v := range a.Row(i) {
@@ -108,8 +133,83 @@ func HeavyHitters(a, b *intmat.Dense, o HHOpts) ([]WeightedPair, Cost, error) {
 	for _, s := range absColSums {
 		msg1.PutUvarint(uint64(s))
 	}
-	recv1 := conn.Send(comm.AliceToBob, msg1)
+	t.Send(comm.AliceToBob, msg1)
 
+	// Step 1b: when the scale is not exact, run Alice's side of the
+	// embedded Algorithm 1 on the same transport.
+	if !(o.P == 1 && bNonNeg && requireNonNegative(a) == nil) {
+		if err := AliceLp(t, a, m2, o.P, hhNestedLpOpts(o)); err != nil {
+			return err
+		}
+	}
+
+	// Step 1c (Bob→Alice): the scale.
+	recv2 := t.Recv(comm.BobToAlice)
+	t1absAlice := recv2.Varint()
+	tpAlice := recv2.Float64()
+	if tpAlice <= 0 {
+		return nil // empty (or estimated-empty) product: no heavy hitters
+	}
+
+	// Step 2: sampling rate.
+	heavyVal := math.Pow(o.Phi*tpAlice, 1/o.P)
+	beta := math.Min(8*o.BetaC*lnDim(n)*(o.Phi/o.Eps)*(o.Phi/o.Eps)/heavyVal, 1)
+
+	// Step 3: Alice samples the non-zero entries of A.
+	alicePriv := rng.New(o.Seed).Derive("alice-private", "hh")
+	aBeta := intmat.NewDense(m1, n)
+	for i := 0; i < m1; i++ {
+		for k, v := range a.Row(i) {
+			if v != 0 && alicePriv.Bernoulli(beta) {
+				aBeta.Set(i, k, v)
+			}
+		}
+	}
+
+	// Step 4: recover C^β via the Lemma 2.5 tensor sketch.
+	ts := hhTensorSketch(o, m1, n, m2, beta, t1absAlice)
+	recv3 := t.Recv(comm.BobToAlice)
+	sk := ts.SketchFromCompressed(aBeta, recv3.VarintSlice())
+	recovered := ts.Decode(sk)
+
+	// Step 5 (Alice→Bob): ship entries above the εβ·heavyVal/(8ϕ) floor.
+	sendCutoff := (o.Eps / (8 * o.Phi)) * beta * heavyVal
+	msg4 := comm.NewMessage()
+	msg4.Label = "candidate heavy entries of C^β"
+	var shipped []intmat.Entry
+	for _, e := range recovered {
+		if math.Abs(float64(e.V)) >= sendCutoff {
+			shipped = append(shipped, e)
+		}
+	}
+	msg4.PutUvarint(uint64(len(shipped)))
+	for _, e := range shipped {
+		msg4.PutUvarint(uint64(e.I))
+		msg4.PutUvarint(uint64(e.J))
+		msg4.PutVarint(e.V)
+	}
+	t.Send(comm.AliceToBob, msg4)
+	return nil
+}
+
+// BobHH drives Bob's side of Algorithm 4: he derives the exact
+// ‖|A|·|B|‖1 scale from Alice's column sums (estimating ‖C‖p^p inline
+// when the exact shortcut does not apply), shares it, compresses B for
+// the Lemma 2.5 recovery, and keeps the shipped candidates above the
+// output threshold. m1 is Alice's row count and aNonNeg whether her
+// matrix is entrywise non-negative — both catalog metadata.
+func BobHH(t comm.Transport, b *intmat.Dense, m1 int, aNonNeg bool, o HHOpts) (out []WeightedPair, err error) {
+	defer recoverDecodeError(&err)
+	if err := o.setDefaults(); err != nil {
+		return nil, err
+	}
+	n := b.Rows()
+	m2 := b.Cols()
+
+	// Step 1a in: the exact ‖|A|·|B|‖1, which upper-bounds the sampled
+	// sparsity for any sign pattern and equals ‖C‖1 for non-negative
+	// inputs.
+	recv1 := t.Recv(comm.AliceToBob)
 	var t1abs int64
 	for k := 0; k < n; k++ {
 		cs := int64(recv1.Uvarint())
@@ -125,83 +225,42 @@ func HeavyHitters(a, b *intmat.Dense, o HHOpts) ([]WeightedPair, Cost, error) {
 
 	// Step 1b: the heaviness scale ‖C‖p^p.
 	var tp float64
-	if o.P == 1 && requireNonNegative(a, b) == nil {
+	if o.P == 1 && aNonNeg && requireNonNegative(b) == nil {
 		tp = float64(t1abs)
 	} else {
-		est, lpCost, err := EstimateLp(a, b, o.P, LpOpts{Eps: math.Min(0.25, o.Eps/(4*o.Phi)), Seed: o.Seed + 1})
+		est, err := BobLp(t, b, o.P, hhNestedLpOpts(o))
 		if err != nil {
-			return nil, Cost{}, err
+			return nil, err
 		}
 		tp = est
-		extra = addCost(extra, lpCost)
 	}
 
 	// Step 1c (Bob→Alice): share the scale so Alice can set β.
 	msg2 := comm.NewMessage()
+	msg2.Label = "heaviness scale"
 	msg2.PutVarint(t1abs)
 	msg2.PutFloat64(tp)
-	recv2 := conn.Send(comm.BobToAlice, msg2)
-	t1absAlice := recv2.Varint()
-	tpAlice := recv2.Float64()
-
-	if tpAlice <= 0 {
-		// Empty (or estimated-empty) product: no heavy hitters.
-		return nil, addCost(costOf(conn), extra), nil
+	t.Send(comm.BobToAlice, msg2)
+	if tp <= 0 {
+		return nil, nil // empty (or estimated-empty) product
 	}
 
-	// Step 2: sampling rate. heavyVal is the magnitude of an entry at
-	// exactly the ϕ threshold; β keeps sampled heavy entries at
-	// Θ(log n·(ϕ/ε)²) for (1 ± ε/4ϕ) Chernoff concentration.
-	heavyVal := math.Pow(o.Phi*tpAlice, 1/o.P)
+	// Step 2: the sampling rate, mirrored from Alice's computation.
+	heavyVal := math.Pow(o.Phi*tp, 1/o.P)
 	beta := math.Min(8*o.BetaC*lnDim(n)*(o.Phi/o.Eps)*(o.Phi/o.Eps)/heavyVal, 1)
 
-	// Step 3: Alice samples the non-zero entries of A.
-	alicePriv := rng.New(o.Seed).Derive("alice-private", "hh")
-	aBeta := intmat.NewDense(m1, n)
-	for i := 0; i < m1; i++ {
-		for k, v := range a.Row(i) {
-			if v != 0 && alicePriv.Bernoulli(beta) {
-				aBeta.Set(i, k, v)
-			}
-		}
-	}
-
-	// Step 4: recover C^β = A^β·B via the Lemma 2.5 tensor sketch,
-	// inlined on the same connection. Sparsity bound: E‖C^β‖1 ≤ β·t1abs.
-	sBound := int(math.Ceil(4*beta*float64(t1absAlice))) + 64
-	if cap := m1 * m2; sBound > cap {
-		sBound = cap
-	}
-	shared := rng.New(o.Seed)
-	ts := sketch.NewTensorCS(shared.Derive("hh-matmul"), m1, n, m2, sBound, o.Reps)
+	// Step 4: Bob's half of the Lemma 2.5 recovery.
+	ts := hhTensorSketch(o, m1, n, m2, beta, t1abs)
 	msg3 := comm.NewMessage()
+	msg3.Label = "column-compressed B for tensor sketch"
 	msg3.PutVarintSlice(ts.ColCompress(b))
-	recv3 := conn.Send(comm.BobToAlice, msg3)
-	sk := ts.SketchFromCompressed(aBeta, recv3.VarintSlice())
-	recovered := ts.Decode(sk)
+	t.Send(comm.BobToAlice, msg3)
 
-	// Step 5 (Alice→Bob): ship entries above the εβ·heavyVal/(8ϕ) floor;
-	// Bob keeps those at or above β·((ϕ−ε/2)·tp)^{1/p}.
-	sendCutoff := (o.Eps / (8 * o.Phi)) * beta * heavyVal
-	msg4 := comm.NewMessage()
-	var shipped []intmat.Entry
-	for _, e := range recovered {
-		if math.Abs(float64(e.V)) >= sendCutoff {
-			shipped = append(shipped, e)
-		}
-	}
-	msg4.PutUvarint(uint64(len(shipped)))
-	for _, e := range shipped {
-		msg4.PutUvarint(uint64(e.I))
-		msg4.PutUvarint(uint64(e.J))
-		msg4.PutVarint(e.V)
-	}
-	recv4 := conn.Send(comm.AliceToBob, msg4)
-
+	// Step 5 in: keep candidates at or above β·((ϕ−ε/2)·tp)^{1/p}.
+	recv4 := t.Recv(comm.AliceToBob)
 	keepCutoff := beta * math.Pow((o.Phi-o.Eps/2)*tp, 1/o.P)
 	count := int(recv4.Uvarint())
-	var out []WeightedPair
-	for t := 0; t < count; t++ {
+	for s := 0; s < count; s++ {
 		i := int(recv4.Uvarint())
 		j := int(recv4.Uvarint())
 		v := float64(recv4.Varint())
@@ -210,7 +269,19 @@ func HeavyHitters(a, b *intmat.Dense, o HHOpts) ([]WeightedPair, Cost, error) {
 		}
 	}
 	sortPairs(out)
-	return out, addCost(costOf(conn), extra), nil
+	return out, nil
+}
+
+// hhTensorSketch builds the shared Lemma 2.5 tensor sketch for
+// Algorithm 4's step 4: the sparsity bound follows from E‖C^β‖1 ≤
+// β·‖|A|·|B|‖1, and both parties derive it from transmitted values.
+func hhTensorSketch(o HHOpts, m1, n, m2 int, beta float64, t1abs int64) *sketch.TensorCS {
+	sBound := int(math.Ceil(4*beta*float64(t1abs))) + 64
+	if cap := m1 * m2; sBound > cap {
+		sBound = cap
+	}
+	shared := rng.New(o.Seed)
+	return sketch.NewTensorCS(shared.Derive("hh-matmul"), m1, n, m2, sBound, o.Reps)
 }
 
 func sortPairs(ps []WeightedPair) {

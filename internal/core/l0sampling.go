@@ -53,21 +53,41 @@ func SampleL0(a, b *intmat.Dense, o L0SampleOpts) (pair Pair, value int64, cost 
 	if err := checkDims(a.Cols(), b.Rows()); err != nil {
 		return Pair{}, 0, Cost{}, err
 	}
-	if err := o.setDefaults(); err != nil {
-		return Pair{}, 0, Cost{}, err
+	cost, err = runPair(
+		func(t comm.Transport) error { return AliceL0Sample(t, a, o) },
+		func(t comm.Transport) (err error) { pair, value, err = BobL0Sample(t, b, a.Rows(), o); return err },
+	)
+	if err != nil {
+		return Pair{}, 0, cost, err
 	}
-	m1 := a.Rows()
-	n := a.Cols()
-	m2 := b.Cols()
-	conn := comm.NewConn()
-	shared := rng.New(o.Seed)
+	return pair, value, cost, nil
+}
 
+// l0SampleSketches derives the shared per-column sketch pair of
+// Theorem 3.2 for column dimension m1 — the common construction both
+// party drivers must agree on.
+func l0SampleSketches(o L0SampleOpts, m1 int) (*sketch.L0, *sketch.L0Sampler) {
+	shared := rng.New(o.Seed)
 	buckets := int(math.Ceil(o.SketchC / (o.Eps * o.Eps)))
 	if buckets < 8 {
 		buckets = 8
 	}
 	l0 := sketch.NewL0(shared.Derive("l0sample", "norm"), m1, buckets)
 	sampler := sketch.NewL0Sampler(shared.Derive("l0sample", "sampler"), m1, o.SamplerReps)
+	return l0, sampler
+}
+
+// AliceL0Sample drives Alice's side of Theorem 3.2: one message of
+// per-column ℓ0 sketches and ℓ0-sampler sketches of A. The sample is
+// Bob's output.
+func AliceL0Sample(t comm.Transport, a *intmat.Dense, o L0SampleOpts) (err error) {
+	defer recoverDecodeError(&err)
+	if err := o.setDefaults(); err != nil {
+		return err
+	}
+	m1 := a.Rows()
+	n := a.Cols()
+	l0, sampler := l0SampleSketches(o, m1)
 
 	// Round 1 (Alice→Bob): sketches of every column of A.
 	msg := comm.NewMessage()
@@ -80,8 +100,26 @@ func SampleL0(a, b *intmat.Dense, o L0SampleOpts) (pair Pair, value int64, cost 
 		msg.PutUint64Slice(l0.Apply(col))
 		msg.PutUint64Slice(sampler.Apply(col))
 	}
-	recv := conn.Send(comm.AliceToBob, msg)
+	t.Send(comm.AliceToBob, msg)
+	return nil
+}
 
+// BobL0Sample drives Bob's side of Theorem 3.2: he assembles
+// per-column-of-C sketches from Alice's message (both sketch families
+// are linear), samples a column proportionally to its estimated ℓ0
+// norm, and decodes that column's ℓ0-sampler. m1 is Alice's row count —
+// catalog metadata fixing the shared sketch dimension; it costs no
+// communication.
+func BobL0Sample(t comm.Transport, b *intmat.Dense, m1 int, o L0SampleOpts) (pair Pair, value int64, err error) {
+	defer recoverDecodeError(&err)
+	if err := o.setDefaults(); err != nil {
+		return Pair{}, 0, err
+	}
+	n := b.Rows()
+	m2 := b.Cols()
+	l0, sampler := l0SampleSketches(o, m1)
+
+	recv := t.Recv(comm.AliceToBob)
 	normSk := make([][]field.Elem, n)
 	sampSk := make([][]field.Elem, n)
 	for k := 0; k < n; k++ {
@@ -89,7 +127,7 @@ func SampleL0(a, b *intmat.Dense, o L0SampleOpts) (pair Pair, value int64, cost 
 		sampSk[k] = recv.Uint64Slice()
 	}
 
-	// Bob: per-column ℓ0 estimates of C.
+	// Per-column ℓ0 estimates of C.
 	colEst := make([]float64, m2)
 	total := 0.0
 	accNorm := make([]field.Elem, l0.Dim())
@@ -113,7 +151,7 @@ func SampleL0(a, b *intmat.Dense, o L0SampleOpts) (pair Pair, value int64, cost 
 		}
 	}
 	if total == 0 {
-		return Pair{}, 0, costOf(conn), ErrSampleFailed
+		return Pair{}, 0, ErrSampleFailed
 	}
 
 	// Sample a column proportionally to its estimated ℓ0 norm, then
@@ -139,7 +177,7 @@ func SampleL0(a, b *intmat.Dense, o L0SampleOpts) (pair Pair, value int64, cost 
 	}
 	i, v, ok := sampler.Decode(accSamp)
 	if !ok {
-		return Pair{}, 0, costOf(conn), ErrSampleFailed
+		return Pair{}, 0, ErrSampleFailed
 	}
-	return Pair{I: i, J: j}, v, costOf(conn), nil
+	return Pair{I: i, J: j}, v, nil
 }

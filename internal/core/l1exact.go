@@ -18,21 +18,41 @@ func ExactL1(a, b *intmat.Dense) (int64, Cost, error) {
 	if err := checkDims(a.Cols(), b.Rows()); err != nil {
 		return 0, Cost{}, err
 	}
-	if err := requireNonNegative(a, b); err != nil {
-		return 0, Cost{}, err
+	var total int64
+	cost, err := runPair(
+		func(t comm.Transport) error { return AliceExactL1(t, a) },
+		func(t comm.Transport) (err error) { total, err = BobExactL1(t, b); return err },
+	)
+	if err != nil {
+		return 0, cost, err
 	}
-	conn := comm.NewConn()
+	return total, cost, nil
+}
 
-	// Alice: column sums of A.
+// AliceExactL1 drives Alice's side of Remark 2: one message of column
+// sums of A. The exact value is Bob's output.
+func AliceExactL1(t comm.Transport, a *intmat.Dense) (err error) {
+	defer recoverDecodeError(&err)
+	if err := requireNonNegative(a); err != nil {
+		return err
+	}
 	msg := comm.NewMessage()
-	colSums := columnSums(a)
-	for _, s := range colSums {
+	msg.Label = "column sums of A"
+	for _, s := range columnSums(a) {
 		msg.PutUvarint(uint64(s))
 	}
-	recv := conn.Send(comm.AliceToBob, msg)
+	t.Send(comm.AliceToBob, msg)
+	return nil
+}
 
-	// Bob: Σ_k colSumA(k)·rowSumB(k).
-	var total int64
+// BobExactL1 drives Bob's side of Remark 2 and returns the exact ‖AB‖1
+// as Σ_k colSumA(k)·rowSumB(k).
+func BobExactL1(t comm.Transport, b *intmat.Dense) (total int64, err error) {
+	defer recoverDecodeError(&err)
+	if err := requireNonNegative(b); err != nil {
+		return 0, err
+	}
+	recv := t.Recv(comm.AliceToBob)
 	for k := 0; k < b.Rows(); k++ {
 		cs := int64(recv.Uvarint())
 		var rs int64
@@ -41,7 +61,7 @@ func ExactL1(a, b *intmat.Dense) (int64, Cost, error) {
 		}
 		total += cs * rs
 	}
-	return total, costOf(conn), nil
+	return total, nil
 }
 
 // SampleL1 is Remark 3: one-round ℓ1-sampling of C = AB for non-negative
@@ -55,15 +75,27 @@ func SampleL1(a, b *intmat.Dense, seed uint64) (i, j, witness int, cost Cost, er
 	if err := checkDims(a.Cols(), b.Rows()); err != nil {
 		return 0, 0, 0, Cost{}, err
 	}
-	if err := requireNonNegative(a, b); err != nil {
-		return 0, 0, 0, Cost{}, err
+	cost, err = runPair(
+		func(t comm.Transport) error { return AliceSampleL1(t, a, seed) },
+		func(t comm.Transport) (err error) { i, j, witness, err = BobSampleL1(t, b, seed); return err },
+	)
+	if err != nil {
+		return 0, 0, 0, cost, err
 	}
-	conn := comm.NewConn()
-	alicePriv := rng.New(seed).Derive("alice-private", "l1sample")
-	bobPriv := rng.New(seed).Derive("bob-private", "l1sample")
+	return i, j, witness, cost, nil
+}
 
-	// Alice: per item k, column sum and a value-weighted row sample.
+// AliceSampleL1 drives Alice's side of Remark 3: per item k, the column
+// sum of A and a value-weighted row sample from that column. The sample
+// is Bob's output.
+func AliceSampleL1(t comm.Transport, a *intmat.Dense, seed uint64) (err error) {
+	defer recoverDecodeError(&err)
+	if err := requireNonNegative(a); err != nil {
+		return err
+	}
+	alicePriv := rng.New(seed).Derive("alice-private", "l1sample")
 	msg := comm.NewMessage()
+	msg.Label = "column sums and row samples of A"
 	n := a.Cols()
 	for k := 0; k < n; k++ {
 		var sum int64
@@ -85,9 +117,21 @@ func SampleL1(a, b *intmat.Dense, seed uint64) (i, j, witness int, cost Cost, er
 		}
 		msg.PutVarint(int64(pick))
 	}
-	recv := conn.Send(comm.AliceToBob, msg)
+	t.Send(comm.AliceToBob, msg)
+	return nil
+}
 
-	// Bob: weight each k by colSumA(k)·rowSumB(k) and sample.
+// BobSampleL1 drives Bob's side of Remark 3: weight each item k by
+// colSumA(k)·rowSumB(k), sample a witness, then a column of B_{k,*}
+// proportionally to its entries.
+func BobSampleL1(t comm.Transport, b *intmat.Dense, seed uint64) (i, j, witness int, err error) {
+	defer recoverDecodeError(&err)
+	if err := requireNonNegative(b); err != nil {
+		return 0, 0, 0, err
+	}
+	bobPriv := rng.New(seed).Derive("bob-private", "l1sample")
+	recv := t.Recv(comm.AliceToBob)
+	n := b.Rows()
 	colSums := make([]int64, n)
 	rowPicks := make([]int, n)
 	weights := make([]int64, n)
@@ -103,7 +147,7 @@ func SampleL1(a, b *intmat.Dense, seed uint64) (i, j, witness int, cost Cost, er
 		total += weights[k]
 	}
 	if total == 0 {
-		return 0, 0, 0, costOf(conn), ErrSampleFailed
+		return 0, 0, 0, ErrSampleFailed
 	}
 	target := bobPriv.Int63n(total)
 	var acc int64
@@ -129,7 +173,7 @@ func SampleL1(a, b *intmat.Dense, seed uint64) (i, j, witness int, cost Cost, er
 			break
 		}
 	}
-	return rowPicks[k], col, k, costOf(conn), nil
+	return rowPicks[k], col, k, nil
 }
 
 func requireNonNegative(ms ...*intmat.Dense) error {

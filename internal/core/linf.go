@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/bitmat"
@@ -75,19 +76,20 @@ func survivorsAt(col []itemEntry, ℓ int) []int {
 	return out
 }
 
-// indexExchange runs steps 7–14 of Algorithm 2: for every active item k,
-// the party with the smaller side (Alice's surviving rows containing k
-// vs. Bob's columns containing k) ships its index list, after which Alice
-// and Bob hold matrices CA and CB with CA + CB = C' (the subsampled
-// product). It returns Bob's view: max(‖CA‖∞, ‖CB‖∞) with an arg pair,
-// plus the partial matrices for protocols (heavy hitters) that need them.
-//
-// uk must be known to both parties before the call (it is part of the
-// colsum message of round 1); the helper sends Bob's vk values followed
-// by his lists (one B→A message) and then Alice's lists plus her local
-// max (one A→B message).
-func indexExchange(conn *comm.Conn, aliceCols [][]itemEntry, level int, uk []int, b *bitmat.Matrix, m1, m2 int, active []int) (maxVal int64, arg Pair, ca, cb *intmat.Dense) {
-	// Bob → Alice: vk for active items, then lists for items he covers.
+// The index exchange (steps 7–14 of Algorithm 2): for every active item
+// k, the party with the smaller side (Alice's surviving rows containing
+// k vs. Bob's columns containing k) ships its index list, after which
+// Alice and Bob hold matrices CA and CB with CA + CB = C' (the
+// subsampled product). uk must be known to both parties before it runs
+// (it is part of the colsum message of round 1). It is split into three
+// phases so the same logic serves both the party drivers (Bob runs
+// send + finish, Alice runs her turn) and the interleaved composition
+// below.
+
+// bobExchangeSend is Bob's opening move: vk for active items, then his
+// index lists for the items he covers — one B→A message. It returns vk
+// for bobExchangeFinish.
+func bobExchangeSend(t comm.Transport, b *bitmat.Matrix, uk []int, active []int) []int {
 	bobMsg := comm.NewMessage()
 	bobMsg.Label = "v_k counts and Bob's item index lists"
 	vk := make([]int, len(uk))
@@ -100,14 +102,21 @@ func indexExchange(conn *comm.Conn, aliceCols [][]itemEntry, level int, uk []int
 			bobMsg.PutIndexList(b.RowSupport(k))
 		}
 	}
-	recvB := conn.Send(comm.BobToAlice, bobMsg)
+	t.Send(comm.BobToAlice, bobMsg)
+	return vk
+}
 
-	// Alice: read vk, build CA from Bob-covered items.
+// aliceExchangeTurn is Alice's whole exchange: read Bob's vk and lists,
+// build CA, reply with her lists for the items she covers plus her
+// local maximum — one A→B message. It returns CA for protocols that
+// need the partial matrix.
+func aliceExchangeTurn(t comm.Transport, aliceCols [][]itemEntry, level int, uk []int, active []int, m1, m2 int) *intmat.Dense {
+	recvB := t.Recv(comm.BobToAlice)
 	vkA := make([]int, len(uk))
 	for _, k := range active {
 		vkA[k] = int(recvB.Uvarint())
 	}
-	ca = intmat.NewDense(m1, m2)
+	ca := intmat.NewDense(m1, m2)
 	for _, k := range active {
 		if uk[k] > 0 && vkA[k] > 0 && vkA[k] < uk[k] {
 			js := recvB.IndexList()
@@ -121,7 +130,6 @@ func indexExchange(conn *comm.Conn, aliceCols [][]itemEntry, level int, uk []int
 	}
 	maxCA, argI, argJ := ca.Linf()
 
-	// Alice → Bob: her lists for items she covers, then her local max.
 	aliceMsg := comm.NewMessage()
 	aliceMsg.Label = "Alice's item index lists and ‖CA‖∞"
 	for _, k := range active {
@@ -132,10 +140,16 @@ func indexExchange(conn *comm.Conn, aliceCols [][]itemEntry, level int, uk []int
 	aliceMsg.PutVarint(maxCA)
 	aliceMsg.PutUvarint(uint64(argI))
 	aliceMsg.PutUvarint(uint64(argJ))
-	recvA := conn.Send(comm.AliceToBob, aliceMsg)
+	t.Send(comm.AliceToBob, aliceMsg)
+	return ca
+}
 
-	// Bob: build CB from Alice-covered items.
-	cb = intmat.NewDense(m1, m2)
+// bobExchangeFinish is Bob's closing move: read Alice's lists, build
+// CB, and combine both sides' maxima into the protocol output
+// max(‖CA‖∞, ‖CB‖∞) with its witnessing pair.
+func bobExchangeFinish(t comm.Transport, b *bitmat.Matrix, vk, uk []int, active []int, m1 int) (maxVal int64, arg Pair, cb *intmat.Dense) {
+	recvA := t.Recv(comm.AliceToBob)
+	cb = intmat.NewDense(m1, b.Cols())
 	for _, k := range active {
 		if uk[k] > 0 && vk[k] > 0 && uk[k] <= vk[k] {
 			is := recvA.IndexList()
@@ -153,9 +167,20 @@ func indexExchange(conn *comm.Conn, aliceCols [][]itemEntry, level int, uk []int
 	aJ := int(recvA.Uvarint())
 	maxCB, bI, bJ := cb.Linf()
 	if maxCAFromAlice >= maxCB {
-		return maxCAFromAlice, Pair{I: aI, J: aJ}, ca, cb
+		return maxCAFromAlice, Pair{I: aI, J: aJ}, cb
 	}
-	return maxCB, Pair{I: bI, J: bJ}, ca, cb
+	return maxCB, Pair{I: bI, J: bJ}, cb
+}
+
+// indexExchange composes the three phases for interleaved callers that
+// hold both matrices (heavy hitters for Boolean inputs). t must be a
+// two-sided transport (the in-process Conn): Bob's send is immediately
+// receivable by Alice's turn on the same goroutine.
+func indexExchange(t comm.Transport, aliceCols [][]itemEntry, level int, uk []int, b *bitmat.Matrix, m1, m2 int, active []int) (maxVal int64, arg Pair, ca, cb *intmat.Dense) {
+	vk := bobExchangeSend(t, b, uk, active)
+	ca = aliceExchangeTurn(t, aliceCols, level, uk, active, m1, m2)
+	maxVal, arg, cb = bobExchangeFinish(t, b, vk, uk, active, m1)
+	return maxVal, arg, ca, cb
 }
 
 // EstimateLinfBinary is Algorithm 2 (Theorem 4.1): a 3-round protocol
@@ -179,27 +204,30 @@ func EstimateLinfBinary(a, b *bitmat.Matrix, o LinfOpts) (float64, Pair, Cost, e
 	if err := checkDims(a.Cols(), b.Rows()); err != nil {
 		return 0, Pair{}, Cost{}, err
 	}
-	if err := o.setDefaults(); err != nil {
-		return 0, Pair{}, Cost{}, err
+	var est float64
+	var arg Pair
+	cost, err := runPair(
+		func(t comm.Transport) error { return AliceLinf(t, a, b.Cols(), o) },
+		func(t comm.Transport) (err error) { est, arg, err = BobLinf(t, b, a.Rows(), o); return err },
+	)
+	if err != nil {
+		return 0, Pair{}, cost, err
 	}
-	n := a.Cols()
-	m1, m2 := a.Rows(), b.Cols()
-	conn := comm.NewConn()
-	alicePriv := rng.New(o.Seed).Derive("alice-private", "linf")
+	return est, arg, cost, nil
+}
 
+// linfLevels performs Alice's subsampling for Algorithm 2: every
+// 1-entry of a gets a geometric survival level at decay base, and the
+// per-level column sums are tabulated for round 1.
+func linfLevels(a *bitmat.Matrix, priv *rng.RNG, base float64) (cols [][]itemEntry, colSums [][]int, maxLevel int) {
 	weightA := a.Weight()
-	base := 1 + o.Eps
-	maxLevel := 0
 	if weightA > 1 {
 		maxLevel = int(math.Ceil(math.Log(float64(weightA))/math.Log(base))) + 1
 	}
-	cols := levelColumns(a, alicePriv, base, maxLevel)
-
-	// Round 1 (Alice→Bob): per-level column sums of A^ℓ.
-	msg1 := comm.NewMessage()
-	colSums := make([][]int, maxLevel+1)
+	cols = levelColumns(a, priv, base, maxLevel)
+	colSums = make([][]int, maxLevel+1)
 	for ℓ := 0; ℓ <= maxLevel; ℓ++ {
-		colSums[ℓ] = make([]int, n)
+		colSums[ℓ] = make([]int, a.Cols())
 	}
 	for k, col := range cols {
 		for _, e := range col {
@@ -208,6 +236,35 @@ func EstimateLinfBinary(a, b *bitmat.Matrix, o LinfOpts) (float64, Pair, Cost, e
 			}
 		}
 	}
+	return cols, colSums, maxLevel
+}
+
+// allItems returns the full active-item set {0, …, n−1} (Algorithm 2
+// runs the exchange over every item; Algorithm 3 only over survivors of
+// the universe sampling).
+func allItems(n int) []int {
+	active := make([]int, n)
+	for k := range active {
+		active[k] = k
+	}
+	return active
+}
+
+// AliceLinf drives Alice's side of Algorithm 2: level subsampling,
+// per-level column sums in round 1, then her half of the index exchange
+// at the level Bob selects. m2 is Bob's column count (catalog
+// metadata). The estimate is Bob's output.
+func AliceLinf(t comm.Transport, a *bitmat.Matrix, m2 int, o LinfOpts) (err error) {
+	defer recoverDecodeError(&err)
+	if err := o.setDefaults(); err != nil {
+		return err
+	}
+	n := a.Cols()
+	alicePriv := rng.New(o.Seed).Derive("alice-private", "linf")
+	cols, colSums, maxLevel := linfLevels(a, alicePriv, 1+o.Eps)
+
+	// Round 1 (Alice→Bob): per-level column sums of A^ℓ.
+	msg1 := comm.NewMessage()
 	msg1.Label = "per-level column sums of A^ℓ"
 	msg1.PutUvarint(uint64(maxLevel))
 	for ℓ := 0; ℓ <= maxLevel; ℓ++ {
@@ -215,9 +272,32 @@ func EstimateLinfBinary(a, b *bitmat.Matrix, o LinfOpts) (float64, Pair, Cost, e
 			msg1.PutUvarint(uint64(colSums[ℓ][k]))
 		}
 	}
-	recv1 := conn.Send(comm.AliceToBob, msg1)
+	t.Send(comm.AliceToBob, msg1)
 
-	// Bob: ‖C^ℓ‖1 per level via Remark 2; pick ℓ*.
+	// Round 2 (Bob→Alice): the selected level, then Alice's exchange turn.
+	lStar := int(t.Recv(comm.BobToAlice).Uvarint())
+	if lStar > maxLevel {
+		return fmt.Errorf("core: selected level %d exceeds maximum %d", lStar, maxLevel)
+	}
+	aliceExchangeTurn(t, cols, lStar, colSums[lStar], allItems(n), a.Rows(), m2)
+	return nil
+}
+
+// BobLinf drives Bob's side of Algorithm 2: he locates the first level
+// ℓ* at which ‖C^ℓ‖1 falls below the γ·m1·m2 threshold (Remark 2 per
+// level), announces it, runs his half of the index exchange, and
+// rescales the subsampled maximum by 1/p_ℓ*. m1 is Alice's row count
+// (catalog metadata).
+func BobLinf(t comm.Transport, b *bitmat.Matrix, m1 int, o LinfOpts) (est float64, arg Pair, err error) {
+	defer recoverDecodeError(&err)
+	if err := o.setDefaults(); err != nil {
+		return 0, Pair{}, err
+	}
+	n := b.Rows()
+	m2 := b.Cols()
+
+	// Round 1 in: per-level column sums; pick ℓ* via Remark 2 per level.
+	recv1 := t.Recv(comm.AliceToBob)
 	gotMax := int(recv1.Uvarint())
 	bobColSums := make([][]int, gotMax+1)
 	for ℓ := 0; ℓ <= gotMax; ℓ++ {
@@ -244,20 +324,16 @@ func EstimateLinfBinary(a, b *bitmat.Matrix, o LinfOpts) (float64, Pair, Cost, e
 		}
 	}
 
-	// Round 2 begins (Bob→Alice): ℓ*.
+	// Round 2 begins (Bob→Alice): ℓ*, then the exchange.
 	msgL := comm.NewMessage()
 	msgL.Label = "selected level ℓ*"
 	msgL.PutUvarint(uint64(lStar))
-	recvL := conn.Send(comm.BobToAlice, msgL)
-	lStarAlice := int(recvL.Uvarint())
+	t.Send(comm.BobToAlice, msgL)
 
-	// Rounds 2–3 continue: item-wise index exchange at level ℓ*.
-	active := make([]int, n)
-	for k := range active {
-		active[k] = k
-	}
-	maxVal, arg, _, _ := indexExchange(conn, cols, lStarAlice, colSums[lStarAlice], b, m1, m2, active)
+	active := allItems(n)
+	vkSent := bobExchangeSend(t, b, bobColSums[lStar], active)
+	maxVal, arg, _ := bobExchangeFinish(t, b, vkSent, bobColSums[lStar], active, m1)
 
-	pl := math.Pow(base, -float64(lStar))
-	return float64(maxVal) / pl, arg, costOf(conn), nil
+	pl := math.Pow(1+o.Eps, -float64(lStar))
+	return float64(maxVal) / pl, arg, nil
 }

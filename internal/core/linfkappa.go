@@ -18,6 +18,9 @@ type LinfKappaOpts struct {
 	AlphaC float64
 	// Seed is the shared public-coin seed.
 	Seed uint64
+	// DisableUniverseSampling turns off the universe-sampling step — the
+	// ablation the paper discusses, which only reaches Õ(n^1.5/√κ).
+	DisableUniverseSampling bool
 }
 
 func (o *LinfKappaOpts) setDefaults(n int) error {
@@ -39,37 +42,61 @@ func (o *LinfKappaOpts) setDefaults(n int) error {
 // threshold α·n²/κ) and the item-wise index exchange. The two-case
 // Cauchy–Schwarz argument then gives Õ(n^1.5/κ) total communication —
 // without universe sampling the same pipeline only reaches Õ(n^1.5/√κ),
-// an ablation the benchmarks measure (DisableUniverseSampling below).
+// an ablation the benchmarks measure (EstimateLinfKappaNoUniverse).
 //
 // If the sampled product D is empty the protocol falls back to reporting
 // 1 when C is non-zero and 0 otherwise, which is κ-accurate because E5
-// implies all entries of C are below κ/4 in that case.
+// implies all entries of C are below κ/4 in that case. (Bob announces
+// the fallback in his level message so a transport-separated Alice stops
+// in lockstep — one extra Õ(1)-bit message relative to the paper's
+// accounting.)
 func EstimateLinfKappa(a, b *bitmat.Matrix, o LinfKappaOpts) (float64, Pair, Cost, error) {
-	return linfKappa(a, b, o, true)
+	o.DisableUniverseSampling = false
+	return linfKappaPair(a, b, o)
 }
 
 // EstimateLinfKappaNoUniverse is the ablation the paper discusses when
 // motivating Algorithm 3: the same protocol without the universe-sampling
 // step, which only achieves Õ(n^1.5/√κ) communication.
 func EstimateLinfKappaNoUniverse(a, b *bitmat.Matrix, o LinfKappaOpts) (float64, Pair, Cost, error) {
-	return linfKappa(a, b, o, false)
+	o.DisableUniverseSampling = true
+	return linfKappaPair(a, b, o)
 }
 
-func linfKappa(a, b *bitmat.Matrix, o LinfKappaOpts, universeSample bool) (float64, Pair, Cost, error) {
+func linfKappaPair(a, b *bitmat.Matrix, o LinfKappaOpts) (float64, Pair, Cost, error) {
 	if err := checkDims(a.Cols(), b.Rows()); err != nil {
 		return 0, Pair{}, Cost{}, err
 	}
+	var est float64
+	var arg Pair
+	cost, err := runPair(
+		func(t comm.Transport) error { return AliceLinfKappa(t, a, b.Cols(), o) },
+		func(t comm.Transport) (err error) { est, arg, err = BobLinfKappa(t, b, a.Rows(), o); return err },
+	)
+	if err != nil {
+		return 0, Pair{}, cost, err
+	}
+	return est, arg, cost, nil
+}
+
+// AliceLinfKappa drives Alice's side of Algorithm 3: universe sampling
+// at rate q = min(α/κ, 1), level sampling of the survivors at rates
+// 2^-ℓ, the round-1 message (survivor bitmap, full column sums for the
+// fallback, per-level sums over survivors), then her half of the index
+// exchange at Bob's level — unless Bob announces the empty-product
+// fallback. m2 is Bob's column count (catalog metadata). The estimate
+// is Bob's output.
+func AliceLinfKappa(t comm.Transport, a *bitmat.Matrix, m2 int, o LinfKappaOpts) (err error) {
+	defer recoverDecodeError(&err)
 	n := a.Cols()
 	if err := o.setDefaults(n); err != nil {
-		return 0, Pair{}, Cost{}, err
+		return err
 	}
-	m1, m2 := a.Rows(), b.Cols()
-	conn := comm.NewConn()
 	alicePriv := rng.New(o.Seed).Derive("alice-private", "linfkappa")
 
 	alpha := o.AlphaC * lnDim(n)
 	q := 1.0
-	if universeSample {
+	if !o.DisableUniverseSampling {
 		q = math.Min(alpha/o.Kappa, 1)
 	}
 
@@ -101,9 +128,8 @@ func linfKappa(a, b *bitmat.Matrix, o LinfKappaOpts, universeSample bool) (float
 	// Round 1 (Alice→Bob): survivor bitmap, full column sums of A (for
 	// the ‖C‖1 fallback), and per-level column sums over survivors.
 	msg1 := comm.NewMessage()
-	keepBits := make([]bool, n)
-	copy(keepBits, keep)
-	msg1.PutBitmap(keepBits)
+	msg1.Label = "survivor bitmap and per-level column sums"
+	msg1.PutBitmap(keep)
 	for k := 0; k < n; k++ {
 		msg1.PutUvarint(uint64(a.ColWeight(k)))
 	}
@@ -124,9 +150,39 @@ func linfKappa(a, b *bitmat.Matrix, o LinfKappaOpts, universeSample bool) (float
 			msg1.PutUvarint(uint64(colSums[ℓ][k]))
 		}
 	}
-	recv1 := conn.Send(comm.AliceToBob, msg1)
+	t.Send(comm.AliceToBob, msg1)
 
-	// Bob: parse, compute ‖D^ℓ‖1 per level, decide.
+	// Round 2 (Bob→Alice): the selected level, or maxLevel+1 as the
+	// empty-product fallback signal.
+	lStar := int(t.Recv(comm.BobToAlice).Uvarint())
+	if lStar > maxLevel {
+		return nil // fallback: Bob answers from ‖C‖1 alone
+	}
+	aliceExchangeTurn(t, cols, lStar, colSums[lStar], active, a.Rows(), m2)
+	return nil
+}
+
+// BobLinfKappa drives Bob's side of Algorithm 3: he computes ‖D^ℓ‖1 per
+// level from Alice's survivor sums (Remark 2 per level), selects the
+// first level below the α·m1·m2/κ threshold, runs his half of the index
+// exchange, and rescales by 1/(q·2^-ℓ*). If the sampled product is
+// empty he announces the fallback level and reports 1 iff C ≠ 0. m1 is
+// Alice's row count (catalog metadata).
+func BobLinfKappa(t comm.Transport, b *bitmat.Matrix, m1 int, o LinfKappaOpts) (est float64, arg Pair, err error) {
+	defer recoverDecodeError(&err)
+	n := b.Rows()
+	if err := o.setDefaults(n); err != nil {
+		return 0, Pair{}, err
+	}
+	m2 := b.Cols()
+	alpha := o.AlphaC * lnDim(n)
+	q := 1.0
+	if !o.DisableUniverseSampling {
+		q = math.Min(alpha/o.Kappa, 1)
+	}
+
+	// Round 1 in: parse, compute ‖D^ℓ‖1 per level, decide.
+	recv1 := t.Recv(comm.AliceToBob)
 	keepBob := recv1.Bitmap()
 	fullColSums := make([]int64, n)
 	for k := 0; k < n; k++ {
@@ -156,11 +212,16 @@ func linfKappa(a, b *bitmat.Matrix, o LinfKappaOpts, universeSample bool) (float
 		}
 	}
 	if l1D == 0 {
-		// ‖D‖1 = 0: output 1 iff C is non-zero (κ-accurate by E5).
+		// ‖D‖1 = 0: announce the fallback and output 1 iff C is non-zero
+		// (κ-accurate by E5).
+		msgL := comm.NewMessage()
+		msgL.Label = "empty-product fallback"
+		msgL.PutUvarint(uint64(gotMax) + 1)
+		t.Send(comm.BobToAlice, msgL)
 		if l1C == 0 {
-			return 0, Pair{}, costOf(conn), nil
+			return 0, Pair{}, nil
 		}
-		return 1, Pair{}, costOf(conn), nil
+		return 1, Pair{}, nil
 	}
 	threshold := alpha * float64(m1) * float64(m2) / o.Kappa
 	lStar := gotMax
@@ -177,11 +238,12 @@ func linfKappa(a, b *bitmat.Matrix, o LinfKappaOpts, universeSample bool) (float
 
 	// Round 2 begins (Bob→Alice): ℓ*, then the index exchange.
 	msgL := comm.NewMessage()
+	msgL.Label = "selected level ℓ*"
 	msgL.PutUvarint(uint64(lStar))
-	recvL := conn.Send(comm.BobToAlice, msgL)
-	lStarAlice := int(recvL.Uvarint())
+	t.Send(comm.BobToAlice, msgL)
 
-	maxVal, arg, _, _ := indexExchange(conn, cols, lStarAlice, colSums[lStarAlice], b, m1, m2, active)
+	vkSent := bobExchangeSend(t, b, bobColSums[lStar], activeBob)
+	maxVal, arg, _ := bobExchangeFinish(t, b, vkSent, bobColSums[lStar], activeBob, m1)
 	pl := math.Pow(2, -float64(lStar))
-	return float64(maxVal) / (q * pl), arg, costOf(conn), nil
+	return float64(maxVal) / (q * pl), arg, nil
 }

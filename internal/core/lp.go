@@ -54,6 +54,23 @@ func (o *LpOpts) setDefaults() error {
 	return nil
 }
 
+// lpSketchFamilies derives the per-repetition shared sketch families for
+// Algorithm 1 with the given options — the common construction both
+// party drivers (and therefore the in-process EstimateLp) must agree on.
+func lpSketchFamilies(o LpOpts, dim int, p float64) []rowSketcher {
+	beta := math.Sqrt(o.Eps)
+	sizeWords := int(math.Ceil(o.SketchC / (beta * beta)))
+	if sizeWords < 4 {
+		sizeWords = 4
+	}
+	shared := rng.New(o.Seed)
+	sketchers := make([]rowSketcher, o.Reps)
+	for rep := range sketchers {
+		sketchers[rep] = newRowSketcher(shared.Derive("lp", strconv.Itoa(rep)), dim, p, sizeWords)
+	}
+	return sketchers
+}
+
 // rowSketcher abstracts the two sketch families Algorithm 1 uses for its
 // first-round row-norm estimates: field sketches for p = 0 and float
 // sketches for p ∈ (0, 2]. Both are linear, which is what lets Alice
@@ -185,19 +202,29 @@ func EstimateLp(a, b *intmat.Dense, p float64, o LpOpts) (float64, Cost, error) 
 	if err := checkDims(a.Cols(), b.Rows()); err != nil {
 		return 0, Cost{}, err
 	}
+	var est float64
+	cost, err := runPair(
+		func(t comm.Transport) error { return AliceLp(t, a, b.Cols(), p, o) },
+		func(t comm.Transport) (err error) { est, err = BobLp(t, b, p, o); return err },
+	)
+	if err != nil {
+		return 0, cost, err
+	}
+	return est, cost, nil
+}
+
+// BobLp drives Bob's side of Algorithm 1 over any transport: sketches
+// out in round 1, sampled rows in and exact norms of them in round 2.
+// It returns the protocol output (the estimate lives at Bob, as in the
+// paper). The options must match Alice's.
+func BobLp(t comm.Transport, b *intmat.Dense, p float64, o LpOpts) (est float64, err error) {
+	defer recoverDecodeError(&err)
 	if p < 0 || p > 2 {
-		return 0, Cost{}, ErrBadP
+		return 0, ErrBadP
 	}
 	if err := o.setDefaults(); err != nil {
-		return 0, Cost{}, err
+		return 0, err
 	}
-	beta := math.Sqrt(o.Eps)
-	n := a.Cols()
-	m1 := a.Rows()
-	conn := comm.NewConn()
-
-	// Shared sketches, one per repetition (the same construction the
-	// transport-separated endpoints use, so transcripts agree exactly).
 	sketchers := lpSketchFamilies(o, b.Cols(), p)
 
 	// Round 1: Bob → Alice.
@@ -206,9 +233,51 @@ func EstimateLp(a, b *intmat.Dense, p float64, o LpOpts) (float64, Cost, error) 
 	for _, rs := range sketchers {
 		rs.encodeRows(msg1, b)
 	}
-	recv1 := conn.Send(comm.BobToAlice, msg1)
+	t.Send(comm.BobToAlice, msg1)
 
-	// Alice: estimate row norms, group, sample, ship sampled rows.
+	// Round 2: sampled rows in; exact norms of the sampled rows of C,
+	// weighted sum per repetition.
+	recv2 := t.Recv(comm.AliceToBob)
+	perRep := make([]float64, o.Reps)
+	for rep := range perRep {
+		count := int(recv2.Uvarint())
+		var est float64
+		for s := 0; s < count; s++ {
+			_ = recv2.Uvarint() // row index (informational)
+			w := recv2.Float64()
+			cols, vals := getSparseRow(recv2)
+			y := mulRowSparse(cols, vals, b)
+			est += w * rowLpPow(y, p)
+		}
+		perRep[rep] = est
+	}
+	return median(perRep), nil
+}
+
+// AliceLp drives Alice's side of Algorithm 1: she decodes Bob's row
+// sketches, estimates row norms of C, groups and samples rows of A, and
+// ships the sample. m2 is Bob's column count — catalog metadata both
+// parties know before the protocol starts; it fixes the shared sketch
+// dimension and costs no communication, matching the in-process
+// simulation. Alice learns nothing beyond the transcript; the estimate
+// is Bob's output.
+func AliceLp(t comm.Transport, a *intmat.Dense, m2 int, p float64, o LpOpts) (err error) {
+	defer recoverDecodeError(&err)
+	if p < 0 || p > 2 {
+		return ErrBadP
+	}
+	if err := o.setDefaults(); err != nil {
+		return err
+	}
+	if m2 <= 0 || a.Cols() <= 0 {
+		return ErrDimensionMismatch
+	}
+	beta := math.Sqrt(o.Eps)
+	n := a.Cols()
+	m1 := a.Rows()
+	sketchers := lpSketchFamilies(o, m2, p)
+
+	recv1 := t.Recv(comm.BobToAlice)
 	alicePriv := rng.New(o.Seed).Derive("alice-private", "lp")
 	rho := o.RhoC / o.Eps
 	msg2 := comm.NewMessage()
@@ -228,23 +297,8 @@ func EstimateLp(a, b *intmat.Dense, p float64, o LpOpts) (float64, Cost, error) 
 		}
 	}
 	msg2.Label = "sampled rows of A with weights"
-	recv2 := conn.Send(comm.AliceToBob, msg2)
-
-	// Bob: exact norms of the sampled rows of C, weighted sum per rep.
-	perRep := make([]float64, o.Reps)
-	for rep := range perRep {
-		count := int(recv2.Uvarint())
-		var est float64
-		for s := 0; s < count; s++ {
-			_ = recv2.Uvarint() // row index (informational)
-			w := recv2.Float64()
-			cols, vals := getSparseRow(recv2)
-			y := mulRowSparse(cols, vals, b)
-			est += w * rowLpPow(y, p)
-		}
-		perRep[rep] = est
-	}
-	return median(perRep), costOf(conn), nil
+	t.Send(comm.AliceToBob, msg2)
+	return nil
 }
 
 // OneRoundLp is the direct-sketching baseline from [16]: Bob ships

@@ -13,11 +13,15 @@
 //     exceeds a threshold, and
 //   - ℓ0/ℓ1-sampling draws a random joining pair.
 //
-// Every protocol runs over an in-process two-party runtime that accounts
-// exact bits and rounds, so each call returns its estimate together with
-// a Cost — the quantity the paper's theorems bound. Shared randomness is
-// free (public-coin model) and derived from the Seed in each option
-// struct, making all executions reproducible.
+// Every protocol is implemented once, as a pair of transport-agnostic
+// party drivers; the calls below run both drivers over an in-process
+// two-party runtime that accounts exact bits and rounds, so each call
+// returns its estimate together with a Cost — the quantity the paper's
+// theorems bound. The same drivers run unchanged across real sockets:
+// the service package and cmd/mpserver serve them as a networked
+// estimation API. Shared randomness is free (public-coin model) and
+// derived from the Seed in each option struct, making all executions
+// reproducible.
 //
 // # Quick start
 //
@@ -28,8 +32,8 @@
 //	// size ≈ |A∘B| within (1±0.1); cost.Bits ≈ Õ(n/ε) vs the naive n².
 //
 // See the examples/ directory for runnable end-to-end scenarios and
-// DESIGN.md / EXPERIMENTS.md for the experiment-by-experiment mapping to
-// the paper's theorems.
+// DESIGN.md for the architecture and the experiment-by-experiment
+// mapping to the paper's theorems.
 package matprod
 
 import (

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is the typed counterpart of the HTTP API served by NewHandler.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given server root.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx server reply.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: server returned %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
+			return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Message: string(msg)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// UploadMatrix uploads (or replaces) a served matrix.
+func (c *Client) UploadMatrix(ctx context.Context, name string, m Matrix) (MatrixInfo, error) {
+	var out MatrixInfo
+	err := c.do(ctx, http.MethodPut, "/matrix/"+name, m, &out)
+	return out, err
+}
+
+// DeleteMatrix removes a served matrix.
+func (c *Client) DeleteMatrix(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/matrix/"+name, nil, nil)
+}
+
+// Matrices lists the served matrices.
+func (c *Client) Matrices(ctx context.Context) ([]MatrixInfo, error) {
+	var out []MatrixInfo
+	err := c.do(ctx, http.MethodGet, "/matrices", nil, &out)
+	return out, err
+}
+
+// Estimate runs one estimation query.
+func (c *Client) Estimate(ctx context.Context, req Request) (*Result, error) {
+	var out Result
+	if err := c.do(ctx, http.MethodPost, "/estimate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the aggregate serving statistics.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.do(ctx, http.MethodGet, "/stats", nil, &out)
+	return out, err
+}

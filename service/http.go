@@ -1,0 +1,100 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies (a 512×512 dense upload is ~6 MB
+// of JSON; leave generous headroom).
+const maxBodyBytes = 256 << 20
+
+// NewHandler exposes the engine as a JSON API:
+//
+//	PUT    /matrix/{name}   upload/replace a served matrix
+//	DELETE /matrix/{name}   remove a served matrix
+//	GET    /matrices        list served matrices (most recent first)
+//	POST   /estimate        run one estimation query
+//	GET    /stats           aggregate serving statistics
+//	GET    /healthz         liveness
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var m Matrix
+		if err := decodeJSON(r, &m); err != nil {
+			writeError(w, err)
+			return
+		}
+		info, evicted, err := e.PutMatrix(r.PathValue("name"), m)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			MatrixInfo
+			Evicted []string `json:"evicted,omitempty"`
+		}{info, evicted})
+	})
+	mux.HandleFunc("DELETE /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := e.DeleteMatrix(r.PathValue("name")); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
+	})
+	mux.HandleFunc("GET /matrices", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Matrices())
+	})
+	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		res, err := e.Estimate(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrMatrixNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

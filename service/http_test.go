@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Client) {
+	t.Helper()
+	e := NewEngine(cfg)
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	return srv, NewClient(srv.URL)
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	info, err := client.UploadMatrix(ctx, "demo", testBinaryMatrix(1, 24, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "demo" || info.Rows != 24 || !info.Binary || !info.NonNeg {
+		t.Fatalf("upload info %+v", info)
+	}
+
+	seed := uint64(7)
+	res, err := client.Estimate(ctx, Request{
+		Matrix: "demo", Kind: "lp", P: 1, Eps: 0.3, Seed: &seed,
+		A: testBinaryMatrix(2, 24, 0.3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate <= 0 || res.Bits <= 0 || res.Rounds != 2 || res.Seed != seed {
+		t.Fatalf("estimate result %+v", res)
+	}
+
+	// The same request over HTTP must reproduce bit-for-bit.
+	res2, err := client.Estimate(ctx, Request{
+		Matrix: "demo", Kind: "lp", P: 1, Eps: 0.3, Seed: &seed,
+		A: testBinaryMatrix(2, 24, 0.3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Estimate != res.Estimate || res2.Bits != res.Bits {
+		t.Fatalf("not reproducible: %+v vs %+v", res2, res)
+	}
+
+	list, err := client.Matrices(ctx)
+	if err != nil || len(list) != 1 || list[0].Name != "demo" {
+		t.Fatalf("matrices %v err=%v", list, err)
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 || st.Errors != 0 || st.TotalBits != 2*res.Bits {
+		t.Fatalf("stats %+v", st)
+	}
+
+	if err := client.DeleteMatrix(ctx, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Estimate(ctx, Request{Matrix: "demo", Kind: "lp", A: testBinaryMatrix(2, 24, 0.3)}); err == nil {
+		t.Fatal("estimate against deleted matrix succeeded")
+	}
+}
+
+func TestHTTPErrorStatuses(t *testing.T) {
+	srv, client := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := client.UploadMatrix(ctx, "m", testBinaryMatrix(3, 8, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+
+	wantStatus := func(err error, want int) {
+		t.Helper()
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("err %v, want APIError", err)
+		}
+		if apiErr.Status != want {
+			t.Fatalf("status %d, want %d (%s)", apiErr.Status, want, apiErr.Message)
+		}
+	}
+
+	_, err := client.Estimate(ctx, Request{Matrix: "absent", Kind: "lp", A: testBinaryMatrix(4, 8, 0.5)})
+	wantStatus(err, http.StatusNotFound)
+
+	_, err = client.Estimate(ctx, Request{Matrix: "m", Kind: "nope", A: testBinaryMatrix(4, 8, 0.5)})
+	wantStatus(err, http.StatusBadRequest)
+
+	err = client.DeleteMatrix(ctx, "absent")
+	wantStatus(err, http.StatusNotFound)
+
+	// Malformed JSON body.
+	resp, err := http.Post(srv.URL+"/estimate", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+
+	// Unknown fields are rejected (catches client/server schema drift).
+	resp, err = http.Post(srv.URL+"/estimate", "application/json", strings.NewReader(`{"bogus": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", resp.StatusCode)
+	}
+
+	// Health endpoint.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/intmat"
+)
+
+// MatrixInfo describes a served matrix in the registry.
+type MatrixInfo struct {
+	Name     string    `json:"name"`
+	Rows     int       `json:"rows"`
+	Cols     int       `json:"cols"`
+	NNZ      int       `json:"nnz"`
+	Binary   bool      `json:"binary"`
+	NonNeg   bool      `json:"non_negative"`
+	Uploaded time.Time `json:"uploaded"`
+}
+
+// servedMatrix is one registry entry: Bob's matrix in the forms the
+// protocols need, plus the catalog metadata Alice learns out of band.
+type servedMatrix struct {
+	info  MatrixInfo
+	dense *intmat.Dense
+	bits  *bitmat.Matrix // non-nil iff the matrix is 0/1
+	elem  *list.Element
+}
+
+// registry is the named-matrix store hosting Bob's side of the service:
+// upload B once, query it many times. Capacity is bounded; inserting
+// beyond it evicts the least-recently-used matrix (uploads and queries
+// both count as use).
+type registry struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*servedMatrix
+	lru *list.List // front = most recently used; values are names
+}
+
+func newRegistry(capacity int) *registry {
+	return &registry{cap: capacity, m: make(map[string]*servedMatrix), lru: list.New()}
+}
+
+// put inserts or replaces a matrix and returns the names evicted to
+// make room.
+func (r *registry) put(name string, sm *servedMatrix) (evicted []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.m[name]; ok {
+		r.lru.Remove(old.elem)
+	}
+	sm.elem = r.lru.PushFront(name)
+	r.m[name] = sm
+	for r.lru.Len() > r.cap {
+		back := r.lru.Back()
+		victim := back.Value.(string)
+		r.lru.Remove(back)
+		delete(r.m, victim)
+		evicted = append(evicted, victim)
+	}
+	return evicted
+}
+
+// get returns the named matrix and marks it most recently used.
+func (r *registry) get(name string) (*servedMatrix, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sm, ok := r.m[name]
+	if !ok {
+		return nil, false
+	}
+	r.lru.MoveToFront(sm.elem)
+	return sm, true
+}
+
+// delete removes the named matrix, reporting whether it existed.
+func (r *registry) delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sm, ok := r.m[name]
+	if !ok {
+		return false
+	}
+	r.lru.Remove(sm.elem)
+	delete(r.m, name)
+	return true
+}
+
+// infos lists the registry contents in most-recently-used order.
+func (r *registry) infos() []MatrixInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MatrixInfo, 0, r.lru.Len())
+	for e := r.lru.Front(); e != nil; e = e.Next() {
+		out = append(out, r.m[e.Value.(string)].info)
+	}
+	return out
+}
+
+func (r *registry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}

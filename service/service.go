@@ -1,0 +1,473 @@
+// Package service is the networked estimation service built on the
+// paper's protocols: a server engine hosts Bob's side — a registry of
+// named matrices, uploaded once and queried many times — and answers
+// estimation queries by running the two-party protocol drivers of
+// internal/core against the querying client, who plays Alice.
+//
+// The engine is transport-agnostic: each job runs over a pluggable
+// comm.Transport (in-process pair by default, loopback TCP to force
+// every protocol message through a real socket) with the exact
+// bit-and-round accounting of the paper's communication model, which
+// the per-request results and aggregate stats report.
+//
+// A bounded worker pool caps concurrent protocol executions, a bounded
+// admission queue sheds overload, and per-job seeds make every answer
+// reproducible. The HTTP layer (NewHandler) exposes the engine as a
+// JSON API; Client is its typed counterpart; cmd/mpserver and
+// cmd/mpload are the runnable server and load generator.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/intmat"
+)
+
+// Service errors. Handlers map them to HTTP statuses.
+var (
+	// ErrBadRequest marks malformed or invalid query parameters.
+	ErrBadRequest = errors.New("service: bad request")
+	// ErrMatrixNotFound is returned for queries against unknown names.
+	ErrMatrixNotFound = errors.New("service: matrix not found")
+	// ErrOverloaded is returned when the worker pool and its admission
+	// queue are both full.
+	ErrOverloaded = errors.New("service: overloaded")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("service: engine closed")
+)
+
+// Kinds lists the supported job kinds with the protocol each runs.
+var Kinds = map[string]string{
+	"lp":        "Algorithm 1 (Theorem 3.1): (1±ε)·‖AB‖p^p, p ∈ [0,2]",
+	"l0sample":  "Theorem 3.2: uniform non-zero entry of AB with exact value",
+	"l1sample":  "Remark 3: entry (i,j) ∝ C[i][j] with join witness",
+	"exact":     "Remark 2: exact ‖AB‖1 for non-negative matrices",
+	"linf":      "Algorithm 2 (Theorem 4.1): (2+ε)·‖AB‖∞ for Boolean matrices",
+	"linfkappa": "Algorithm 3 (Theorem 4.3): κ·‖AB‖∞ for Boolean matrices",
+	"hh":        "Algorithm 4 (Theorem 5.1): ℓp-(ϕ,ε)-heavy hitters",
+}
+
+// Config parameterizes an Engine. Zero values select the defaults.
+type Config struct {
+	// Workers bounds concurrent protocol executions. Default 8.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker beyond the pool;
+	// admissions past it fail with ErrOverloaded. Default 64.
+	QueueDepth int
+	// MaxMatrices bounds the registry; inserting beyond it evicts the
+	// least-recently-used matrix. Default 16.
+	MaxMatrices int
+	// BaseSeed seeds the per-job seed sequence used when a request does
+	// not pin its own seed. Default 1.
+	BaseSeed uint64
+	// Transport creates each job's transport. Default InProcess.
+	Transport TransportFactory
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxMatrices <= 0 {
+		c.MaxMatrices = 16
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.Transport == nil {
+		c.Transport = InProcess
+	}
+}
+
+// Request is one estimation query: which served matrix to run against,
+// which protocol, its parameters, and Alice's matrix.
+type Request struct {
+	// Matrix names the served (Bob's) matrix.
+	Matrix string `json:"matrix"`
+	// Kind selects the protocol; see Kinds.
+	Kind string `json:"kind"`
+	// A is the querying client's (Alice's) matrix; A·B is estimated.
+	A Matrix `json:"a"`
+	// P is the norm index for lp and hh. Defaults: lp p=1, hh p=1.
+	P float64 `json:"p,omitempty"`
+	// Eps is the accuracy/guarantee parameter for lp, l0sample, linf
+	// and hh. Default 0.25 (0.1 for hh, where it must be ≤ Phi).
+	Eps float64 `json:"eps,omitempty"`
+	// Phi is the heavy-hitter threshold for hh. Default 0.2.
+	Phi float64 `json:"phi,omitempty"`
+	// Kappa is the approximation factor for linfkappa. Default 8.
+	Kappa float64 `json:"kappa,omitempty"`
+	// Seed pins the public-coin seed for reproducibility; when nil the
+	// engine assigns one from its BaseSeed sequence (reported in the
+	// Result).
+	Seed *uint64 `json:"seed,omitempty"`
+}
+
+// Result is one estimation answer together with its exact
+// communication cost and the seed that reproduces it.
+type Result struct {
+	Kind     string  `json:"kind"`
+	Matrix   string  `json:"matrix"`
+	Estimate float64 `json:"estimate"`
+	// I, J locate a sampled or witnessing entry (l0sample, l1sample,
+	// linf, linfkappa).
+	I int `json:"i,omitempty"`
+	J int `json:"j,omitempty"`
+	// Witness is the sampled join witness of l1sample.
+	Witness int `json:"witness,omitempty"`
+	// Entries is the hh output set.
+	Entries []Entry `json:"entries,omitempty"`
+	// Bits and Rounds are the protocol's exact communication cost.
+	Bits   int64 `json:"bits"`
+	Rounds int   `json:"rounds"`
+	// Seed reproduces this answer bit-for-bit.
+	Seed uint64 `json:"seed"`
+	// Elapsed is the server-side wall-clock protocol time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Engine hosts Bob's side of the estimation service.
+type Engine struct {
+	cfg     Config
+	reg     *registry
+	stats   *collector
+	workers chan struct{} // worker slots
+	queue   chan struct{} // bounded admission queue
+	seedSeq chan uint64
+	closed  chan struct{}
+}
+
+// NewEngine returns a ready engine.
+func NewEngine(cfg Config) *Engine {
+	cfg.setDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		reg:     newRegistry(cfg.MaxMatrices),
+		stats:   newCollector(),
+		workers: make(chan struct{}, cfg.Workers),
+		queue:   make(chan struct{}, cfg.QueueDepth),
+		seedSeq: make(chan uint64, 1),
+		closed:  make(chan struct{}),
+	}
+	e.seedSeq <- cfg.BaseSeed
+	return e
+}
+
+// Close stops admitting work. In-flight jobs finish.
+func (e *Engine) Close() {
+	select {
+	case <-e.closed:
+	default:
+		close(e.closed)
+	}
+}
+
+// nextSeed draws the next job seed from the engine's reproducible
+// sequence (a splitmix64-style stride over BaseSeed).
+func (e *Engine) nextSeed() uint64 {
+	s := <-e.seedSeq
+	e.seedSeq <- s + 0x9E3779B97F4A7C15
+	return s
+}
+
+// PutMatrix validates and stores a served matrix, returning its catalog
+// info and any evicted names.
+func (e *Engine) PutMatrix(name string, m Matrix) (MatrixInfo, []string, error) {
+	select {
+	case <-e.closed:
+		return MatrixInfo{}, nil, ErrClosed
+	default:
+	}
+	if name == "" {
+		return MatrixInfo{}, nil, fmt.Errorf("%w: empty matrix name", ErrBadRequest)
+	}
+	dense, binary, nonNeg, err := m.toDense()
+	if err != nil {
+		return MatrixInfo{}, nil, err
+	}
+	sm := &servedMatrix{
+		info: MatrixInfo{
+			Name:     name,
+			Rows:     dense.Rows(),
+			Cols:     dense.Cols(),
+			NNZ:      len(m.Entries),
+			Binary:   binary,
+			NonNeg:   nonNeg,
+			Uploaded: time.Now(),
+		},
+		dense: dense,
+	}
+	if binary {
+		sm.bits = toBool(dense)
+	}
+	evicted := e.reg.put(name, sm)
+	e.stats.evict(len(evicted))
+	return sm.info, evicted, nil
+}
+
+// DeleteMatrix removes a served matrix.
+func (e *Engine) DeleteMatrix(name string) error {
+	if !e.reg.delete(name) {
+		return fmt.Errorf("%w: %q", ErrMatrixNotFound, name)
+	}
+	return nil
+}
+
+// Matrices lists the served matrices, most recently used first.
+func (e *Engine) Matrices() []MatrixInfo { return e.reg.infos() }
+
+// Stats snapshots the aggregate serving statistics.
+func (e *Engine) Stats() Stats { return e.stats.snapshot(e.reg.len()) }
+
+// Estimate answers one query: it admits the job through the bounded
+// pool, runs the requested protocol between Alice (the request's
+// matrix) and Bob (the served matrix) over a fresh transport, and
+// returns the estimate with its exact communication cost.
+func (e *Engine) Estimate(ctx context.Context, req Request) (*Result, error) {
+	select {
+	case <-e.closed:
+		return nil, ErrClosed
+	default:
+	}
+
+	// Admission: take a worker slot immediately, or wait in the bounded
+	// queue; a full queue sheds the request.
+	select {
+	case e.workers <- struct{}{}:
+	default:
+		select {
+		case e.queue <- struct{}{}:
+			defer func() { <-e.queue }()
+			select {
+			case e.workers <- struct{}{}:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-e.closed:
+				return nil, ErrClosed
+			}
+		default:
+			e.stats.reject()
+			return nil, ErrOverloaded
+		}
+	}
+	defer func() { <-e.workers }()
+
+	res, err := e.runJob(req)
+	return res, err
+}
+
+// runJob validates the request, builds both parties' inputs, and drives
+// the protocol over a fresh transport.
+func (e *Engine) runJob(req Request) (*Result, error) {
+	sm, ok := e.reg.get(req.Matrix)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrMatrixNotFound, req.Matrix)
+	}
+	a, aBinary, aNonNeg, err := req.A.toDense()
+	if err != nil {
+		return nil, err
+	}
+	if a.Cols() != sm.info.Rows {
+		return nil, fmt.Errorf("%w: A is %dx%d but %q has %d rows",
+			ErrBadRequest, a.Rows(), a.Cols(), req.Matrix, sm.info.Rows)
+	}
+	seed := e.nextSeed()
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+
+	job, err := buildJob(req, sm, a, aBinary, aNonNeg, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	alice, bob, cleanup, err := e.cfg.Transport()
+	if err != nil {
+		return nil, fmt.Errorf("service: transport: %w", err)
+	}
+	defer cleanup()
+
+	start := time.Now()
+	runErr := core.RunParties(alice, bob, job.alice, job.bob)
+	elapsed := time.Since(start)
+	stats := bob.T.Stats()
+
+	e.stats.record(req.Kind, stats.TotalBits(), stats.Rounds, elapsed, runErr != nil)
+	if runErr != nil {
+		return nil, fmt.Errorf("%w: %s", mapProtocolError(runErr), runErr)
+	}
+	res := job.result
+	res.Kind = req.Kind
+	res.Matrix = req.Matrix
+	res.Bits = stats.TotalBits()
+	res.Rounds = stats.Rounds
+	res.Seed = seed
+	res.Elapsed = elapsed
+	return res, nil
+}
+
+// mapProtocolError folds core's validation errors into ErrBadRequest so
+// the HTTP layer reports them as client faults; anything else is a
+// protocol-level failure.
+func mapProtocolError(err error) error {
+	for _, bad := range []error{
+		core.ErrBadP, core.ErrBadEps, core.ErrBadKappa, core.ErrBadPhi,
+		core.ErrNeedNonNegative, core.ErrDimensionMismatch,
+	} {
+		if errors.Is(err, bad) {
+			return ErrBadRequest
+		}
+	}
+	return errors.New("service: protocol failed")
+}
+
+// job packages one protocol execution: the two party drivers plus the
+// result they fill in (Bob's driver writes the outputs — the estimate
+// lives server-side for every kind).
+type job struct {
+	alice  func(comm.Transport) error
+	bob    func(comm.Transport) error
+	result *Result
+}
+
+// buildJob wires the request to the matching protocol drivers. Catalog
+// metadata (dimensions, binarity, signedness) crosses as parameters,
+// never as protocol payload, so costs match the paper's accounting.
+func buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinary, aNonNeg bool, seed uint64) (*job, error) {
+	res := &Result{}
+	b := sm.dense
+	m2 := sm.info.Cols
+	eps := req.Eps
+	if eps == 0 {
+		eps = 0.25
+	}
+	switch req.Kind {
+	case "lp":
+		p := req.P // p = 0 is meaningful: ℓ0, the composition-size estimate
+		o := core.LpOpts{Eps: eps, Seed: seed}
+		return &job{
+			alice: func(t comm.Transport) error { return core.AliceLp(t, a, m2, p, o) },
+			bob: func(t comm.Transport) (err error) {
+				res.Estimate, err = core.BobLp(t, b, p, o)
+				return err
+			},
+			result: res,
+		}, nil
+	case "l0sample":
+		o := core.L0SampleOpts{Eps: eps, Seed: seed}
+		m1 := a.Rows()
+		return &job{
+			alice: func(t comm.Transport) error { return core.AliceL0Sample(t, a, o) },
+			bob: func(t comm.Transport) (err error) {
+				pair, v, err := core.BobL0Sample(t, b, m1, o)
+				res.I, res.J, res.Estimate = pair.I, pair.J, float64(v)
+				return err
+			},
+			result: res,
+		}, nil
+	case "l1sample":
+		return &job{
+			alice: func(t comm.Transport) error { return core.AliceSampleL1(t, a, seed) },
+			bob: func(t comm.Transport) (err error) {
+				res.I, res.J, res.Witness, err = core.BobSampleL1(t, b, seed)
+				return err
+			},
+			result: res,
+		}, nil
+	case "exact":
+		return &job{
+			alice: func(t comm.Transport) error { return core.AliceExactL1(t, a) },
+			bob: func(t comm.Transport) (err error) {
+				v, err := core.BobExactL1(t, b)
+				res.Estimate = float64(v)
+				return err
+			},
+			result: res,
+		}, nil
+	case "linf":
+		aBits, bBits, err := binaryPair(sm, a, aBinary)
+		if err != nil {
+			return nil, err
+		}
+		o := core.LinfOpts{Eps: eps, Seed: seed}
+		m1 := a.Rows()
+		return &job{
+			alice: func(t comm.Transport) error { return core.AliceLinf(t, aBits, m2, o) },
+			bob: func(t comm.Transport) (err error) {
+				var arg core.Pair
+				res.Estimate, arg, err = core.BobLinf(t, bBits, m1, o)
+				res.I, res.J = arg.I, arg.J
+				return err
+			},
+			result: res,
+		}, nil
+	case "linfkappa":
+		aBits, bBits, err := binaryPair(sm, a, aBinary)
+		if err != nil {
+			return nil, err
+		}
+		kappa := req.Kappa
+		if kappa == 0 {
+			kappa = 8
+		}
+		o := core.LinfKappaOpts{Kappa: kappa, Seed: seed}
+		m1 := a.Rows()
+		return &job{
+			alice: func(t comm.Transport) error { return core.AliceLinfKappa(t, aBits, m2, o) },
+			bob: func(t comm.Transport) (err error) {
+				var arg core.Pair
+				res.Estimate, arg, err = core.BobLinfKappa(t, bBits, m1, o)
+				res.I, res.J = arg.I, arg.J
+				return err
+			},
+			result: res,
+		}, nil
+	case "hh":
+		phi := req.Phi
+		if phi == 0 {
+			phi = 0.2
+		}
+		hhEps := req.Eps
+		if hhEps == 0 {
+			hhEps = phi / 2
+		}
+		o := core.HHOpts{Phi: phi, Eps: hhEps, P: req.P, Seed: seed}
+		m1 := a.Rows()
+		bNonNeg := sm.info.NonNeg
+		return &job{
+			alice: func(t comm.Transport) error { return core.AliceHH(t, a, m2, bNonNeg, o) },
+			bob: func(t comm.Transport) (err error) {
+				out, err := core.BobHH(t, b, m1, aNonNeg, o)
+				for _, wp := range out {
+					res.Entries = append(res.Entries, Entry{I: wp.I, J: wp.J, Value: wp.Value})
+				}
+				res.Estimate = float64(len(out))
+				return err
+			},
+			result: res,
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, req.Kind)
+	}
+}
+
+// binaryPair checks both matrices qualify for the Boolean-matrix
+// protocols and returns their bit forms.
+func binaryPair(sm *servedMatrix, a *intmat.Dense, aBinary bool) (aBits, bBits *bitmat.Matrix, err error) {
+	if sm.bits == nil {
+		return nil, nil, fmt.Errorf("%w: matrix %q is not Boolean (required for ℓ∞ kinds)", ErrBadRequest, sm.info.Name)
+	}
+	if !aBinary {
+		return nil, nil, fmt.Errorf("%w: query matrix must be Boolean for ℓ∞ kinds", ErrBadRequest)
+	}
+	return toBool(a), sm.bits, nil
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies the percentile
+// estimates are computed over.
+const latencyWindow = 4096
+
+// KindStats aggregates serving statistics for one job kind.
+type KindStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Bits     int64 `json:"bits"`
+	Rounds   int64 `json:"rounds"`
+}
+
+// Stats is a snapshot of the engine's aggregate serving statistics.
+type Stats struct {
+	Requests   int64                `json:"requests"`
+	Errors     int64                `json:"errors"`
+	Rejected   int64                `json:"rejected"` // overload admissions failures
+	Evictions  int64                `json:"evictions"`
+	Matrices   int                  `json:"matrices"`
+	TotalBits  int64                `json:"total_bits"` // protocol payload bits on the wire
+	PerKind    map[string]KindStats `json:"per_kind"`
+	LatencyP50 time.Duration        `json:"latency_p50_ns"`
+	LatencyP90 time.Duration        `json:"latency_p90_ns"`
+	LatencyP99 time.Duration        `json:"latency_p99_ns"`
+	Uptime     time.Duration        `json:"uptime_ns"`
+}
+
+// collector accumulates serving stats; latencies go into a fixed ring
+// so percentile estimates track the recent window at O(1) memory.
+type collector struct {
+	mu        sync.Mutex
+	start     time.Time
+	requests  int64
+	errors    int64
+	rejected  int64
+	evictions int64
+	totalBits int64
+	perKind   map[string]*KindStats
+	ring      [latencyWindow]time.Duration
+	ringN     int // total latencies ever recorded
+}
+
+func newCollector() *collector {
+	return &collector{start: time.Now(), perKind: make(map[string]*KindStats)}
+}
+
+func (c *collector) record(kind string, bits int64, rounds int, lat time.Duration, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requests++
+	c.totalBits += bits
+	ks := c.perKind[kind]
+	if ks == nil {
+		ks = &KindStats{}
+		c.perKind[kind] = ks
+	}
+	ks.Requests++
+	ks.Bits += bits
+	ks.Rounds += int64(rounds)
+	if failed {
+		c.errors++
+		ks.Errors++
+	}
+	c.ring[c.ringN%latencyWindow] = lat
+	c.ringN++
+}
+
+func (c *collector) reject() {
+	c.mu.Lock()
+	c.rejected++
+	c.mu.Unlock()
+}
+
+func (c *collector) evict(n int) {
+	c.mu.Lock()
+	c.evictions += int64(n)
+	c.mu.Unlock()
+}
+
+// snapshot returns a consistent copy with latency percentiles over the
+// recent window.
+func (c *collector) snapshot(matrices int) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Requests:  c.requests,
+		Errors:    c.errors,
+		Rejected:  c.rejected,
+		Evictions: c.evictions,
+		Matrices:  matrices,
+		TotalBits: c.totalBits,
+		PerKind:   make(map[string]KindStats, len(c.perKind)),
+		Uptime:    time.Since(c.start),
+	}
+	for k, v := range c.perKind {
+		s.PerKind[k] = *v
+	}
+	n := c.ringN
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	if n > 0 {
+		lats := make([]time.Duration, n)
+		copy(lats, c.ring[:n])
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		s.LatencyP50 = percentile(lats, 0.50)
+		s.LatencyP90 = percentile(lats, 0.90)
+		s.LatencyP99 = percentile(lats, 0.99)
+	}
+	return s
+}
+
+// percentile reads the q-quantile from a sorted slice (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"net"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// TransportFactory creates the transport one protocol execution runs
+// over: Alice's endpoint (the querying client's side) and Bob's (the
+// engine's side). The engine is transport-agnostic — any factory whose
+// endpoints speak comm.Transport plugs in.
+type TransportFactory func() (alice, bob core.Endpoint, cleanup func(), err error)
+
+// InProcess connects the two party drivers through an in-process
+// comm.Pair: no sockets, but the exact bit/round accounting of the
+// paper's model. This is the default engine transport.
+func InProcess() (core.Endpoint, core.Endpoint, func(), error) {
+	at, bt := comm.Pair()
+	return core.Endpoint{T: at, Finish: at.Finish},
+		core.Endpoint{T: bt, Finish: bt.Finish},
+		func() {}, nil
+}
+
+// TCPLoopback connects the two party drivers through a real TCP
+// connection on 127.0.0.1: every protocol message crosses the kernel's
+// network stack with length-prefixed framing. Payload accounting is
+// identical to InProcess — the parity the transport tests pin down —
+// making this the "prove it really is networked" engine mode.
+func TCPLoopback() (core.Endpoint, core.Endpoint, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return core.Endpoint{}, core.Endpoint{}, nil, err
+	}
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	ac, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return core.Endpoint{}, core.Endpoint{}, nil, err
+	}
+	got := <-ch
+	ln.Close()
+	if got.err != nil {
+		ac.Close()
+		return core.Endpoint{}, core.Endpoint{}, nil, got.err
+	}
+	bc := got.c
+	cleanup := func() {
+		ac.Close()
+		bc.Close()
+	}
+	return core.Endpoint{T: comm.NewNetConn(comm.Alice, ac), Finish: func() { ac.Close() }},
+		core.Endpoint{T: comm.NewNetConn(comm.Bob, bc), Finish: func() { bc.Close() }},
+		cleanup, nil
+}
+
+// TransportByName resolves the -transport flag values of cmd/mpserver.
+func TransportByName(name string) (TransportFactory, bool) {
+	switch name {
+	case "", "inproc":
+		return InProcess, true
+	case "tcp":
+		return TCPLoopback, true
+	}
+	return nil, false
+}

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/intmat"
+)
+
+// Matrix is the wire representation of an integer matrix: dimensions
+// plus sparse (row, col, value) triples. It is what clients upload as
+// Bob's served matrix and ship as Alice's query matrix.
+type Matrix struct {
+	Rows    int        `json:"rows"`
+	Cols    int        `json:"cols"`
+	Entries [][3]int64 `json:"entries"`
+}
+
+// MatrixFromDense builds the wire form of a dense integer matrix.
+func MatrixFromDense(d *intmat.Dense) Matrix {
+	m := Matrix{Rows: d.Rows(), Cols: d.Cols()}
+	for _, e := range d.NonZeros() {
+		m.Entries = append(m.Entries, [3]int64{int64(e.I), int64(e.J), e.V})
+	}
+	return m
+}
+
+// MatrixFromBool builds the wire form of a Boolean matrix.
+func MatrixFromBool(b *bitmat.Matrix) Matrix {
+	m := Matrix{Rows: b.Rows(), Cols: b.Cols()}
+	for i := 0; i < b.Rows(); i++ {
+		for _, j := range b.RowSupport(i) {
+			m.Entries = append(m.Entries, [3]int64{int64(i), int64(j), 1})
+		}
+	}
+	return m
+}
+
+// maxMatrixElems bounds rows×cols of an uploaded matrix (the dense
+// form allocates one int64 per element — 1<<24 elements is 128 MiB) so
+// a tiny hostile request cannot demand an enormous allocation.
+const maxMatrixElems = 1 << 24
+
+// toDense validates the wire matrix and converts it, reporting whether
+// every entry is 0/1 (binary, eligible for the ℓ∞ protocols) and
+// whether all entries are non-negative (eligible for Remark 2/3).
+func (m Matrix) toDense() (d *intmat.Dense, binary, nonNeg bool, err error) {
+	if m.Rows <= 0 || m.Cols <= 0 || int64(m.Rows)*int64(m.Cols) > maxMatrixElems {
+		return nil, false, false, fmt.Errorf("%w: matrix dimensions %dx%d out of range", ErrBadRequest, m.Rows, m.Cols)
+	}
+	d = intmat.NewDense(m.Rows, m.Cols)
+	binary, nonNeg = true, true
+	for _, e := range m.Entries {
+		i, j, v := e[0], e[1], e[2]
+		if i < 0 || i >= int64(m.Rows) || j < 0 || j >= int64(m.Cols) {
+			return nil, false, false, fmt.Errorf("%w: entry (%d, %d) outside %dx%d matrix", ErrBadRequest, i, j, m.Rows, m.Cols)
+		}
+		if v != 0 && v != 1 {
+			binary = false
+		}
+		if v < 0 {
+			nonNeg = false
+		}
+		d.Set(int(i), int(j), v)
+	}
+	return d, binary, nonNeg, nil
+}
+
+// toBool converts a binary wire matrix for the Boolean-matrix
+// protocols.
+func toBool(d *intmat.Dense) *bitmat.Matrix {
+	b := bitmat.New(d.Rows(), d.Cols())
+	for i := 0; i < d.Rows(); i++ {
+		for j, v := range d.Row(i) {
+			if v != 0 {
+				b.Set(i, j, true)
+			}
+		}
+	}
+	return b
+}
+
+// Entry is one heavy-hitter output entry: a matrix position with the
+// protocol's estimate of its value.
+type Entry struct {
+	I     int     `json:"i"`
+	J     int     `json:"j"`
+	Value float64 `json:"value"`
+}
