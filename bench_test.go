@@ -416,6 +416,105 @@ func BenchmarkServiceEstimateLp(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceLpCachedVsUncached prices the Bob-side sketch cache
+// on the serving path: the same pinned-seed Algorithm 1 query against a
+// served 256×256 matrix, answered by an engine that re-derives Bob's
+// sketches per request (uncached) versus one serving them from the
+// cache (cached — the first request warms it, every measured request
+// hits). Transcripts are byte-identical either way — the parity tests
+// pin that — so bits/op must agree; only time/op moves.
+func BenchmarkServiceLpCachedVsUncached(b *testing.B) {
+	// The serve-many shape: selective (sparse) queries against a denser
+	// served relation — B's sketches are the bulk of the per-query work
+	// the cache amortizes away.
+	n := 256
+	served := service.MatrixFromBool(workload.Binary(210, n, n, 0.3))
+	query := service.MatrixFromBool(workload.Binary(211, n, n, 0.02))
+	seed := uint64(212)
+	req := service.Request{Matrix: "bench", Kind: "lp", P: 1, Eps: 0.25, Seed: &seed, A: query}
+	for _, mode := range []struct {
+		name string
+		cfg  service.Config
+	}{
+		{"uncached", service.Config{Workers: 4, DisableCache: true}},
+		{"cached", service.Config{Workers: 4}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			engine := service.NewEngine(mode.cfg)
+			defer engine.Close()
+			ctx := context.Background()
+			if _, _, err := engine.PutMatrix("bench", served); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.Estimate(ctx, req); err != nil { // warm the cache
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var bits int64
+			for i := 0; i < b.N; i++ {
+				res, err := engine.Estimate(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bits = res.Bits
+			}
+			b.ReportMetric(float64(bits), "bits/op")
+		})
+	}
+}
+
+// BenchmarkServiceBatchEstimate prices the batched query API over the
+// HTTP surface: 16 pinned-seed lp queries per POST /estimate/batch
+// (one HTTP exchange, one admission slot, cache hits throughout)
+// against 16 individual POST /estimate calls. Time is per 16-query
+// group either way.
+func BenchmarkServiceBatchEstimate(b *testing.B) {
+	n := 256
+	served := service.MatrixFromBool(workload.Binary(220, n, n, 0.2))
+	query := service.MatrixFromBool(workload.Binary(221, n, n, 0.02))
+	seed := uint64(222)
+	req := service.Request{Matrix: "bench", Kind: "lp", P: 1, Eps: 0.25, Seed: &seed, A: query}
+	const batch = 16
+	engine := service.NewEngine(service.Config{Workers: 4})
+	defer engine.Close()
+	srv := httptest.NewServer(service.NewHandler(engine))
+	defer srv.Close()
+	client := service.NewClient(srv.URL)
+	ctx := context.Background()
+	if _, err := client.UploadMatrix(ctx, "bench", served); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := client.Estimate(ctx, req); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batch; j++ {
+				if _, err := client.Estimate(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		reqs := make([]service.Request, batch)
+		for i := range reqs {
+			reqs[i] = req
+		}
+		for i := 0; i < b.N; i++ {
+			items, err := client.EstimateBatch(ctx, reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, item := range items {
+				if item.Error != "" {
+					b.Fatal(item.Error)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkAblation_UniverseSampling isolates Algorithm 3's universe-
 // sampling step: with it, communication is Õ(n^1.5/κ); without it, only
 // Õ(n^1.5/√κ).

@@ -11,6 +11,14 @@
 // worker issues its next request as soon as the previous answer lands
 // (closed loop); -qps > 0 paces the aggregate request rate. The exit
 // code is non-zero if any request failed.
+//
+// Two flags shape a repeat-query serving workload: -batch N ships N
+// queries per POST /estimate/batch call (one server admission slot per
+// batch; latencies are reported amortized per query), and -pin-seed S
+// pins every query's job seed so the server's Bob-side sketch cache
+// answers repeats from its precomputed state:
+//
+//	mpload -addr http://127.0.0.1:8080 -mix lp=1 -batch 16 -pin-seed 7
 package main
 
 import (
@@ -101,11 +109,10 @@ func (t *tallies) record(kind string, lat time.Duration, bits int64, rounds int,
 	kt.lats = append(kt.lats, lat)
 }
 
+// percentile is service.Percentile: the nearest-rank quantile, shared
+// with the server so both report latencies by one definition.
 func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	return sorted[int(q*float64(len(sorted)-1))]
+	return service.Percentile(sorted, q)
 }
 
 func main() {
@@ -123,7 +130,13 @@ func main() {
 	phi := flag.Float64("phi", 0.2, "heavy-hitter threshold (eps for hh is phi/2)")
 	p := flag.Float64("p", 1, "norm index for lp")
 	aPool := flag.Int("a-pool", 8, "distinct query (Alice) matrices to rotate through")
+	batch := flag.Int("batch", 1, "queries per request: >1 uses POST /estimate/batch (one admission slot per batch; latencies reported amortized per query)")
+	pinSeed := flag.Uint64("pin-seed", 0, "pin every query's job seed (>0) so repeat queries hit the server's sketch cache; 0 lets the server assign epoch seeds")
 	flag.Parse()
+
+	if *batch < 1 {
+		log.Fatalf("-batch must be ≥ 1")
+	}
 
 	mix, mixTotal, err := parseMix(*mixFlag)
 	if err != nil {
@@ -176,6 +189,37 @@ func main() {
 	log.Printf("driving %d workers for %v (mix %s, qps %s)", *workers, *duration, *mixFlag,
 		map[bool]string{true: fmt.Sprintf("%.0f", *qps), false: "closed-loop"}[*qps > 0])
 
+	makeReq := func(r *rng.RNG) service.Request {
+		pick := r.Intn(mixTotal)
+		kind := mix[len(mix)-1].kind
+		for _, kw := range mix {
+			if pick < kw.weight {
+				kind = kw.kind
+				break
+			}
+			pick -= kw.weight
+		}
+		req := service.Request{
+			Matrix: *matrix,
+			Kind:   kind,
+			A:      pool[r.Intn(len(pool))],
+			Eps:    *eps,
+		}
+		switch kind {
+		case "lp":
+			req.P = *p
+		case "hh":
+			req.Phi = *phi
+			req.Eps = *phi / 2
+		case "l1sample", "exact":
+			req.Eps = 0
+		}
+		if *pinSeed > 0 {
+			req.Seed = pinSeed
+		}
+		return req
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
@@ -190,39 +234,44 @@ func main() {
 						return
 					}
 				}
-				pick := r.Intn(mixTotal)
-				kind := mix[len(mix)-1].kind
-				for _, kw := range mix {
-					if pick < kw.weight {
-						kind = kw.kind
-						break
+				if *batch == 1 {
+					req := makeReq(r)
+					start := time.Now()
+					res, err := client.Estimate(ctx, req)
+					lat := time.Since(start)
+					if err != nil {
+						errOnce.Do(func() { firstErr = fmt.Errorf("%s: %w", req.Kind, err) })
+						tally.record(req.Kind, lat, 0, 0, err)
+						continue
 					}
-					pick -= kw.weight
-				}
-				req := service.Request{
-					Matrix: *matrix,
-					Kind:   kind,
-					A:      pool[r.Intn(len(pool))],
-					Eps:    *eps,
-				}
-				switch kind {
-				case "lp":
-					req.P = *p
-				case "hh":
-					req.Phi = *phi
-					req.Eps = *phi / 2
-				case "l1sample", "exact":
-					req.Eps = 0
-				}
-				start := time.Now()
-				res, err := client.Estimate(ctx, req)
-				lat := time.Since(start)
-				if err != nil {
-					errOnce.Do(func() { firstErr = fmt.Errorf("%s: %w", kind, err) })
-					tally.record(kind, lat, 0, 0, err)
+					tally.record(req.Kind, lat, res.Bits, res.Rounds, nil)
 					continue
 				}
-				tally.record(kind, lat, res.Bits, res.Rounds, nil)
+				reqs := make([]service.Request, *batch)
+				for i := range reqs {
+					reqs[i] = makeReq(r)
+				}
+				start := time.Now()
+				items, err := client.EstimateBatch(ctx, reqs)
+				lat := time.Since(start)
+				perQuery := lat / time.Duration(len(reqs))
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("batch: %w", err) })
+					for _, req := range reqs {
+						tally.record(req.Kind, perQuery, 0, 0, err)
+					}
+					continue
+				}
+				for i, item := range items {
+					kind := reqs[i].Kind
+					if item.Error != "" {
+						itemErr := fmt.Errorf("%s: %s", kind, item.Error)
+						errOnce.Do(func() { firstErr = itemErr })
+						tally.record(kind, perQuery, 0, 0, itemErr)
+						continue
+					}
+					tally.record(kind, perQuery, item.Result.Bits, item.Result.Rounds, nil)
+				}
 			}
 		}(w)
 	}

@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -46,6 +47,10 @@ func main() {
 	maxMatrices := flag.Int("max-matrices", 16, "registry capacity (LRU eviction beyond it)")
 	baseSeed := flag.Uint64("seed", 1, "base seed for server-assigned job seeds")
 	transport := flag.String("transport", "inproc", "protocol transport: inproc | tcp (loopback socket per job)")
+	cacheCap := flag.Int("cache-capacity", 64, "sketch-cache capacity (cached Bob-side states)")
+	noCache := flag.Bool("no-cache", false, "disable the sketch cache (re-derive Bob's state per query)")
+	seedRotate := flag.Int64("seed-rotate-every", 4096, "rotate the cache seed epoch after this many cached-path lookups (negative: never)")
+	maxBatch := flag.Int("max-batch", 256, "max queries per /estimate/batch request")
 	flag.Parse()
 
 	factory, ok := service.TransportByName(*transport)
@@ -53,11 +58,15 @@ func main() {
 		log.Fatalf("unknown -transport %q (want inproc or tcp)", *transport)
 	}
 	engine := service.NewEngine(service.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		MaxMatrices: *maxMatrices,
-		BaseSeed:    *baseSeed,
-		Transport:   factory,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxMatrices:     *maxMatrices,
+		BaseSeed:        *baseSeed,
+		Transport:       factory,
+		CacheCapacity:   *cacheCap,
+		DisableCache:    *noCache,
+		SeedRotateEvery: *seedRotate,
+		MaxBatch:        *maxBatch,
 	})
 	defer engine.Close()
 
@@ -72,8 +81,9 @@ func main() {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)
-	log.Printf("mpserver listening on %s (workers=%d queue=%d max-matrices=%d transport=%s)",
-		*addr, *workers, *queue, *maxMatrices, *transport)
+	log.Printf("mpserver listening on %s (workers=%d queue=%d max-matrices=%d transport=%s cache=%s)",
+		*addr, *workers, *queue, *maxMatrices, *transport,
+		map[bool]string{true: "off", false: fmt.Sprintf("%d entries", *cacheCap)}[*noCache])
 	log.Printf("kinds: %v", kinds)
 
 	errCh := make(chan error, 1)
@@ -97,4 +107,8 @@ func main() {
 	st := engine.Stats()
 	log.Printf("served %d requests (%d errors, %d rejected), %d protocol bits, p50=%v p99=%v",
 		st.Requests, st.Errors, st.Rejected, st.TotalBits, st.LatencyP50, st.LatencyP99)
+	if !*noCache {
+		log.Printf("sketch cache: %d hits, %d misses, %d entries (%d bytes), seed epoch %d",
+			st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Cache.Bytes, st.Cache.SeedEpoch)
+	}
 }

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// recordedRW wraps Bob's end of a byte stream and records the wire
+// transcript in both directions.
+type recordedRW struct {
+	rw  io.ReadWriter
+	in  bytes.Buffer // bytes Bob read (Alice→Bob)
+	out bytes.Buffer // bytes Bob wrote (Bob→Alice)
+}
+
+func (r *recordedRW) Read(p []byte) (int, error) {
+	n, err := r.rw.Read(p)
+	r.in.Write(p[:n])
+	return n, err
+}
+
+func (r *recordedRW) Write(p []byte) (int, error) {
+	r.out.Write(p)
+	return r.rw.Write(p)
+}
+
+// runRecorded executes the two drivers over an in-memory duplex stream
+// and returns Bob's full wire transcript (received bytes, sent bytes).
+func runRecorded(t *testing.T, alice, bob func(comm.Transport) error) (in, out []byte) {
+	t.Helper()
+	ac, bc := net.Pipe()
+	rec := &recordedRW{rw: bc}
+	at := comm.NewNetConn(comm.Alice, ac)
+	bt := comm.NewNetConn(comm.Bob, rec)
+	err := RunParties(
+		Endpoint{T: at, Finish: func() { ac.Close() }},
+		Endpoint{T: bt, Finish: func() { bc.Close() }},
+		alice, bob,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.in.Bytes(), rec.out.Bytes()
+}
+
+// TestBobStateServeTranscriptParity pins the two-phase API's core
+// guarantee: serving a query from a precomputed Bob state — including
+// re-serving from the same state, the sketch-cache hit path — produces
+// a wire transcript byte-identical to a fresh one-shot driver run with
+// the same inputs and seed, and the same protocol output.
+func TestBobStateServeTranscriptParity(t *testing.T) {
+	aInt := randomInt(800, 24, 24, 0.2, 3, false) // signed
+	bInt := randomInt(801, 24, 24, 0.2, 3, false)
+	aPos := randomInt(802, 24, 24, 0.2, 3, true) // non-negative
+	bPos := randomInt(803, 24, 24, 0.2, 3, true)
+	aBit := randomBinary(804, 24, 24, 0.3)
+	bBit := randomBinary(805, 24, 24, 0.3)
+
+	type runs struct {
+		alice  func(comm.Transport) error
+		fresh  func(comm.Transport) error // one-shot BobXxx driver
+		served func(comm.Transport) error // Serve on one prebuilt state
+		out    func() any                 // latest Bob output, any form
+	}
+	cases := map[string]func(t *testing.T) runs{
+		"lp": func(t *testing.T) runs {
+			o := LpOpts{Eps: 0.3, Seed: 810}
+			st, err := NewBobLpState(bInt, 1, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var est float64
+			return runs{
+				alice:  func(tr comm.Transport) error { return AliceLp(tr, aInt, bInt.Cols(), 1, o) },
+				fresh:  func(tr comm.Transport) (err error) { est, err = BobLp(tr, bInt, 1, o); return err },
+				served: func(tr comm.Transport) (err error) { est, err = st.Serve(tr); return err },
+				out:    func() any { return est },
+			}
+		},
+		"l0sample": func(t *testing.T) runs {
+			o := L0SampleOpts{Eps: 0.5, Seed: 811}
+			st, err := NewBobL0SampleState(bInt, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var pair Pair
+			var val int64
+			return runs{
+				alice: func(tr comm.Transport) error { return AliceL0Sample(tr, aInt, o) },
+				fresh: func(tr comm.Transport) (err error) {
+					pair, val, err = BobL0Sample(tr, bInt, aInt.Rows(), o)
+					return err
+				},
+				served: func(tr comm.Transport) (err error) {
+					pair, val, err = st.Serve(tr, aInt.Rows())
+					return err
+				},
+				out: func() any { return [2]any{pair, val} },
+			}
+		},
+		"l1sample": func(t *testing.T) runs {
+			st, err := NewBobL1SampleState(bPos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var i, j, w int
+			return runs{
+				alice: func(tr comm.Transport) error { return AliceSampleL1(tr, aPos, 812) },
+				fresh: func(tr comm.Transport) (err error) {
+					i, j, w, err = BobSampleL1(tr, bPos, 812)
+					return err
+				},
+				served: func(tr comm.Transport) (err error) {
+					i, j, w, err = st.Serve(tr, 812)
+					return err
+				},
+				out: func() any { return [3]int{i, j, w} },
+			}
+		},
+		"exact": func(t *testing.T) runs {
+			st, err := NewBobExactL1State(bPos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total int64
+			return runs{
+				alice:  func(tr comm.Transport) error { return AliceExactL1(tr, aPos) },
+				fresh:  func(tr comm.Transport) (err error) { total, err = BobExactL1(tr, bPos); return err },
+				served: func(tr comm.Transport) (err error) { total, err = st.Serve(tr); return err },
+				out:    func() any { return total },
+			}
+		},
+		"linf": func(t *testing.T) runs {
+			o := LinfOpts{Eps: 0.5, Seed: 813}
+			st, err := NewBobLinfState(bBit, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var est float64
+			var arg Pair
+			return runs{
+				alice: func(tr comm.Transport) error { return AliceLinf(tr, aBit, bBit.Cols(), o) },
+				fresh: func(tr comm.Transport) (err error) {
+					est, arg, err = BobLinf(tr, bBit, aBit.Rows(), o)
+					return err
+				},
+				served: func(tr comm.Transport) (err error) {
+					est, arg, err = st.Serve(tr, aBit.Rows())
+					return err
+				},
+				out: func() any { return [2]any{est, arg} },
+			}
+		},
+		"linfkappa": func(t *testing.T) runs {
+			o := LinfKappaOpts{Kappa: 4, Seed: 814}
+			st, err := NewBobLinfKappaState(bBit, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var est float64
+			var arg Pair
+			return runs{
+				alice: func(tr comm.Transport) error { return AliceLinfKappa(tr, aBit, bBit.Cols(), o) },
+				fresh: func(tr comm.Transport) (err error) {
+					est, arg, err = BobLinfKappa(tr, bBit, aBit.Rows(), o)
+					return err
+				},
+				served: func(tr comm.Transport) (err error) {
+					est, arg, err = st.Serve(tr, aBit.Rows())
+					return err
+				},
+				out: func() any { return [2]any{est, arg} },
+			}
+		},
+		"hh-nested-lp": func(t *testing.T) runs {
+			// Signed A forces the embedded Algorithm 1 scale estimation, so
+			// the lazily built nested BobLpState is on the transcript.
+			o := HHOpts{Phi: 0.3, Eps: 0.15, Seed: 815}
+			st, err := NewBobHHState(bPos, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out []WeightedPair
+			return runs{
+				alice: func(tr comm.Transport) error { return AliceHH(tr, aInt, bPos.Cols(), true, o) },
+				fresh: func(tr comm.Transport) (err error) {
+					out, err = BobHH(tr, bPos, aInt.Rows(), false, o)
+					return err
+				},
+				served: func(tr comm.Transport) (err error) {
+					out, err = st.Serve(tr, aInt.Rows(), false)
+					return err
+				},
+				out: func() any { return out },
+			}
+		},
+	}
+
+	for name, setup := range cases {
+		t.Run(name, func(t *testing.T) {
+			r := setup(t)
+			freshIn, freshOut := runRecorded(t, r.alice, r.fresh)
+			freshResult := r.out()
+
+			for _, hit := range []string{"first serve", "second serve (cache hit)"} {
+				in, out := runRecorded(t, r.alice, r.served)
+				if !bytes.Equal(out, freshOut) {
+					t.Fatalf("%s: Bob→Alice transcript differs from fresh run (%d vs %d bytes)",
+						hit, len(out), len(freshOut))
+				}
+				if !bytes.Equal(in, freshIn) {
+					t.Fatalf("%s: Alice→Bob transcript differs from fresh run (%d vs %d bytes)",
+						hit, len(in), len(freshIn))
+				}
+				if got := r.out(); !equalAny(got, freshResult) {
+					t.Fatalf("%s: output %v differs from fresh %v", hit, got, freshResult)
+				}
+			}
+		})
+	}
+}
+
+func equalAny(a, b any) bool {
+	switch x := a.(type) {
+	case []WeightedPair:
+		y, ok := b.([]WeightedPair)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}

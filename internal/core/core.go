@@ -120,20 +120,36 @@ func lnDim(n int) float64 {
 }
 
 // rowLpPow computes ‖y‖p^p for an integer vector with the paper's
-// convention that p = 0 counts non-zero entries.
+// convention that p = 0 counts non-zero entries. The p = 1 and p = 2
+// fast paths return bit-identical sums to the math.Pow formulation
+// (Pow(x, 1) = x and Pow(x, 2) = x·x exactly) — they are on the
+// serving hot path, where Bob evaluates every sampled row of C.
 func rowLpPow(y []int64, p float64) float64 {
 	var s float64
-	if p == 0 {
+	switch p {
+	case 0:
 		for _, v := range y {
 			if v != 0 {
 				s++
 			}
 		}
-		return s
-	}
-	for _, v := range y {
-		if v != 0 {
-			s += math.Pow(math.Abs(float64(v)), p)
+	case 1:
+		for _, v := range y {
+			if v < 0 {
+				v = -v
+			}
+			s += float64(v)
+		}
+	case 2:
+		for _, v := range y {
+			f := float64(v)
+			s += f * f
+		}
+	default:
+		for _, v := range y {
+			if v != 0 {
+				s += math.Pow(math.Abs(float64(v)), p)
+			}
 		}
 	}
 	return s
@@ -143,19 +159,28 @@ func rowLpPow(y []int64, p float64) float64 {
 // (cols, vals) index/value pairs, returning a dense length-B.Cols() vector.
 func mulRowSparse(cols []int, vals []int64, b *intmat.Dense) []int64 {
 	out := make([]int64, b.Cols())
+	mulRowSparseInto(out, cols, vals, b)
+	return out
+}
+
+// mulRowSparseInto accumulates row · B into out (caller-zeroed, length
+// B.Cols()); hoisting the buffer lets the serving path evaluate
+// thousands of sampled rows per query without per-row allocation. The
+// inner loop is branchless so it vectorizes.
+func mulRowSparseInto(out []int64, cols []int, vals []int64, b *intmat.Dense) {
 	for t, k := range cols {
 		v := vals[t]
 		if v == 0 {
 			continue
 		}
 		rk := b.Row(k)
+		if len(rk) > len(out) {
+			rk = rk[:len(out)]
+		}
 		for j, bv := range rk {
-			if bv != 0 {
-				out[j] += v * bv
-			}
+			out[j] += v * bv
 		}
 	}
-	return out
 }
 
 // median returns the median of v, averaging the middle pair when the

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/intmat"
@@ -199,10 +200,84 @@ func AliceHH(t comm.Transport, a *intmat.Dense, m2 int, bNonNeg bool, o HHOpts) 
 // output threshold. m1 is Alice's row count and aNonNeg whether her
 // matrix is entrywise non-negative — both catalog metadata.
 func BobHH(t comm.Transport, b *intmat.Dense, m1 int, aNonNeg bool, o HHOpts) (out []WeightedPair, err error) {
-	defer recoverDecodeError(&err)
+	st, err := NewBobHHState(b, o)
+	if err != nil {
+		return nil, err
+	}
+	return st.Serve(t, m1, aNonNeg)
+}
+
+// BobHHState is the matrix-dependent phase of Bob's side of
+// Algorithm 4: the absolute row sums of B (the ‖|A|·|B|‖1 scale folds
+// them against Alice's column sums every query), B's signedness, and —
+// built lazily on first use, since it is only needed when the exact
+// p = 1 scale shortcut does not apply to a query — the nested
+// BobLpState of the embedded Algorithm 1. Safe for concurrent Serve
+// calls.
+type BobHHState struct {
+	b          *intmat.Dense
+	absRowSums []int64
+	bNonNeg    bool
+	opts       HHOpts // defaults applied
+
+	nestedMu    sync.Mutex
+	nestedBuilt bool
+	nested      *BobLpState
+	nestedErr   error
+}
+
+// NewBobHHState validates the options and runs the matrix-dependent
+// precomputation of Bob's side of Algorithm 4.
+func NewBobHHState(b *intmat.Dense, o HHOpts) (*BobHHState, error) {
 	if err := o.setDefaults(); err != nil {
 		return nil, err
 	}
+	s := &BobHHState{b: b, bNonNeg: requireNonNegative(b) == nil, opts: o}
+	s.absRowSums = make([]int64, b.Rows())
+	for k := 0; k < b.Rows(); k++ {
+		var rs int64
+		for _, v := range b.Row(k) {
+			if v < 0 {
+				v = -v
+			}
+			rs += v
+		}
+		s.absRowSums[k] = rs
+	}
+	return s, nil
+}
+
+// Bytes reports the memory retained by the precomputation (the nested
+// ℓp sketches are counted once built).
+func (s *BobHHState) Bytes() int64 {
+	n := int64(8 * len(s.absRowSums))
+	s.nestedMu.Lock()
+	if s.nested != nil {
+		n += s.nested.Bytes()
+	}
+	s.nestedMu.Unlock()
+	return n
+}
+
+// nestedLp returns the nested Algorithm 1 state, building it on first
+// use.
+func (s *BobHHState) nestedLp() (*BobLpState, error) {
+	s.nestedMu.Lock()
+	defer s.nestedMu.Unlock()
+	if !s.nestedBuilt {
+		s.nested, s.nestedErr = NewBobLpState(s.b, s.opts.P, hhNestedLpOpts(s.opts))
+		s.nestedBuilt = true
+	}
+	return s.nested, s.nestedErr
+}
+
+// Serve runs the per-query phase of Bob's side of Algorithm 4 over t.
+// m1 is Alice's row count and aNonNeg her matrix's signedness for this
+// query.
+func (s *BobHHState) Serve(t comm.Transport, m1 int, aNonNeg bool) (out []WeightedPair, err error) {
+	defer recoverDecodeError(&err)
+	o := s.opts
+	b := s.b
 	n := b.Rows()
 	m2 := b.Cols()
 
@@ -213,22 +288,19 @@ func BobHH(t comm.Transport, b *intmat.Dense, m1 int, aNonNeg bool, o HHOpts) (o
 	var t1abs int64
 	for k := 0; k < n; k++ {
 		cs := int64(recv1.Uvarint())
-		var rs int64
-		for _, v := range b.Row(k) {
-			if v < 0 {
-				v = -v
-			}
-			rs += v
-		}
-		t1abs += cs * rs
+		t1abs += cs * s.absRowSums[k]
 	}
 
 	// Step 1b: the heaviness scale ‖C‖p^p.
 	var tp float64
-	if o.P == 1 && aNonNeg && requireNonNegative(b) == nil {
+	if o.P == 1 && aNonNeg && s.bNonNeg {
 		tp = float64(t1abs)
 	} else {
-		est, err := BobLp(t, b, o.P, hhNestedLpOpts(o))
+		nested, err := s.nestedLp()
+		if err != nil {
+			return nil, err
+		}
+		est, err := nested.Serve(t)
 		if err != nil {
 			return nil, err
 		}

@@ -111,12 +111,64 @@ func AliceL0Sample(t comm.Transport, a *intmat.Dense, o L0SampleOpts) (err error
 // catalog metadata fixing the shared sketch dimension; it costs no
 // communication.
 func BobL0Sample(t comm.Transport, b *intmat.Dense, m1 int, o L0SampleOpts) (pair Pair, value int64, err error) {
-	defer recoverDecodeError(&err)
-	if err := o.setDefaults(); err != nil {
+	st, err := NewBobL0SampleState(b, o)
+	if err != nil {
 		return Pair{}, 0, err
 	}
-	n := b.Rows()
-	m2 := b.Cols()
+	return st.Serve(t, m1)
+}
+
+// colEntry is one non-zero of a served matrix column: its row index and
+// value.
+type colEntry struct {
+	k int
+	v int64
+}
+
+// BobL0SampleState is the matrix-dependent phase of Bob's side of
+// Theorem 3.2: a column-sparse form of B, so each served query combines
+// Alice's sketches only over B's non-zeros instead of probing every
+// (row, column) cell. The shared sketches themselves depend on Alice's
+// row count m1 — per-query catalog metadata — so they are derived in
+// Serve. Immutable after construction; safe for concurrent Serve calls.
+type BobL0SampleState struct {
+	rows, cols int
+	colNZ      [][]colEntry // per column j, the non-zeros of B_{*,j}
+	opts       L0SampleOpts // defaults applied
+}
+
+// NewBobL0SampleState validates the options and indexes B by column.
+func NewBobL0SampleState(b *intmat.Dense, o L0SampleOpts) (*BobL0SampleState, error) {
+	if err := o.setDefaults(); err != nil {
+		return nil, err
+	}
+	s := &BobL0SampleState{rows: b.Rows(), cols: b.Cols(), colNZ: make([][]colEntry, b.Cols()), opts: o}
+	for k := 0; k < b.Rows(); k++ {
+		for j, v := range b.Row(k) {
+			if v != 0 {
+				s.colNZ[j] = append(s.colNZ[j], colEntry{k: k, v: v})
+			}
+		}
+	}
+	return s, nil
+}
+
+// Bytes reports the memory retained by the precomputation.
+func (s *BobL0SampleState) Bytes() int64 {
+	var n int64
+	for _, col := range s.colNZ {
+		n += int64(len(col)) * 16
+	}
+	return n
+}
+
+// Serve runs the per-query phase of Bob's side of Theorem 3.2 over t.
+// m1 is Alice's row count for this query.
+func (s *BobL0SampleState) Serve(t comm.Transport, m1 int) (pair Pair, value int64, err error) {
+	defer recoverDecodeError(&err)
+	o := s.opts
+	n := s.rows
+	m2 := s.cols
 	l0, sampler := l0SampleSketches(o, m1)
 
 	recv := t.Recv(comm.AliceToBob)
@@ -132,18 +184,14 @@ func BobL0Sample(t comm.Transport, b *intmat.Dense, m1 int, o L0SampleOpts) (pai
 	total := 0.0
 	accNorm := make([]field.Elem, l0.Dim())
 	for j := 0; j < m2; j++ {
+		if len(s.colNZ[j]) == 0 {
+			continue
+		}
 		for i := range accNorm {
 			accNorm[i] = 0
 		}
-		any := false
-		for k := 0; k < n; k++ {
-			if v := b.Get(k, j); v != 0 {
-				sketch.AxpyField(accNorm, v, normSk[k])
-				any = true
-			}
-		}
-		if !any {
-			continue
+		for _, e := range s.colNZ[j] {
+			sketch.AxpyField(accNorm, e.v, normSk[e.k])
 		}
 		if e := l0.Estimate(accNorm); e > 0 {
 			colEst[j] = e
@@ -170,10 +218,8 @@ func BobL0Sample(t comm.Transport, b *intmat.Dense, m1 int, o L0SampleOpts) (pai
 		j = m2 - 1
 	}
 	accSamp := make([]field.Elem, sampler.Dim())
-	for k := 0; k < n; k++ {
-		if v := b.Get(k, j); v != 0 {
-			sketch.AxpyField(accSamp, v, sampSk[k])
-		}
+	for _, e := range s.colNZ[j] {
+		sketch.AxpyField(accSamp, e.v, sampSk[e.k])
 	}
 	i, v, ok := sampler.Decode(accSamp)
 	if !ok {

@@ -48,17 +48,46 @@ func AliceExactL1(t comm.Transport, a *intmat.Dense) (err error) {
 // BobExactL1 drives Bob's side of Remark 2 and returns the exact ‖AB‖1
 // as Σ_k colSumA(k)·rowSumB(k).
 func BobExactL1(t comm.Transport, b *intmat.Dense) (total int64, err error) {
-	defer recoverDecodeError(&err)
-	if err := requireNonNegative(b); err != nil {
+	st, err := NewBobExactL1State(b)
+	if err != nil {
 		return 0, err
 	}
-	recv := t.Recv(comm.AliceToBob)
+	return st.Serve(t)
+}
+
+// BobExactL1State is the matrix-dependent phase of Bob's side of
+// Remark 2: the row sums of B (and its non-negativity check), computed
+// once so each served query only multiplies them against Alice's column
+// sums. Immutable after construction; safe for concurrent Serve calls.
+type BobExactL1State struct {
+	rowSums []int64
+}
+
+// NewBobExactL1State validates B and precomputes its row sums.
+func NewBobExactL1State(b *intmat.Dense) (*BobExactL1State, error) {
+	if err := requireNonNegative(b); err != nil {
+		return nil, err
+	}
+	rowSums := make([]int64, b.Rows())
 	for k := 0; k < b.Rows(); k++ {
-		cs := int64(recv.Uvarint())
 		var rs int64
 		for _, v := range b.Row(k) {
 			rs += v
 		}
+		rowSums[k] = rs
+	}
+	return &BobExactL1State{rowSums: rowSums}, nil
+}
+
+// Bytes reports the memory retained by the precomputation.
+func (s *BobExactL1State) Bytes() int64 { return int64(8 * len(s.rowSums)) }
+
+// Serve runs the per-query phase of Bob's side of Remark 2 over t.
+func (s *BobExactL1State) Serve(t comm.Transport) (total int64, err error) {
+	defer recoverDecodeError(&err)
+	recv := t.Recv(comm.AliceToBob)
+	for _, rs := range s.rowSums {
+		cs := int64(recv.Uvarint())
 		total += cs * rs
 	}
 	return total, nil
@@ -125,10 +154,47 @@ func AliceSampleL1(t comm.Transport, a *intmat.Dense, seed uint64) (err error) {
 // colSumA(k)·rowSumB(k), sample a witness, then a column of B_{k,*}
 // proportionally to its entries.
 func BobSampleL1(t comm.Transport, b *intmat.Dense, seed uint64) (i, j, witness int, err error) {
-	defer recoverDecodeError(&err)
-	if err := requireNonNegative(b); err != nil {
+	st, err := NewBobL1SampleState(b)
+	if err != nil {
 		return 0, 0, 0, err
 	}
+	return st.Serve(t, seed)
+}
+
+// BobL1SampleState is the matrix-dependent phase of Bob's side of
+// Remark 3: B with its row sums precomputed. The sampling seed is a
+// per-query input of Serve (Bob's private coins are drawn fresh per
+// query), so one state serves any seed. Immutable after construction;
+// safe for concurrent Serve calls.
+type BobL1SampleState struct {
+	b       *intmat.Dense
+	rowSums []int64
+}
+
+// NewBobL1SampleState validates B and precomputes its row sums.
+func NewBobL1SampleState(b *intmat.Dense) (*BobL1SampleState, error) {
+	if err := requireNonNegative(b); err != nil {
+		return nil, err
+	}
+	rowSums := make([]int64, b.Rows())
+	for k := 0; k < b.Rows(); k++ {
+		var rs int64
+		for _, v := range b.Row(k) {
+			rs += v
+		}
+		rowSums[k] = rs
+	}
+	return &BobL1SampleState{b: b, rowSums: rowSums}, nil
+}
+
+// Bytes reports the memory retained by the precomputation.
+func (s *BobL1SampleState) Bytes() int64 { return int64(8 * len(s.rowSums)) }
+
+// Serve runs the per-query phase of Bob's side of Remark 3 over t with
+// the given shared seed.
+func (s *BobL1SampleState) Serve(t comm.Transport, seed uint64) (i, j, witness int, err error) {
+	defer recoverDecodeError(&err)
+	b := s.b
 	bobPriv := rng.New(seed).Derive("bob-private", "l1sample")
 	recv := t.Recv(comm.AliceToBob)
 	n := b.Rows()
@@ -139,11 +205,7 @@ func BobSampleL1(t comm.Transport, b *intmat.Dense, seed uint64) (i, j, witness 
 	for k := 0; k < n; k++ {
 		colSums[k] = int64(recv.Uvarint())
 		rowPicks[k] = int(recv.Varint())
-		var rs int64
-		for _, v := range b.Row(k) {
-			rs += v
-		}
-		weights[k] = colSums[k] * rs
+		weights[k] = colSums[k] * s.rowSums[k]
 		total += weights[k]
 	}
 	if total == 0 {
@@ -159,11 +221,7 @@ func BobSampleL1(t comm.Transport, b *intmat.Dense, seed uint64) (i, j, witness 
 		}
 	}
 	// Column sample from row B_{k,*} proportional to values.
-	var rowSum int64
-	for _, v := range b.Row(k) {
-		rowSum += v
-	}
-	jt := bobPriv.Int63n(rowSum)
+	jt := bobPriv.Int63n(s.rowSums[k])
 	var jacc int64
 	col := 0
 	for jj, v := range b.Row(k) {

@@ -289,10 +289,45 @@ func AliceLinf(t comm.Transport, a *bitmat.Matrix, m2 int, o LinfOpts) (err erro
 // rescales the subsampled maximum by 1/p_ℓ*. m1 is Alice's row count
 // (catalog metadata).
 func BobLinf(t comm.Transport, b *bitmat.Matrix, m1 int, o LinfOpts) (est float64, arg Pair, err error) {
-	defer recoverDecodeError(&err)
-	if err := o.setDefaults(); err != nil {
+	st, err := NewBobLinfState(b, o)
+	if err != nil {
 		return 0, Pair{}, err
 	}
+	return st.Serve(t, m1)
+}
+
+// BobLinfState is the matrix-dependent phase of Bob's side of
+// Algorithm 2: B with its per-row weights v_k precomputed (the level
+// selection folds them against Alice's column sums every query).
+// Immutable after construction; safe for concurrent Serve calls.
+type BobLinfState struct {
+	b    *bitmat.Matrix
+	vk   []int64 // RowWeight per row of B
+	opts LinfOpts
+}
+
+// NewBobLinfState validates the options and precomputes B's row
+// weights.
+func NewBobLinfState(b *bitmat.Matrix, o LinfOpts) (*BobLinfState, error) {
+	if err := o.setDefaults(); err != nil {
+		return nil, err
+	}
+	vk := make([]int64, b.Rows())
+	for k := range vk {
+		vk[k] = int64(b.RowWeight(k))
+	}
+	return &BobLinfState{b: b, vk: vk, opts: o}, nil
+}
+
+// Bytes reports the memory retained by the precomputation.
+func (s *BobLinfState) Bytes() int64 { return int64(8 * len(s.vk)) }
+
+// Serve runs the per-query phase of Bob's side of Algorithm 2 over t.
+// m1 is Alice's row count for this query.
+func (s *BobLinfState) Serve(t comm.Transport, m1 int) (est float64, arg Pair, err error) {
+	defer recoverDecodeError(&err)
+	o := s.opts
+	b := s.b
 	n := b.Rows()
 	m2 := b.Cols()
 
@@ -306,17 +341,13 @@ func BobLinf(t comm.Transport, b *bitmat.Matrix, m1 int, o LinfOpts) (est float6
 			bobColSums[ℓ][k] = int(recv1.Uvarint())
 		}
 	}
-	vk := make([]int64, n)
-	for k := 0; k < n; k++ {
-		vk[k] = int64(b.RowWeight(k))
-	}
 	gamma := o.GammaC * lnDim(n) / (o.Eps * o.Eps)
 	threshold := gamma * float64(m1) * float64(m2)
 	lStar := gotMax
 	for ℓ := 0; ℓ <= gotMax; ℓ++ {
 		var l1 int64
 		for k := 0; k < n; k++ {
-			l1 += int64(bobColSums[ℓ][k]) * vk[k]
+			l1 += int64(bobColSums[ℓ][k]) * s.vk[k]
 		}
 		if float64(l1) <= threshold {
 			lStar = ℓ

@@ -169,11 +169,45 @@ func AliceLinfKappa(t comm.Transport, a *bitmat.Matrix, m2 int, o LinfKappaOpts)
 // empty he announces the fallback level and reports 1 iff C ≠ 0. m1 is
 // Alice's row count (catalog metadata).
 func BobLinfKappa(t comm.Transport, b *bitmat.Matrix, m1 int, o LinfKappaOpts) (est float64, arg Pair, err error) {
-	defer recoverDecodeError(&err)
-	n := b.Rows()
-	if err := o.setDefaults(n); err != nil {
+	st, err := NewBobLinfKappaState(b, o)
+	if err != nil {
 		return 0, Pair{}, err
 	}
+	return st.Serve(t, m1)
+}
+
+// BobLinfKappaState is the matrix-dependent phase of Bob's side of
+// Algorithm 3: B with its per-row weights v_k precomputed. Immutable
+// after construction; safe for concurrent Serve calls.
+type BobLinfKappaState struct {
+	b    *bitmat.Matrix
+	vk   []int64 // RowWeight per row of B
+	opts LinfKappaOpts
+}
+
+// NewBobLinfKappaState validates the options and precomputes B's row
+// weights.
+func NewBobLinfKappaState(b *bitmat.Matrix, o LinfKappaOpts) (*BobLinfKappaState, error) {
+	if err := o.setDefaults(b.Rows()); err != nil {
+		return nil, err
+	}
+	vk := make([]int64, b.Rows())
+	for k := range vk {
+		vk[k] = int64(b.RowWeight(k))
+	}
+	return &BobLinfKappaState{b: b, vk: vk, opts: o}, nil
+}
+
+// Bytes reports the memory retained by the precomputation.
+func (s *BobLinfKappaState) Bytes() int64 { return int64(8 * len(s.vk)) }
+
+// Serve runs the per-query phase of Bob's side of Algorithm 3 over t.
+// m1 is Alice's row count for this query.
+func (s *BobLinfKappaState) Serve(t comm.Transport, m1 int) (est float64, arg Pair, err error) {
+	defer recoverDecodeError(&err)
+	o := s.opts
+	b := s.b
+	n := b.Rows()
 	m2 := b.Cols()
 	alpha := o.AlphaC * lnDim(n)
 	q := 1.0
@@ -202,13 +236,11 @@ func BobLinfKappa(t comm.Transport, b *bitmat.Matrix, m1 int, o LinfKappaOpts) (
 			bobColSums[ℓ][k] = int(recv1.Uvarint())
 		}
 	}
-	vk := make([]int64, n)
 	var l1C, l1D int64
 	for k := 0; k < n; k++ {
-		vk[k] = int64(b.RowWeight(k))
-		l1C += fullColSums[k] * vk[k]
+		l1C += fullColSums[k] * s.vk[k]
 		if keepBob[k] {
-			l1D += int64(bobColSums[0][k]) * vk[k]
+			l1D += int64(bobColSums[0][k]) * s.vk[k]
 		}
 	}
 	if l1D == 0 {
@@ -228,7 +260,7 @@ func BobLinfKappa(t comm.Transport, b *bitmat.Matrix, m1 int, o LinfKappaOpts) (
 	for ℓ := 0; ℓ <= gotMax; ℓ++ {
 		var l1 int64
 		for _, k := range activeBob {
-			l1 += int64(bobColSums[ℓ][k]) * vk[k]
+			l1 += int64(bobColSums[ℓ][k]) * s.vk[k]
 		}
 		if float64(l1) <= threshold {
 			lStar = ℓ

@@ -131,14 +131,40 @@ func (rs rowSketcher) decodeRows(msg *comm.Message, n int) (fieldSk [][]field.El
 // estimateRow combines the sketches of rows of B indexed by the sparse
 // row (cols, vals) of A and returns the ‖·‖p^p estimate for that row of C.
 func (rs rowSketcher) estimateRow(cols []int, vals []int64, fieldSk [][]field.Elem, floatSk [][]float64) float64 {
+	return rs.estimateRowWith(newRowScratch(rs), cols, vals, fieldSk, floatSk)
+}
+
+// rowScratch is the reusable accumulator for estimateRowWith: one row
+// of A is estimated per call, thousands per query, so the hot serving
+// path hoists the buffer instead of allocating per row.
+type rowScratch struct {
+	fieldAcc []field.Elem
+	floatAcc []float64
+}
+
+func newRowScratch(rs rowSketcher) *rowScratch {
 	if rs.l0 != nil {
-		acc := make([]field.Elem, rs.l0.Dim())
+		return &rowScratch{fieldAcc: make([]field.Elem, rs.l0.Dim())}
+	}
+	return &rowScratch{floatAcc: make([]float64, rs.fl.Dim())}
+}
+
+// estimateRowWith is estimateRow against a caller-owned scratch buffer.
+func (rs rowSketcher) estimateRowWith(scratch *rowScratch, cols []int, vals []int64, fieldSk [][]field.Elem, floatSk [][]float64) float64 {
+	if rs.l0 != nil {
+		acc := scratch.fieldAcc
+		for i := range acc {
+			acc[i] = 0
+		}
 		for t, k := range cols {
 			sketch.AxpyField(acc, vals[t], fieldSk[k])
 		}
 		return rs.l0.Estimate(acc)
 	}
-	acc := make([]float64, rs.fl.Dim())
+	acc := scratch.floatAcc
+	for i := range acc {
+		acc[i] = 0
+	}
 	for t, k := range cols {
 		sketch.AxpyFloat(acc, float64(vals[t]), floatSk[k])
 	}
@@ -217,37 +243,81 @@ func EstimateLp(a, b *intmat.Dense, p float64, o LpOpts) (float64, Cost, error) 
 // out in round 1, sampled rows in and exact norms of them in round 2.
 // It returns the protocol output (the estimate lives at Bob, as in the
 // paper). The options must match Alice's.
+//
+// BobLp re-derives the matrix-dependent precomputation on every call;
+// a serving system that answers many queries against the same B should
+// build a BobLpState once and call Serve per query.
 func BobLp(t comm.Transport, b *intmat.Dense, p float64, o LpOpts) (est float64, err error) {
-	defer recoverDecodeError(&err)
-	if p < 0 || p > 2 {
-		return 0, ErrBadP
-	}
-	if err := o.setDefaults(); err != nil {
+	st, err := NewBobLpState(b, p, o)
+	if err != nil {
 		return 0, err
 	}
-	sketchers := lpSketchFamilies(o, b.Cols(), p)
+	return st.Serve(t)
+}
 
-	// Round 1: Bob → Alice.
+// BobLpState is the matrix-dependent phase of Bob's side of Algorithm 1:
+// everything derivable from (B, p, options, seed) before any message
+// arrives — dominated by the per-row ℓp sketches of B that make up the
+// whole round-1 payload. Building it once and calling Serve per query
+// amortizes the sketching cost across queries without changing a single
+// transcript byte: Serve replays the precomputed round-1 bytes, so a
+// served run is byte-identical to a fresh BobLp with the same inputs.
+//
+// A state is immutable after construction and safe for concurrent Serve
+// calls.
+type BobLpState struct {
+	b      *intmat.Dense
+	p      float64
+	opts   LpOpts // defaults applied
+	round1 []byte // encoded round-1 payload: per-row ℓp sketches of B
+}
+
+// NewBobLpState validates the parameters and runs the matrix-dependent
+// precomputation of Bob's side of Algorithm 1.
+func NewBobLpState(b *intmat.Dense, p float64, o LpOpts) (*BobLpState, error) {
+	if p < 0 || p > 2 {
+		return nil, ErrBadP
+	}
+	if err := o.setDefaults(); err != nil {
+		return nil, err
+	}
 	msg1 := comm.NewMessage()
-	msg1.Label = "per-row ℓp sketches of B"
-	for _, rs := range sketchers {
+	for _, rs := range lpSketchFamilies(o, b.Cols(), p) {
 		rs.encodeRows(msg1, b)
 	}
+	return &BobLpState{b: b, p: p, opts: o, round1: append([]byte(nil), msg1.Bytes()...)}, nil
+}
+
+// Bytes reports the memory retained by the precomputed sketches (the
+// sizing input for cache accounting; the matrix itself is shared with
+// its owner and not counted).
+func (s *BobLpState) Bytes() int64 { return int64(len(s.round1)) }
+
+// Serve runs the per-query phase of Bob's side of Algorithm 1 over t.
+func (s *BobLpState) Serve(t comm.Transport) (est float64, err error) {
+	defer recoverDecodeError(&err)
+
+	// Round 1: Bob → Alice, replayed from the precomputation.
+	msg1 := comm.FromBytes(s.round1)
+	msg1.Label = "per-row ℓp sketches of B"
 	t.Send(comm.BobToAlice, msg1)
 
 	// Round 2: sampled rows in; exact norms of the sampled rows of C,
-	// weighted sum per repetition.
+	// weighted sum per repetition. One product buffer serves every
+	// sampled row.
 	recv2 := t.Recv(comm.AliceToBob)
-	perRep := make([]float64, o.Reps)
+	perRep := make([]float64, s.opts.Reps)
+	y := make([]int64, s.b.Cols())
 	for rep := range perRep {
 		count := int(recv2.Uvarint())
 		var est float64
-		for s := 0; s < count; s++ {
+		for smp := 0; smp < count; smp++ {
 			_ = recv2.Uvarint() // row index (informational)
 			w := recv2.Float64()
 			cols, vals := getSparseRow(recv2)
-			y := mulRowSparse(cols, vals, b)
-			est += w * rowLpPow(y, p)
+			clear(y)
+			mulRowSparseInto(y, cols, vals, s.b)
+			est += w * rowLpPow(y, s.p)
 		}
 		perRep[rep] = est
 	}
@@ -262,20 +332,69 @@ func BobLp(t comm.Transport, b *intmat.Dense, p float64, o LpOpts) (est float64,
 // simulation. Alice learns nothing beyond the transcript; the estimate
 // is Bob's output.
 func AliceLp(t comm.Transport, a *intmat.Dense, m2 int, p float64, o LpOpts) (err error) {
-	defer recoverDecodeError(&err)
-	if p < 0 || p > 2 {
-		return ErrBadP
-	}
-	if err := o.setDefaults(); err != nil {
+	st, err := NewAliceLpState(m2, p, o)
+	if err != nil {
 		return err
 	}
-	if m2 <= 0 || a.Cols() <= 0 {
+	return st.Serve(t, a)
+}
+
+// AliceLpState is the query-independent phase of Alice's side of
+// Algorithm 1: the shared public-coin sketch families, which depend on
+// (m2, p, options, seed) but not on Alice's matrix. A serving system
+// that drives both parties (the engine plays Alice against its own
+// served matrix) reuses one state across queries; the per-query Serve
+// is unchanged in behavior, so transcripts are identical to a fresh
+// AliceLp. Immutable after construction; safe for concurrent Serve
+// calls.
+type AliceLpState struct {
+	m2        int
+	p         float64
+	opts      LpOpts // defaults applied
+	sketchers []rowSketcher
+	bytes     int64
+}
+
+// NewAliceLpState validates the parameters and derives the shared
+// sketch families for Bob's column count m2.
+func NewAliceLpState(m2 int, p float64, o LpOpts) (*AliceLpState, error) {
+	if p < 0 || p > 2 {
+		return nil, ErrBadP
+	}
+	if err := o.setDefaults(); err != nil {
+		return nil, err
+	}
+	if m2 <= 0 {
+		return nil, ErrDimensionMismatch
+	}
+	beta := math.Sqrt(o.Eps)
+	sizeWords := int(math.Ceil(o.SketchC / (beta * beta)))
+	if sizeWords < 4 {
+		sizeWords = 4
+	}
+	return &AliceLpState{
+		m2:        m2,
+		p:         p,
+		opts:      o,
+		sketchers: lpSketchFamilies(o, m2, p),
+		bytes:     int64(o.Reps) * int64(sizeWords) * int64(m2) * 8,
+	}, nil
+}
+
+// Bytes reports the approximate memory retained by the sketch families.
+func (s *AliceLpState) Bytes() int64 { return s.bytes }
+
+// Serve runs the per-query phase of Alice's side of Algorithm 1 over t
+// with her matrix a.
+func (s *AliceLpState) Serve(t comm.Transport, a *intmat.Dense) (err error) {
+	defer recoverDecodeError(&err)
+	if a.Cols() <= 0 {
 		return ErrDimensionMismatch
 	}
+	o := s.opts
 	beta := math.Sqrt(o.Eps)
 	n := a.Cols()
 	m1 := a.Rows()
-	sketchers := lpSketchFamilies(o, m2, p)
 
 	recv1 := t.Recv(comm.BobToAlice)
 	alicePriv := rng.New(o.Seed).Derive("alice-private", "lp")
@@ -286,14 +405,14 @@ func AliceLp(t comm.Transport, a *intmat.Dense, m2 int, p float64, o LpOpts) (er
 	for i := 0; i < m1; i++ {
 		rowCols[i], rowVals[i] = sparseRow(a, i)
 	}
-	for _, rs := range sketchers {
+	for _, rs := range s.sketchers {
 		fieldSk, floatSk := rs.decodeRows(recv1, n)
 		picks := sampleRowsByNorm(rs, rowCols, rowVals, fieldSk, floatSk, beta, rho, alicePriv)
 		msg2.PutUvarint(uint64(len(picks)))
-		for _, s := range picks {
-			msg2.PutUvarint(uint64(s.i))
-			msg2.PutFloat64(s.weight)
-			putSparseRow(msg2, rowCols[s.i], rowVals[s.i])
+		for _, smp := range picks {
+			msg2.PutUvarint(uint64(smp.i))
+			msg2.PutFloat64(smp.weight)
+			putSparseRow(msg2, rowCols[smp.i], rowVals[smp.i])
 		}
 	}
 	msg2.Label = "sampled rows of A with weights"

@@ -122,11 +122,12 @@ func sampleRowsByNorm(rs rowSketcher, rowCols [][]int, rowVals [][]int64, fieldS
 	m1 := len(rowCols)
 	rowEst := make([]float64, m1)
 	total := 0.0
+	scratch := newRowScratch(rs)
 	for i := 0; i < m1; i++ {
 		if len(rowCols[i]) == 0 {
 			continue
 		}
-		e := rs.estimateRow(rowCols[i], rowVals[i], fieldSk, floatSk)
+		e := rs.estimateRowWith(scratch, rowCols[i], rowVals[i], fieldSk, floatSk)
 		if e < 0 {
 			e = 0
 		}

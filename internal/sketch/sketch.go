@@ -21,21 +21,78 @@
 // (public-coin model).
 package sketch
 
-import "sort"
-
 // median returns the median of v (averaging the middle pair for even
 // lengths). It copies the input.
 func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	return medianInPlace(s)
+}
+
+// medianInPlace returns the median of v, reordering v. Median estimators
+// sit on the serving hot path (one per sketched row of C per query), so
+// this selects the order statistics in O(n) instead of sorting — the
+// returned value is identical either way.
+func medianInPlace(v []float64) float64 {
 	if len(v) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), v...)
-	sort.Float64s(s)
-	m := len(s) / 2
-	if len(s)%2 == 1 {
-		return s[m]
+	m := len(v) / 2
+	upper := selectKth(v, m)
+	if len(v)%2 == 1 {
+		return upper
 	}
-	return (s[m-1] + s[m]) / 2
+	// selectKth leaves the m smallest values in v[:m]; their maximum is
+	// the lower middle element.
+	lower := v[0]
+	for _, x := range v[1:m] {
+		if x > lower {
+			lower = x
+		}
+	}
+	return (lower + upper) / 2
+}
+
+// selectKth partitions v so that v[k] holds its kth-smallest element,
+// everything before it is ≤ v[k], and everything after is ≥ v[k]
+// (Hoare-partition quickselect with median-of-three pivots).
+func selectKth(v []float64, k int) float64 {
+	lo, hi := 0, len(v)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if v[mid] < v[lo] {
+			v[mid], v[lo] = v[lo], v[mid]
+		}
+		if v[hi] < v[lo] {
+			v[hi], v[lo] = v[lo], v[hi]
+		}
+		if v[hi] < v[mid] {
+			v[hi], v[mid] = v[mid], v[hi]
+		}
+		pivot := v[mid]
+		i, j := lo, hi
+		for i <= j {
+			for v[i] < pivot {
+				i++
+			}
+			for v[j] > pivot {
+				j--
+			}
+			if i <= j {
+				v[i], v[j] = v[j], v[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return v[k]
+		}
+	}
+	return v[lo]
 }
 
 // FloatSketch is a linear sketch over the reals: Apply maps an integer

@@ -110,6 +110,6 @@ func (s *Stable) EstimatePow(y []float64) float64 {
 	for i, v := range y {
 		abs[i] = math.Abs(v)
 	}
-	norm := median(abs) / s.scale
+	norm := medianInPlace(abs) / s.scale
 	return math.Pow(norm, s.p)
 }

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// gatedTransport blocks every Send until the gate closes — a stand-in
+// for a protocol stalled on a slow peer.
+type gatedTransport struct {
+	comm.Transport
+	gate <-chan struct{}
+}
+
+func (g *gatedTransport) Send(dir comm.Direction, msg *comm.Message) *comm.Message {
+	<-g.gate
+	return g.Transport.Send(dir, msg)
+}
+
+// gatedFactory wraps InProcess so Alice's first message stalls until
+// the job is aborted (cleanup closes the gate).
+func gatedFactory() (TransportFactory, chan struct{}) {
+	gate := make(chan struct{})
+	var once sync.Once
+	factory := func() (core.Endpoint, core.Endpoint, func(), error) {
+		alice, bob, cleanup, err := InProcess()
+		if err != nil {
+			return core.Endpoint{}, core.Endpoint{}, nil, err
+		}
+		alice.T = &gatedTransport{Transport: alice.T, gate: gate}
+		return alice, bob, func() {
+			once.Do(func() { close(gate) })
+			cleanup()
+		}, nil
+	}
+	return factory, gate
+}
+
+func TestEstimateHonorsContext(t *testing.T) {
+	t.Run("pre-cancelled fast path", func(t *testing.T) {
+		e := newTestEngine(t, Config{})
+		if _, _, err := e.PutMatrix("b", testMatrix(150, 8, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		// Workers are all free, so the fast admission path is taken; it
+		// must still honor the already-cancelled context.
+		if _, err := e.Estimate(ctx, Request{Matrix: "b", Kind: "lp", P: 1, A: testMatrix(151, 8, 0.5)}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("pre-cancelled estimate: %v, want context.Canceled", err)
+		}
+		if got := e.Stats().Requests; got != 0 {
+			t.Fatalf("cancelled-before-start query recorded %d requests", got)
+		}
+	})
+
+	t.Run("mid-run cancellation aborts the job", func(t *testing.T) {
+		factory, _ := gatedFactory()
+		e := newTestEngine(t, Config{Workers: 1, Transport: factory})
+		if _, _, err := e.PutMatrix("b", testMatrix(152, 8, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		done := make(chan error, 1)
+		go func() {
+			_, err := e.Estimate(ctx, Request{Matrix: "b", Kind: "lp", P: 1, A: testMatrix(153, 8, 0.5)})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("mid-run cancel: %v, want context.Canceled", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled job never returned: worker still burning")
+		}
+		// The single worker slot must have been released: a follow-up
+		// query (the gate is closed now, so it runs through) succeeds.
+		if _, err := e.Estimate(context.Background(), Request{Matrix: "b", Kind: "lp", P: 1, A: testMatrix(153, 8, 0.5)}); err != nil {
+			t.Fatalf("worker slot leaked after cancellation: %v", err)
+		}
+	})
+}
+
+func TestEstimateBatch(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	if _, _, err := e.PutMatrix("b", testBinaryMatrix(160, 16, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	seed := uint64(161)
+	a := testBinaryMatrix(162, 16, 0.4)
+	reqs := []Request{
+		{Matrix: "b", Kind: "lp", P: 1, Eps: 0.3, Seed: &seed, A: a},
+		{Matrix: "b", Kind: "exact", A: a},
+		{Matrix: "nope", Kind: "lp", A: a}, // per-query failure
+		{Matrix: "b", Kind: "lp", P: 1, Eps: 0.3, Seed: &seed, A: a},
+	}
+	items, err := e.EstimateBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(reqs) {
+		t.Fatalf("%d items for %d queries", len(items), len(reqs))
+	}
+	if items[0].Result == nil || items[1].Result == nil || items[3].Result == nil {
+		t.Fatalf("successful queries missing results: %+v", items)
+	}
+	if items[2].Error == "" || items[2].Result != nil {
+		t.Fatalf("failed query not reported: %+v", items[2])
+	}
+	// Batch answers match single-query answers for the same seed.
+	single, err := e.Estimate(ctx, reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Result.Estimate != single.Estimate || items[0].Result.Bits != single.Bits {
+		t.Fatalf("batch result %+v != single %+v", items[0].Result, single)
+	}
+	if items[0].Result.Estimate != items[3].Result.Estimate {
+		t.Fatalf("same-seed batch queries diverged: %+v vs %+v", items[0].Result, items[3].Result)
+	}
+
+	// Validation failures.
+	if _, err := e.EstimateBatch(ctx, nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("empty batch: %v", err)
+	}
+	big := make([]Request, e.cfg.MaxBatch+1)
+	for i := range big {
+		big[i] = reqs[0]
+	}
+	if _, err := e.EstimateBatch(ctx, big); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized batch: %v", err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := e.EstimateBatch(cancelled, reqs[:1]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch: %v", err)
+	}
+}
+
+func TestUploadNNZAndDuplicates(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	// Explicit zeros are not non-zeros: NNZ comes from the dense form.
+	info, _, err := e.PutMatrix("m", Matrix{Rows: 4, Cols: 4, Entries: [][3]int64{
+		{0, 0, 2}, {1, 1, 0}, {2, 2, -3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NNZ != 2 {
+		t.Fatalf("NNZ = %d, want 2 (explicit zero must not count)", info.NNZ)
+	}
+	// Duplicate coordinates are rejected, whatever their values.
+	for _, entries := range [][][3]int64{
+		{{0, 0, 1}, {0, 0, 1}},
+		{{1, 2, 0}, {1, 2, 5}},
+	} {
+		if _, _, err := e.PutMatrix("dup", Matrix{Rows: 4, Cols: 4, Entries: entries}); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("duplicate entries %v accepted: %v", entries, err)
+		}
+	}
+}

@@ -102,6 +102,17 @@ func (c *Client) Estimate(ctx context.Context, req Request) (*Result, error) {
 	return &out, nil
 }
 
+// EstimateBatch runs many estimation queries against a single server
+// admission slot. The returned items match the queries in order; a
+// per-query failure is reported in its item, not as a call error.
+func (c *Client) EstimateBatch(ctx context.Context, reqs []Request) ([]BatchItem, error) {
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/estimate/batch", BatchRequest{Queries: reqs}, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
 // Stats fetches the aggregate serving statistics.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats

@@ -8,8 +8,9 @@ import (
 )
 
 // maxBodyBytes bounds request bodies (a 512×512 dense upload is ~6 MB
-// of JSON; leave generous headroom).
-const maxBodyBytes = 256 << 20
+// of JSON; leave generous headroom). A variable so tests can exercise
+// the over-limit path without building a quarter-gigabyte body.
+var maxBodyBytes int64 = 256 << 20
 
 // NewHandler exposes the engine as a JSON API:
 //
@@ -17,13 +18,14 @@ const maxBodyBytes = 256 << 20
 //	DELETE /matrix/{name}   remove a served matrix
 //	GET    /matrices        list served matrices (most recent first)
 //	POST   /estimate        run one estimation query
+//	POST   /estimate/batch  run many queries against one admission slot
 //	GET    /stats           aggregate serving statistics
 //	GET    /healthz         liveness
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
 		var m Matrix
-		if err := decodeJSON(r, &m); err != nil {
+		if err := decodeJSON(w, r, &m); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -49,7 +51,7 @@ func NewHandler(e *Engine) http.Handler {
 	})
 	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
-		if err := decodeJSON(r, &req); err != nil {
+		if err := decodeJSON(w, r, &req); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -60,6 +62,19 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
+	mux.HandleFunc("POST /estimate/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		items, err := e.EstimateBatch(r.Context(), req.Queries)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Stats())
 	})
@@ -69,10 +84,30 @@ func NewHandler(e *Engine) http.Handler {
 	return mux
 }
 
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+// BatchRequest is the body of POST /estimate/batch.
+type BatchRequest struct {
+	Queries []Request `json:"queries"`
+}
+
+// BatchResponse is the reply of POST /estimate/batch: one item per
+// query, in order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// decodeJSON decodes a bounded request body. The real ResponseWriter
+// must reach MaxBytesReader (a nil writer panics inside net/http when
+// the limit trips on some paths, and the writer is how it flags the
+// connection to close), and an over-limit body is a 413, not a generic
+// bad request.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: body exceeds %d bytes", ErrBodyTooLarge, mbe.Limit)
+		}
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	return nil
@@ -89,6 +124,8 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrBodyTooLarge):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrMatrixNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrOverloaded):

@@ -134,3 +134,53 @@ func TestHTTPErrorStatuses(t *testing.T) {
 		t.Fatalf("healthz: %d", resp.StatusCode)
 	}
 }
+
+func TestHTTPBodyTooLarge(t *testing.T) {
+	old := maxBodyBytes
+	maxBodyBytes = 64
+	t.Cleanup(func() { maxBodyBytes = old })
+	srv, _ := newTestServer(t, Config{})
+
+	body := `{"matrix":"m","kind":"lp","a":{"rows":1,"cols":1,"entries":[` +
+		strings.Repeat("[0,0,1],", 64) + `[0,0,1]]}}`
+	resp, err := http.Post(srv.URL+"/estimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-limit body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestHTTPBatchRoundTrip(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := client.UploadMatrix(ctx, "m", testBinaryMatrix(170, 16, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(171)
+	a := testBinaryMatrix(172, 16, 0.4)
+	items, err := client.EstimateBatch(ctx, []Request{
+		{Matrix: "m", Kind: "lp", P: 1, Eps: 0.3, Seed: &seed, A: a},
+		{Matrix: "m", Kind: "exact", A: a},
+		{Matrix: "gone", Kind: "lp", A: a},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 || items[0].Result == nil || items[1].Result == nil || items[2].Error == "" {
+		t.Fatalf("batch items %+v", items)
+	}
+	single, err := client.Estimate(ctx, Request{Matrix: "m", Kind: "lp", P: 1, Eps: 0.3, Seed: &seed, A: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Result.Estimate != single.Estimate || items[0].Result.Bits != single.Bits {
+		t.Fatalf("batch-over-HTTP result %+v != single %+v", items[0].Result, single)
+	}
+	// An invalid whole batch is a call error, not per-item.
+	if _, err := client.EstimateBatch(ctx, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

@@ -22,8 +22,12 @@ type MatrixInfo struct {
 
 // servedMatrix is one registry entry: Bob's matrix in the forms the
 // protocols need, plus the catalog metadata Alice learns out of band.
+// gen is the upload generation of the name — unique per PutMatrix, so
+// sketch-cache entries built against a replaced matrix can never serve
+// its successor.
 type servedMatrix struct {
 	info  MatrixInfo
+	gen   uint64
 	dense *intmat.Dense
 	bits  *bitmat.Matrix // non-nil iff the matrix is 0/1
 	elem  *list.Element

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitmat"
@@ -33,6 +34,9 @@ import (
 var (
 	// ErrBadRequest marks malformed or invalid query parameters.
 	ErrBadRequest = errors.New("service: bad request")
+	// ErrBodyTooLarge is returned for request bodies over the HTTP
+	// layer's size limit (mapped to 413).
+	ErrBodyTooLarge = errors.New("service: request body too large")
 	// ErrMatrixNotFound is returned for queries against unknown names.
 	ErrMatrixNotFound = errors.New("service: matrix not found")
 	// ErrOverloaded is returned when the worker pool and its admission
@@ -64,10 +68,30 @@ type Config struct {
 	// least-recently-used matrix. Default 16.
 	MaxMatrices int
 	// BaseSeed seeds the per-job seed sequence used when a request does
-	// not pin its own seed. Default 1.
+	// not pin its own seed, and the cache's epoch-seed schedule.
+	// Default 1.
 	BaseSeed uint64
 	// Transport creates each job's transport. Default InProcess.
 	Transport TransportFactory
+	// CacheCapacity bounds the Bob-side sketch cache: precomputed
+	// per-matrix protocol states (dominated by the lp row sketches of
+	// B) reused across queries. Default 64 entries; see DisableCache to
+	// turn the cache off.
+	CacheCapacity int
+	// DisableCache turns the sketch cache off: every query re-derives
+	// Bob's matrix-dependent state from scratch and unpinned requests
+	// draw a fresh seed from the per-job sequence.
+	DisableCache bool
+	// SeedRotateEvery rotates the cache's seed epoch after this many
+	// cached-path lookups. Requests that do not pin a seed are assigned
+	// the current epoch's seed (derived from BaseSeed), which is what
+	// lets their repeat queries share one cached sketch transcript;
+	// rotation bounds how long any one set of public coins is reused
+	// and flushes the cache. Default 4096; negative never rotates.
+	SeedRotateEvery int64
+	// MaxBatch bounds the queries accepted in one EstimateBatch call.
+	// Default 256.
+	MaxBatch int
 }
 
 func (c *Config) setDefaults() {
@@ -85,6 +109,15 @@ func (c *Config) setDefaults() {
 	}
 	if c.Transport == nil {
 		c.Transport = InProcess
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 64
+	}
+	if c.SeedRotateEvery == 0 {
+		c.SeedRotateEvery = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
 	}
 }
 
@@ -139,10 +172,12 @@ type Result struct {
 type Engine struct {
 	cfg     Config
 	reg     *registry
+	cache   *sketchCache // nil when Config.DisableCache
 	stats   *collector
 	workers chan struct{} // worker slots
 	queue   chan struct{} // bounded admission queue
 	seedSeq chan uint64
+	genSeq  atomic.Uint64 // upload generations (cache-key component)
 	closed  chan struct{}
 }
 
@@ -157,6 +192,9 @@ func NewEngine(cfg Config) *Engine {
 		queue:   make(chan struct{}, cfg.QueueDepth),
 		seedSeq: make(chan uint64, 1),
 		closed:  make(chan struct{}),
+	}
+	if !cfg.DisableCache {
+		e.cache = newSketchCache(cfg.CacheCapacity, cfg.SeedRotateEvery)
 	}
 	e.seedSeq <- cfg.BaseSeed
 	return e
@@ -199,11 +237,12 @@ func (e *Engine) PutMatrix(name string, m Matrix) (MatrixInfo, []string, error) 
 			Name:     name,
 			Rows:     dense.Rows(),
 			Cols:     dense.Cols(),
-			NNZ:      len(m.Entries),
+			NNZ:      dense.L0(),
 			Binary:   binary,
 			NonNeg:   nonNeg,
 			Uploaded: time.Now(),
 		},
+		gen:   e.genSeq.Add(1),
 		dense: dense,
 	}
 	if binary {
@@ -211,13 +250,22 @@ func (e *Engine) PutMatrix(name string, m Matrix) (MatrixInfo, []string, error) 
 	}
 	evicted := e.reg.put(name, sm)
 	e.stats.evict(len(evicted))
+	// A replaced name and any LRU-evicted ones lose their cached
+	// states; the generation in the cache key keeps a racing in-flight
+	// query from resurrecting a stale entry for the new upload.
+	if e.cache != nil {
+		e.cache.invalidateMatrix(append(evicted, name)...)
+	}
 	return sm.info, evicted, nil
 }
 
-// DeleteMatrix removes a served matrix.
+// DeleteMatrix removes a served matrix and its cached states.
 func (e *Engine) DeleteMatrix(name string) error {
 	if !e.reg.delete(name) {
 		return fmt.Errorf("%w: %q", ErrMatrixNotFound, name)
+	}
+	if e.cache != nil {
+		e.cache.invalidateMatrix(name)
 	}
 	return nil
 }
@@ -226,48 +274,143 @@ func (e *Engine) DeleteMatrix(name string) error {
 func (e *Engine) Matrices() []MatrixInfo { return e.reg.infos() }
 
 // Stats snapshots the aggregate serving statistics.
-func (e *Engine) Stats() Stats { return e.stats.snapshot(e.reg.len()) }
+func (e *Engine) Stats() Stats {
+	s := e.stats.snapshot(e.reg.len())
+	if e.cache != nil {
+		s.Cache = e.cache.snapshot()
+	}
+	return s
+}
+
+// admit takes one worker slot: immediately if one is free, otherwise
+// through the bounded queue; a full queue sheds the request. The
+// returned release function must be called exactly once.
+func (e *Engine) admit(ctx context.Context) (release func(), err error) {
+	release = func() { <-e.workers }
+	select {
+	case e.workers <- struct{}{}:
+		return release, nil
+	default:
+	}
+	select {
+	case e.queue <- struct{}{}:
+	default:
+		e.stats.reject()
+		return nil, ErrOverloaded
+	}
+	defer func() { <-e.queue }()
+	select {
+	case e.workers <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.closed:
+		return nil, ErrClosed
+	}
+}
 
 // Estimate answers one query: it admits the job through the bounded
 // pool, runs the requested protocol between Alice (the request's
 // matrix) and Bob (the served matrix) over a fresh transport, and
 // returns the estimate with its exact communication cost.
+//
+// Cancelling ctx before admission returns immediately; cancelling it
+// mid-run aborts the job at its next transport operation (the
+// transport's endpoints are shut down), so a disconnected client stops
+// burning its worker.
 func (e *Engine) Estimate(ctx context.Context, req Request) (*Result, error) {
 	select {
 	case <-e.closed:
 		return nil, ErrClosed
 	default:
 	}
-
-	// Admission: take a worker slot immediately, or wait in the bounded
-	// queue; a full queue sheds the request.
-	select {
-	case e.workers <- struct{}{}:
-	default:
-		select {
-		case e.queue <- struct{}{}:
-			defer func() { <-e.queue }()
-			select {
-			case e.workers <- struct{}{}:
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-e.closed:
-				return nil, ErrClosed
-			}
-		default:
-			e.stats.reject()
-			return nil, ErrOverloaded
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	defer func() { <-e.workers }()
-
-	res, err := e.runJob(req)
-	return res, err
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return e.runJob(ctx, req)
 }
 
-// runJob validates the request, builds both parties' inputs, and drives
-// the protocol over a fresh transport.
-func (e *Engine) runJob(req Request) (*Result, error) {
+// EstimateBatch answers many queries against a single admission slot:
+// the batch waits once for a worker and then runs its queries
+// sequentially on it, which amortizes admission and transport-setup
+// overhead for callers issuing repeat queries (typically cache-hitting
+// ones against the same served matrix). Per-query failures are reported
+// in the matching BatchItem; the call itself only fails when the batch
+// cannot be admitted or validated, or when ctx is cancelled.
+func (e *Engine) EstimateBatch(ctx context.Context, reqs []Request) ([]BatchItem, error) {
+	select {
+	case <-e.closed:
+		return nil, ErrClosed
+	default:
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if len(reqs) > e.cfg.MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d exceeds limit %d", ErrBadRequest, len(reqs), e.cfg.MaxBatch)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	items := make([]BatchItem, 0, len(reqs))
+	for _, req := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := e.runJob(ctx, req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			items = append(items, BatchItem{Error: err.Error()})
+			continue
+		}
+		items = append(items, BatchItem{Result: res})
+	}
+	return items, nil
+}
+
+// BatchItem is one query's outcome within a batch: exactly one of
+// Result and Error is set.
+type BatchItem struct {
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// jobSeed picks the seed (and cache epoch) for a request: the pinned
+// seed when the request carries one; otherwise the current epoch's
+// seed when the cache is on — repeat queries then share one cached
+// sketch transcript until the epoch rotates — or the engine's per-job
+// sequence when it is off.
+func (e *Engine) jobSeed(req Request) (seed, epoch uint64) {
+	if e.cache != nil {
+		epoch = e.cache.epochNow()
+	}
+	if req.Seed != nil {
+		return *req.Seed, epoch
+	}
+	if e.cache != nil {
+		return e.cfg.BaseSeed + epoch*0x9E3779B97F4A7C15, epoch
+	}
+	return e.nextSeed(), 0
+}
+
+// runJob validates the request, builds both parties' inputs (Bob's
+// through the sketch cache), and drives the protocol over a fresh
+// transport. Cancelling ctx aborts the run at its next transport
+// operation.
+func (e *Engine) runJob(ctx context.Context, req Request) (*Result, error) {
 	sm, ok := e.reg.get(req.Matrix)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrMatrixNotFound, req.Matrix)
@@ -280,12 +423,9 @@ func (e *Engine) runJob(req Request) (*Result, error) {
 		return nil, fmt.Errorf("%w: A is %dx%d but %q has %d rows",
 			ErrBadRequest, a.Rows(), a.Cols(), req.Matrix, sm.info.Rows)
 	}
-	seed := e.nextSeed()
-	if req.Seed != nil {
-		seed = *req.Seed
-	}
+	seed, epoch := e.jobSeed(req)
 
-	job, err := buildJob(req, sm, a, aBinary, aNonNeg, seed)
+	job, err := e.buildJob(req, sm, a, aBinary, aNonNeg, seed, epoch)
 	if err != nil {
 		return nil, err
 	}
@@ -296,12 +436,34 @@ func (e *Engine) runJob(req Request) (*Result, error) {
 	}
 	defer cleanup()
 
+	// Abort the transport when ctx is cancelled mid-run: finishing both
+	// endpoints unblocks (and fails) any pending Send/Recv, and cleanup
+	// closes socket-backed transports outright.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			if alice.Finish != nil {
+				alice.Finish()
+			}
+			if bob.Finish != nil {
+				bob.Finish()
+			}
+			cleanup()
+		case <-watchDone:
+		}
+	}()
+
 	start := time.Now()
 	runErr := core.RunParties(alice, bob, job.alice, job.bob)
 	elapsed := time.Since(start)
 	stats := bob.T.Stats()
 
-	e.stats.record(req.Kind, stats.TotalBits(), stats.Rounds, elapsed, runErr != nil)
+	e.stats.record(req.Kind, stats.TotalBits(), stats.Rounds, elapsed, runErr != nil || ctx.Err() != nil)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if runErr != nil {
 		return nil, fmt.Errorf("%w: %s", mapProtocolError(runErr), runErr)
 	}
@@ -330,6 +492,31 @@ func mapProtocolError(err error) error {
 	return errors.New("service: protocol failed")
 }
 
+// lpStates is the lp cache entry: Bob's precomputed row sketches of B
+// plus the shared Alice-side sketch families. The engine drives both
+// parties of every job, so caching Alice's query-independent state
+// (derived from the same (m2, p, eps, seed) fingerprint) is the same
+// amortization as Bob's — a remote Alice, e.g. a real network client,
+// simply does not use it.
+type lpStates struct {
+	bob   *core.BobLpState
+	alice *core.AliceLpState
+}
+
+func newLpStates(b *intmat.Dense, m2 int, p float64, o core.LpOpts) (*lpStates, error) {
+	bob, err := core.NewBobLpState(b, p, o)
+	if err != nil {
+		return nil, err
+	}
+	alice, err := core.NewAliceLpState(m2, p, o)
+	if err != nil {
+		return nil, err
+	}
+	return &lpStates{bob: bob, alice: alice}, nil
+}
+
+func (s *lpStates) Bytes() int64 { return s.bob.Bytes() + s.alice.Bytes() }
+
 // job packages one protocol execution: the two party drivers plus the
 // result they fill in (Bob's driver writes the outputs — the estimate
 // lives server-side for every kind).
@@ -339,10 +526,39 @@ type job struct {
 	result *Result
 }
 
-// buildJob wires the request to the matching protocol drivers. Catalog
+// bobState fetches the cached Bob-side state for one (matrix, kind,
+// fingerprint, epoch) key, building and inserting it on a miss. With
+// the cache disabled every call builds fresh — the two-phase core API
+// makes that path identical to the pre-cache drivers. Build failures
+// are validation errors from core; they are recorded as failed requests
+// (they surfaced mid-protocol before the two-phase split) and mapped to
+// ErrBadRequest.
+func (e *Engine) bobState(sm *servedMatrix, kind, fp string, epoch uint64, build func() (bobState, error)) (bobState, error) {
+	if e.cache == nil {
+		return build()
+	}
+	key := cacheKey{matrix: sm.info.Name, gen: sm.gen, kind: kind, fp: fp, epoch: epoch}
+	if st, ok := e.cache.tickAndGet(key); ok {
+		return st, nil
+	}
+	st, err := build()
+	if err != nil {
+		return nil, err
+	}
+	e.cache.put(key, st)
+	return st, nil
+}
+
+// buildJob wires the request to the matching protocol drivers, fetching
+// Bob's matrix-dependent state through the sketch cache. Catalog
 // metadata (dimensions, binarity, signedness) crosses as parameters,
 // never as protocol payload, so costs match the paper's accounting.
-func buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinary, aNonNeg bool, seed uint64) (*job, error) {
+//
+// The fingerprint passed to bobState covers exactly the inputs the
+// precomputed state depends on: the seed appears for lp/l0sample/hh
+// (their states bake in sketches drawn from it) and is omitted for the
+// seed-free Bob phases, whose entries therefore serve any seed.
+func (e *Engine) buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinary, aNonNeg bool, seed, epoch uint64) (*job, error) {
 	res := &Result{}
 	b := sm.dense
 	m2 := sm.info.Cols
@@ -350,44 +566,74 @@ func buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinary, aNonNeg b
 	if eps == 0 {
 		eps = 0.25
 	}
+	state := func(fp string, build func() (bobState, error)) (bobState, error) {
+		st, err := e.bobState(sm, req.Kind, fp, epoch, build)
+		if err != nil {
+			e.stats.recordFailure(req.Kind)
+			return nil, fmt.Errorf("%w: %s", mapProtocolError(err), err)
+		}
+		return st, nil
+	}
 	switch req.Kind {
 	case "lp":
 		p := req.P // p = 0 is meaningful: ℓ0, the composition-size estimate
 		o := core.LpOpts{Eps: eps, Seed: seed}
+		st, err := state(fmt.Sprintf("p=%g eps=%g seed=%d", p, eps, seed),
+			func() (bobState, error) { return newLpStates(b, m2, p, o) })
+		if err != nil {
+			return nil, err
+		}
+		lp := st.(*lpStates)
 		return &job{
-			alice: func(t comm.Transport) error { return core.AliceLp(t, a, m2, p, o) },
+			alice: func(t comm.Transport) error { return lp.alice.Serve(t, a) },
 			bob: func(t comm.Transport) (err error) {
-				res.Estimate, err = core.BobLp(t, b, p, o)
+				res.Estimate, err = lp.bob.Serve(t)
 				return err
 			},
 			result: res,
 		}, nil
 	case "l0sample":
 		o := core.L0SampleOpts{Eps: eps, Seed: seed}
+		st, err := state(fmt.Sprintf("eps=%g seed=%d", eps, seed),
+			func() (bobState, error) { return core.NewBobL0SampleState(b, o) })
+		if err != nil {
+			return nil, err
+		}
+		l0 := st.(*core.BobL0SampleState)
 		m1 := a.Rows()
 		return &job{
 			alice: func(t comm.Transport) error { return core.AliceL0Sample(t, a, o) },
 			bob: func(t comm.Transport) (err error) {
-				pair, v, err := core.BobL0Sample(t, b, m1, o)
+				pair, v, err := l0.Serve(t, m1)
 				res.I, res.J, res.Estimate = pair.I, pair.J, float64(v)
 				return err
 			},
 			result: res,
 		}, nil
 	case "l1sample":
+		st, err := state("", func() (bobState, error) { return core.NewBobL1SampleState(b) })
+		if err != nil {
+			return nil, err
+		}
+		l1 := st.(*core.BobL1SampleState)
 		return &job{
 			alice: func(t comm.Transport) error { return core.AliceSampleL1(t, a, seed) },
 			bob: func(t comm.Transport) (err error) {
-				res.I, res.J, res.Witness, err = core.BobSampleL1(t, b, seed)
+				res.I, res.J, res.Witness, err = l1.Serve(t, seed)
 				return err
 			},
 			result: res,
 		}, nil
 	case "exact":
+		st, err := state("", func() (bobState, error) { return core.NewBobExactL1State(b) })
+		if err != nil {
+			return nil, err
+		}
+		ex := st.(*core.BobExactL1State)
 		return &job{
 			alice: func(t comm.Transport) error { return core.AliceExactL1(t, a) },
 			bob: func(t comm.Transport) (err error) {
-				v, err := core.BobExactL1(t, b)
+				v, err := ex.Serve(t)
 				res.Estimate = float64(v)
 				return err
 			},
@@ -399,12 +645,18 @@ func buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinary, aNonNeg b
 			return nil, err
 		}
 		o := core.LinfOpts{Eps: eps, Seed: seed}
+		st, err := state(fmt.Sprintf("eps=%g", eps),
+			func() (bobState, error) { return core.NewBobLinfState(bBits, o) })
+		if err != nil {
+			return nil, err
+		}
+		lf := st.(*core.BobLinfState)
 		m1 := a.Rows()
 		return &job{
 			alice: func(t comm.Transport) error { return core.AliceLinf(t, aBits, m2, o) },
 			bob: func(t comm.Transport) (err error) {
 				var arg core.Pair
-				res.Estimate, arg, err = core.BobLinf(t, bBits, m1, o)
+				res.Estimate, arg, err = lf.Serve(t, m1)
 				res.I, res.J = arg.I, arg.J
 				return err
 			},
@@ -420,12 +672,18 @@ func buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinary, aNonNeg b
 			kappa = 8
 		}
 		o := core.LinfKappaOpts{Kappa: kappa, Seed: seed}
+		st, err := state(fmt.Sprintf("kappa=%g", kappa),
+			func() (bobState, error) { return core.NewBobLinfKappaState(bBits, o) })
+		if err != nil {
+			return nil, err
+		}
+		lk := st.(*core.BobLinfKappaState)
 		m1 := a.Rows()
 		return &job{
 			alice: func(t comm.Transport) error { return core.AliceLinfKappa(t, aBits, m2, o) },
 			bob: func(t comm.Transport) (err error) {
 				var arg core.Pair
-				res.Estimate, arg, err = core.BobLinfKappa(t, bBits, m1, o)
+				res.Estimate, arg, err = lk.Serve(t, m1)
 				res.I, res.J = arg.I, arg.J
 				return err
 			},
@@ -441,12 +699,18 @@ func buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinary, aNonNeg b
 			hhEps = phi / 2
 		}
 		o := core.HHOpts{Phi: phi, Eps: hhEps, P: req.P, Seed: seed}
+		st, err := state(fmt.Sprintf("p=%g phi=%g eps=%g seed=%d", req.P, phi, hhEps, seed),
+			func() (bobState, error) { return core.NewBobHHState(b, o) })
+		if err != nil {
+			return nil, err
+		}
+		hh := st.(*core.BobHHState)
 		m1 := a.Rows()
 		bNonNeg := sm.info.NonNeg
 		return &job{
 			alice: func(t comm.Transport) error { return core.AliceHH(t, a, m2, bNonNeg, o) },
 			bob: func(t comm.Transport) (err error) {
-				out, err := core.BobHH(t, b, m1, aNonNeg, o)
+				out, err := hh.Serve(t, m1, aNonNeg)
 				for _, wp := range out {
 					res.Entries = append(res.Entries, Entry{I: wp.I, J: wp.J, Value: wp.Value})
 				}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -27,6 +28,7 @@ type Stats struct {
 	Matrices   int                  `json:"matrices"`
 	TotalBits  int64                `json:"total_bits"` // protocol payload bits on the wire
 	PerKind    map[string]KindStats `json:"per_kind"`
+	Cache      CacheStats           `json:"cache"` // sketch-cache counters (zero when disabled)
 	LatencyP50 time.Duration        `json:"latency_p50_ns"`
 	LatencyP90 time.Duration        `json:"latency_p90_ns"`
 	LatencyP99 time.Duration        `json:"latency_p99_ns"`
@@ -55,6 +57,22 @@ func newCollector() *collector {
 func (c *collector) record(kind string, bits int64, rounds int, lat time.Duration, failed bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.bump(kind, bits, rounds, failed)
+	c.ring[c.ringN%latencyWindow] = lat
+	c.ringN++
+}
+
+// recordFailure counts a request that failed before any protocol ran
+// (driver-state validation). No latency sample is written: a stream of
+// invalid requests must not flood the percentile window with zeros.
+func (c *collector) recordFailure(kind string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump(kind, 0, 0, true)
+}
+
+// bump updates the counters. Callers hold c.mu.
+func (c *collector) bump(kind string, bits int64, rounds int, failed bool) {
 	c.requests++
 	c.totalBits += bits
 	ks := c.perKind[kind]
@@ -69,8 +87,6 @@ func (c *collector) record(kind string, bits int64, rounds int, lat time.Duratio
 		c.errors++
 		ks.Errors++
 	}
-	c.ring[c.ringN%latencyWindow] = lat
-	c.ringN++
 }
 
 func (c *collector) reject() {
@@ -111,18 +127,30 @@ func (c *collector) snapshot(matrices int) Stats {
 		lats := make([]time.Duration, n)
 		copy(lats, c.ring[:n])
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		s.LatencyP50 = percentile(lats, 0.50)
-		s.LatencyP90 = percentile(lats, 0.90)
-		s.LatencyP99 = percentile(lats, 0.99)
+		s.LatencyP50 = Percentile(lats, 0.50)
+		s.LatencyP90 = Percentile(lats, 0.90)
+		s.LatencyP99 = Percentile(lats, 0.99)
 	}
 	return s
 }
 
-// percentile reads the q-quantile from a sorted slice (nearest-rank).
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
+// Percentile reads the q-quantile from a sorted slice by the
+// nearest-rank definition: the smallest element whose rank r (1-based)
+// satisfies r ≥ q·n. (Truncating q·(n−1) instead — a previous bug here
+// and in cmd/mpload — biases high quantiles low on small windows: P99
+// of 10 samples picked the 9th-smallest, not the maximum.) Exported so
+// latency-reporting clients share one definition with the server.
+func Percentile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := int(q * float64(len(sorted)-1))
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
 	return sorted[idx]
 }

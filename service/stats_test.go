@@ -1,0 +1,37 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	sorted := make([]time.Duration, 10)
+	for i := range sorted {
+		sorted[i] = ms(i + 1) // 1ms … 10ms
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, ms(5)},
+		{0.90, ms(9)},
+		// The regression this pins: truncating q·(n−1) returned the
+		// 9th-smallest for P99 over 10 samples instead of the maximum.
+		{0.99, ms(10)},
+		{1.00, ms(10)},
+		{0.01, ms(1)},
+	}
+	for _, tc := range cases {
+		if got := Percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 0.99); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+	if got := Percentile([]time.Duration{ms(7)}, 0.99); got != ms(7) {
+		t.Errorf("percentile(single) = %v, want 7ms", got)
+	}
+}

@@ -44,17 +44,27 @@ const maxMatrixElems = 1 << 24
 // toDense validates the wire matrix and converts it, reporting whether
 // every entry is 0/1 (binary, eligible for the ℓ∞ protocols) and
 // whether all entries are non-negative (eligible for Remark 2/3).
+// Duplicate (row, col) entries are rejected: silently letting the last
+// one win (the previous behavior) also miscounted the catalog NNZ,
+// which is computed from the dense form precisely because wire entries
+// may carry explicit zeros.
 func (m Matrix) toDense() (d *intmat.Dense, binary, nonNeg bool, err error) {
 	if m.Rows <= 0 || m.Cols <= 0 || int64(m.Rows)*int64(m.Cols) > maxMatrixElems {
 		return nil, false, false, fmt.Errorf("%w: matrix dimensions %dx%d out of range", ErrBadRequest, m.Rows, m.Cols)
 	}
 	d = intmat.NewDense(m.Rows, m.Cols)
+	seen := make(map[int64]struct{}, len(m.Entries))
 	binary, nonNeg = true, true
 	for _, e := range m.Entries {
 		i, j, v := e[0], e[1], e[2]
 		if i < 0 || i >= int64(m.Rows) || j < 0 || j >= int64(m.Cols) {
 			return nil, false, false, fmt.Errorf("%w: entry (%d, %d) outside %dx%d matrix", ErrBadRequest, i, j, m.Rows, m.Cols)
 		}
+		cell := i*int64(m.Cols) + j
+		if _, dup := seen[cell]; dup {
+			return nil, false, false, fmt.Errorf("%w: duplicate entry (%d, %d)", ErrBadRequest, i, j)
+		}
+		seen[cell] = struct{}{}
 		if v != 0 && v != 1 {
 			binary = false
 		}
