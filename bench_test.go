@@ -463,6 +463,45 @@ func BenchmarkServiceLpCachedVsUncached(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceLpSharded prices the row-shard parallel serve path
+// on the uncached lp pipeline: the same pinned-seed query against a
+// served 512×512 matrix, answered by an engine that re-derives Bob's
+// sketches every request (the cache is off, so each estimate pays the
+// full precompute + serve cost) at 1 shard versus 4. Transcripts are
+// byte-identical across shard counts — the core parity tests pin that —
+// so bits/op must agree; only time/op moves. The 4-shard run is the
+// headline number: ≥2× faster than 1 shard on a ≥4-core box.
+func BenchmarkServiceLpSharded(b *testing.B) {
+	n := 512
+	served := service.MatrixFromBool(workload.Binary(230, n, n, 0.2))
+	query := service.MatrixFromBool(workload.Binary(231, n, n, 0.02))
+	seed := uint64(232)
+	req := service.Request{Matrix: "bench", Kind: "lp", P: 1, Eps: 0.25, Seed: &seed, A: query}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			engine := service.NewEngine(service.Config{Workers: 4, DisableCache: true, Shards: shards})
+			defer engine.Close()
+			ctx := context.Background()
+			if _, _, err := engine.PutMatrix("bench", served); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.Estimate(ctx, req); err != nil { // warm allocators
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var bits int64
+			for i := 0; i < b.N; i++ {
+				res, err := engine.Estimate(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bits = res.Bits
+			}
+			b.ReportMetric(float64(bits), "bits/op")
+		})
+	}
+}
+
 // BenchmarkServiceBatchEstimate prices the batched query API over the
 // HTTP surface: 16 pinned-seed lp queries per POST /estimate/batch
 // (one HTTP exchange, one admission slot, cache hits throughout)

@@ -19,6 +19,11 @@
 // answers repeats from its precomputed state:
 //
 //	mpload -addr http://127.0.0.1:8080 -mix lp=1 -batch 16 -pin-seed 7
+//
+// With -chunk-rows N the served matrix is admitted through the chunked
+// streaming-ingestion endpoint (POST /matrices/{name}/chunks, N rows
+// per chunk) instead of one monolithic PUT body — the path for matrices
+// beyond the server's single-body size limit.
 package main
 
 import (
@@ -132,6 +137,7 @@ func main() {
 	aPool := flag.Int("a-pool", 8, "distinct query (Alice) matrices to rotate through")
 	batch := flag.Int("batch", 1, "queries per request: >1 uses POST /estimate/batch (one admission slot per batch; latencies reported amortized per query)")
 	pinSeed := flag.Uint64("pin-seed", 0, "pin every query's job seed (>0) so repeat queries hit the server's sketch cache; 0 lets the server assign epoch seeds")
+	chunkRows := flag.Int("chunk-rows", 0, "upload the served matrix through POST /matrices/{name}/chunks with this many rows per chunk (0 = single-body PUT)")
 	flag.Parse()
 
 	if *batch < 1 {
@@ -150,11 +156,22 @@ func main() {
 	// the ℓ∞ kinds, non-negative for exact/l1sample).
 	if *upload {
 		b := workload.Binary(*seed, *n, *n, *density)
-		info, err := client.UploadMatrix(ctx, *matrix, service.MatrixFromBool(b))
+		wire := service.MatrixFromBool(b)
+		var info service.MatrixInfo
+		var err error
+		if *chunkRows > 0 {
+			info, err = client.UploadMatrixChunked(ctx, *matrix, wire, *chunkRows)
+		} else {
+			info, err = client.UploadMatrix(ctx, *matrix, wire)
+		}
 		if err != nil {
 			log.Fatalf("upload: %v", err)
 		}
-		log.Printf("uploaded %q: %dx%d, %d non-zeros", info.Name, info.Rows, info.Cols, info.NNZ)
+		how := "single body"
+		if *chunkRows > 0 {
+			how = fmt.Sprintf("%d-row chunks", *chunkRows)
+		}
+		log.Printf("uploaded %q (%s): %dx%d, %d non-zeros", info.Name, how, info.Rows, info.Cols, info.NNZ)
 	}
 	pool := make([]service.Matrix, *aPool)
 	for i := range pool {

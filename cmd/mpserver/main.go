@@ -51,6 +51,10 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the sketch cache (re-derive Bob's state per query)")
 	seedRotate := flag.Int64("seed-rotate-every", 4096, "rotate the cache seed epoch after this many cached-path lookups (negative: never)")
 	maxBatch := flag.Int("max-batch", 256, "max queries per /estimate/batch request")
+	shards := flag.Int("shards", 0, "row shards per job on the parallel serve path (0 = min(GOMAXPROCS, 8), 1 = sequential; transcripts are identical for any value)")
+	uploadTTL := flag.Duration("upload-ttl", 2*time.Minute, "idle partial chunked uploads are garbage-collected after this long")
+	maxUploads := flag.Int("max-uploads", 16, "max concurrently staged chunked uploads")
+	maxStaged := flag.Int64("max-staged-elems", 0, "total rows*cols budget across staged chunked uploads (0 = default 1<<25, ~256 MiB of staging)")
 	flag.Parse()
 
 	factory, ok := service.TransportByName(*transport)
@@ -67,6 +71,10 @@ func main() {
 		DisableCache:    *noCache,
 		SeedRotateEvery: *seedRotate,
 		MaxBatch:        *maxBatch,
+		Shards:          *shards,
+		UploadTTL:       *uploadTTL,
+		MaxUploads:      *maxUploads,
+		MaxStagedElems:  *maxStaged,
 	})
 	defer engine.Close()
 
@@ -81,9 +89,10 @@ func main() {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)
-	log.Printf("mpserver listening on %s (workers=%d queue=%d max-matrices=%d transport=%s cache=%s)",
+	log.Printf("mpserver listening on %s (workers=%d queue=%d max-matrices=%d transport=%s cache=%s shards=%d)",
 		*addr, *workers, *queue, *maxMatrices, *transport,
-		map[bool]string{true: "off", false: fmt.Sprintf("%d entries", *cacheCap)}[*noCache])
+		map[bool]string{true: "off", false: fmt.Sprintf("%d entries", *cacheCap)}[*noCache],
+		engine.Stats().Shard.Shards)
 	log.Printf("kinds: %v", kinds)
 
 	errCh := make(chan error, 1)
@@ -107,6 +116,8 @@ func main() {
 	st := engine.Stats()
 	log.Printf("served %d requests (%d errors, %d rejected), %d protocol bits, p50=%v p99=%v",
 		st.Requests, st.Errors, st.Rejected, st.TotalBits, st.LatencyP50, st.LatencyP99)
+	log.Printf("shard pool: %d shards/job, %d parallel sections, %d tasks; chunked uploads: %d committed, %d expired",
+		st.Shard.Shards, st.Shard.Jobs, st.Shard.Tasks, st.Uploads.Committed, st.Uploads.Expired)
 	if !*noCache {
 		log.Printf("sketch cache: %d hits, %d misses, %d entries (%d bytes), seed epoch %d",
 			st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Cache.Bytes, st.Cache.SeedEpoch)

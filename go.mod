@@ -1,3 +1,5 @@
 module repro
 
-go 1.24
+go 1.23.0
+
+toolchain go1.24.0

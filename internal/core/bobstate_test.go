@@ -49,9 +49,10 @@ func runRecorded(t *testing.T, alice, bob func(comm.Transport) error) (in, out [
 
 // TestBobStateServeTranscriptParity pins the two-phase API's core
 // guarantee: serving a query from a precomputed Bob state — including
-// re-serving from the same state, the sketch-cache hit path — produces
-// a wire transcript byte-identical to a fresh one-shot driver run with
-// the same inputs and seed, and the same protocol output.
+// re-serving from the same state, the sketch-cache hit path, and a
+// state built and served with the row-shard parallel layer enabled —
+// produces a wire transcript byte-identical to a fresh one-shot driver
+// run with the same inputs and seed, and the same protocol output.
 func TestBobStateServeTranscriptParity(t *testing.T) {
 	aInt := randomInt(800, 24, 24, 0.2, 3, false) // signed
 	bInt := randomInt(801, 24, 24, 0.2, 3, false)
@@ -60,11 +61,17 @@ func TestBobStateServeTranscriptParity(t *testing.T) {
 	aBit := randomBinary(804, 24, 24, 0.3)
 	bBit := randomBinary(805, 24, 24, 0.3)
 
+	// testShards is the shard count of the sharded parity variants: more
+	// ranges than a 24-row input strictly supports, which also exercises
+	// the coarsening in shardRanges.
+	const testShards = 4
+
 	type runs struct {
-		alice  func(comm.Transport) error
-		fresh  func(comm.Transport) error // one-shot BobXxx driver
-		served func(comm.Transport) error // Serve on one prebuilt state
-		out    func() any                 // latest Bob output, any form
+		alice   func(comm.Transport) error
+		fresh   func(comm.Transport) error // one-shot BobXxx driver
+		served  func(comm.Transport) error // Serve on one prebuilt state
+		sharded func(comm.Transport) error // Serve on a shard-parallel state
+		out     func() any                 // latest Bob output, any form
 	}
 	cases := map[string]func(t *testing.T) runs{
 		"lp": func(t *testing.T) runs {
@@ -73,17 +80,30 @@ func TestBobStateServeTranscriptParity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			oSh := o
+			oSh.Shards = testShards
+			stSh, err := NewBobLpState(bInt, 1, oSh)
+			if err != nil {
+				t.Fatal(err)
+			}
 			var est float64
 			return runs{
-				alice:  func(tr comm.Transport) error { return AliceLp(tr, aInt, bInt.Cols(), 1, o) },
-				fresh:  func(tr comm.Transport) (err error) { est, err = BobLp(tr, bInt, 1, o); return err },
-				served: func(tr comm.Transport) (err error) { est, err = st.Serve(tr); return err },
-				out:    func() any { return est },
+				alice:   func(tr comm.Transport) error { return AliceLp(tr, aInt, bInt.Cols(), 1, o) },
+				fresh:   func(tr comm.Transport) (err error) { est, err = BobLp(tr, bInt, 1, o); return err },
+				served:  func(tr comm.Transport) (err error) { est, err = st.Serve(tr); return err },
+				sharded: func(tr comm.Transport) (err error) { est, err = stSh.Serve(tr); return err },
+				out:     func() any { return est },
 			}
 		},
 		"l0sample": func(t *testing.T) runs {
 			o := L0SampleOpts{Eps: 0.5, Seed: 811}
 			st, err := NewBobL0SampleState(bInt, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oSh := o
+			oSh.Shards = testShards
+			stSh, err := NewBobL0SampleState(bInt, oSh)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,11 +119,19 @@ func TestBobStateServeTranscriptParity(t *testing.T) {
 					pair, val, err = st.Serve(tr, aInt.Rows())
 					return err
 				},
+				sharded: func(tr comm.Transport) (err error) {
+					pair, val, err = stSh.Serve(tr, aInt.Rows())
+					return err
+				},
 				out: func() any { return [2]any{pair, val} },
 			}
 		},
 		"l1sample": func(t *testing.T) runs {
-			st, err := NewBobL1SampleState(bPos)
+			st, err := NewBobL1SampleState(bPos, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stSh, err := NewBobL1SampleState(bPos, testShards)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -118,25 +146,40 @@ func TestBobStateServeTranscriptParity(t *testing.T) {
 					i, j, w, err = st.Serve(tr, 812)
 					return err
 				},
+				sharded: func(tr comm.Transport) (err error) {
+					i, j, w, err = stSh.Serve(tr, 812)
+					return err
+				},
 				out: func() any { return [3]int{i, j, w} },
 			}
 		},
 		"exact": func(t *testing.T) runs {
-			st, err := NewBobExactL1State(bPos)
+			st, err := NewBobExactL1State(bPos, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stSh, err := NewBobExactL1State(bPos, testShards)
 			if err != nil {
 				t.Fatal(err)
 			}
 			var total int64
 			return runs{
-				alice:  func(tr comm.Transport) error { return AliceExactL1(tr, aPos) },
-				fresh:  func(tr comm.Transport) (err error) { total, err = BobExactL1(tr, bPos); return err },
-				served: func(tr comm.Transport) (err error) { total, err = st.Serve(tr); return err },
-				out:    func() any { return total },
+				alice:   func(tr comm.Transport) error { return AliceExactL1(tr, aPos) },
+				fresh:   func(tr comm.Transport) (err error) { total, err = BobExactL1(tr, bPos); return err },
+				served:  func(tr comm.Transport) (err error) { total, err = st.Serve(tr); return err },
+				sharded: func(tr comm.Transport) (err error) { total, err = stSh.Serve(tr); return err },
+				out:     func() any { return total },
 			}
 		},
 		"linf": func(t *testing.T) runs {
 			o := LinfOpts{Eps: 0.5, Seed: 813}
 			st, err := NewBobLinfState(bBit, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oSh := o
+			oSh.Shards = testShards
+			stSh, err := NewBobLinfState(bBit, oSh)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -152,12 +195,22 @@ func TestBobStateServeTranscriptParity(t *testing.T) {
 					est, arg, err = st.Serve(tr, aBit.Rows())
 					return err
 				},
+				sharded: func(tr comm.Transport) (err error) {
+					est, arg, err = stSh.Serve(tr, aBit.Rows())
+					return err
+				},
 				out: func() any { return [2]any{est, arg} },
 			}
 		},
 		"linfkappa": func(t *testing.T) runs {
 			o := LinfKappaOpts{Kappa: 4, Seed: 814}
 			st, err := NewBobLinfKappaState(bBit, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oSh := o
+			oSh.Shards = testShards
+			stSh, err := NewBobLinfKappaState(bBit, oSh)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -173,6 +226,10 @@ func TestBobStateServeTranscriptParity(t *testing.T) {
 					est, arg, err = st.Serve(tr, aBit.Rows())
 					return err
 				},
+				sharded: func(tr comm.Transport) (err error) {
+					est, arg, err = stSh.Serve(tr, aBit.Rows())
+					return err
+				},
 				out: func() any { return [2]any{est, arg} },
 			}
 		},
@@ -181,6 +238,12 @@ func TestBobStateServeTranscriptParity(t *testing.T) {
 			// the lazily built nested BobLpState is on the transcript.
 			o := HHOpts{Phi: 0.3, Eps: 0.15, Seed: 815}
 			st, err := NewBobHHState(bPos, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oSh := o
+			oSh.Shards = testShards
+			stSh, err := NewBobHHState(bPos, oSh)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -195,6 +258,10 @@ func TestBobStateServeTranscriptParity(t *testing.T) {
 					out, err = st.Serve(tr, aInt.Rows(), false)
 					return err
 				},
+				sharded: func(tr comm.Transport) (err error) {
+					out, err = stSh.Serve(tr, aInt.Rows(), false)
+					return err
+				},
 				out: func() any { return out },
 			}
 		},
@@ -206,18 +273,27 @@ func TestBobStateServeTranscriptParity(t *testing.T) {
 			freshIn, freshOut := runRecorded(t, r.alice, r.fresh)
 			freshResult := r.out()
 
-			for _, hit := range []string{"first serve", "second serve (cache hit)"} {
-				in, out := runRecorded(t, r.alice, r.served)
+			variants := []struct {
+				name string
+				bob  func(comm.Transport) error
+			}{
+				{"first serve", r.served},
+				{"second serve (cache hit)", r.served},
+				{"sharded serve", r.sharded},
+				{"sharded re-serve", r.sharded},
+			}
+			for _, v := range variants {
+				in, out := runRecorded(t, r.alice, v.bob)
 				if !bytes.Equal(out, freshOut) {
 					t.Fatalf("%s: Bob→Alice transcript differs from fresh run (%d vs %d bytes)",
-						hit, len(out), len(freshOut))
+						v.name, len(out), len(freshOut))
 				}
 				if !bytes.Equal(in, freshIn) {
 					t.Fatalf("%s: Alice→Bob transcript differs from fresh run (%d vs %d bytes)",
-						hit, len(in), len(freshIn))
+						v.name, len(in), len(freshIn))
 				}
 				if got := r.out(); !equalAny(got, freshResult) {
-					t.Fatalf("%s: output %v differs from fresh %v", hit, got, freshResult)
+					t.Fatalf("%s: output %v differs from fresh %v", v.name, got, freshResult)
 				}
 			}
 		})

@@ -93,7 +93,10 @@ func TestL0SampleOverTCPMatchesInProcess(t *testing.T) {
 	var gotVal int64
 	gotCost := runTCP(t,
 		func(tr comm.Transport) error { return AliceL0Sample(tr, a, o) },
-		func(tr comm.Transport) (err error) { gotPair, gotVal, err = BobL0Sample(tr, b, a.Rows(), o); return err },
+		func(tr comm.Transport) (err error) {
+			gotPair, gotVal, err = BobL0Sample(tr, b, a.Rows(), o)
+			return err
+		},
 	)
 	if gotPair != wantPair || gotVal != wantVal {
 		t.Fatalf("TCP sample (%v, %d) != in-process (%v, %d)", gotPair, gotVal, wantPair, wantVal)

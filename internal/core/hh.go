@@ -28,6 +28,11 @@ type HHOpts struct {
 	Reps int
 	// Seed is the shared public-coin seed.
 	Seed uint64
+	// Shards splits Bob's row-parallel phases (absolute row sums, the
+	// scale dot product, and the embedded Algorithm 1 state) into
+	// contiguous ranges executed concurrently. Never changes a transcript
+	// byte or an output bit; 0 or 1 runs sequentially.
+	Shards int
 }
 
 func (o *HHOpts) setDefaults() error {
@@ -64,8 +69,10 @@ func addCost(a, b Cost) Cost {
 
 // hhNestedLpOpts is the option set of Algorithm 4's embedded ‖C‖p^p
 // estimation (step 1b) — the common choice both parties must agree on.
+// Shards rides along: it is execution-local and transcript-free, so the
+// parties need not agree on it.
 func hhNestedLpOpts(o HHOpts) LpOpts {
-	return LpOpts{Eps: math.Min(0.25, o.Eps/(4*o.Phi)), Seed: o.Seed + 1}
+	return LpOpts{Eps: math.Min(0.25, o.Eps/(4*o.Phi)), Seed: o.Seed + 1, Shards: o.Shards}
 }
 
 // HeavyHitters is Algorithm 4 (Theorem 5.1) extended to p ∈ (0, 2]
@@ -232,18 +239,20 @@ func NewBobHHState(b *intmat.Dense, o HHOpts) (*BobHHState, error) {
 	if err := o.setDefaults(); err != nil {
 		return nil, err
 	}
-	s := &BobHHState{b: b, bNonNeg: requireNonNegative(b) == nil, opts: o}
+	s := &BobHHState{b: b, bNonNeg: requireNonNegativeSharded(b, o.Shards) == nil, opts: o}
 	s.absRowSums = make([]int64, b.Rows())
-	for k := 0; k < b.Rows(); k++ {
-		var rs int64
-		for _, v := range b.Row(k) {
-			if v < 0 {
-				v = -v
+	runShards(b.Rows(), o.Shards, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			var rs int64
+			for _, v := range b.Row(k) {
+				if v < 0 {
+					v = -v
+				}
+				rs += v
 			}
-			rs += v
+			s.absRowSums[k] = rs
 		}
-		s.absRowSums[k] = rs
-	}
+	})
 	return s, nil
 }
 
@@ -283,13 +292,16 @@ func (s *BobHHState) Serve(t comm.Transport, m1 int, aNonNeg bool) (out []Weight
 
 	// Step 1a in: the exact ‖|A|·|B|‖1, which upper-bounds the sampled
 	// sparsity for any sign pattern and equals ‖C‖1 for non-negative
-	// inputs.
+	// inputs. The varint stream decodes sequentially; the dot product
+	// shards with exact int64 partials.
 	recv1 := t.Recv(comm.AliceToBob)
-	var t1abs int64
+	absColSums := make([]int64, n)
 	for k := 0; k < n; k++ {
-		cs := int64(recv1.Uvarint())
-		t1abs += cs * s.absRowSums[k]
+		absColSums[k] = int64(recv1.Uvarint())
 	}
+	t1abs := sumInt64Shards(n, o.Shards, func(k int) int64 {
+		return absColSums[k] * s.absRowSums[k]
+	})
 
 	// Step 1b: the heaviness scale ‖C‖p^p.
 	var tp float64

@@ -24,6 +24,11 @@ type L0SampleOpts struct {
 	SketchC float64
 	// Seed is the shared public-coin seed.
 	Seed uint64
+	// Shards splits the row-parallel phases (indexing B by column, the
+	// per-column sketch combines of a served query) into contiguous
+	// ranges executed concurrently. Never changes a transcript byte or an
+	// output bit; 0 or 1 runs sequentially.
+	Shards int
 }
 
 func (o *L0SampleOpts) setDefaults() error {
@@ -138,16 +143,30 @@ type BobL0SampleState struct {
 }
 
 // NewBobL0SampleState validates the options and indexes B by column.
+// The row scan is sharded: each shard indexes its own contiguous row
+// range, and the per-column lists are concatenated in shard order —
+// shard ranges are ascending, so every column's entries stay in
+// increasing row order, exactly as the sequential scan emits them.
 func NewBobL0SampleState(b *intmat.Dense, o L0SampleOpts) (*BobL0SampleState, error) {
 	if err := o.setDefaults(); err != nil {
 		return nil, err
 	}
 	s := &BobL0SampleState{rows: b.Rows(), cols: b.Cols(), colNZ: make([][]colEntry, b.Cols()), opts: o}
-	for k := 0; k < b.Rows(); k++ {
-		for j, v := range b.Row(k) {
-			if v != 0 {
-				s.colNZ[j] = append(s.colNZ[j], colEntry{k: k, v: v})
+	parts := make([][][]colEntry, len(shardRanges(b.Rows(), o.Shards)))
+	runShards(b.Rows(), o.Shards, func(sh, lo, hi int) {
+		local := make([][]colEntry, b.Cols())
+		for k := lo; k < hi; k++ {
+			for j, v := range b.Row(k) {
+				if v != 0 {
+					local[j] = append(local[j], colEntry{k: k, v: v})
+				}
 			}
+		}
+		parts[sh] = local
+	})
+	for _, local := range parts {
+		for j, es := range local {
+			s.colNZ[j] = append(s.colNZ[j], es...)
 		}
 	}
 	return s, nil
@@ -179,24 +198,32 @@ func (s *BobL0SampleState) Serve(t comm.Transport, m1 int) (pair Pair, value int
 		sampSk[k] = recv.Uint64Slice()
 	}
 
-	// Per-column ℓ0 estimates of C.
+	// Per-column ℓ0 estimates of C. Columns of C are independent, so the
+	// sketch combines shard over contiguous column ranges (each shard
+	// owns a private accumulator and writes disjoint colEst slots); the
+	// total is then re-summed in column order, matching the sequential
+	// float summation exactly.
 	colEst := make([]float64, m2)
+	runShards(m2, s.opts.Shards, func(_, lo, hi int) {
+		accNorm := make([]field.Elem, l0.Dim())
+		for j := lo; j < hi; j++ {
+			if len(s.colNZ[j]) == 0 {
+				continue
+			}
+			for i := range accNorm {
+				accNorm[i] = 0
+			}
+			for _, e := range s.colNZ[j] {
+				sketch.AxpyField(accNorm, e.v, normSk[e.k])
+			}
+			if e := l0.Estimate(accNorm); e > 0 {
+				colEst[j] = e
+			}
+		}
+	})
 	total := 0.0
-	accNorm := make([]field.Elem, l0.Dim())
 	for j := 0; j < m2; j++ {
-		if len(s.colNZ[j]) == 0 {
-			continue
-		}
-		for i := range accNorm {
-			accNorm[i] = 0
-		}
-		for _, e := range s.colNZ[j] {
-			sketch.AxpyField(accNorm, e.v, normSk[e.k])
-		}
-		if e := l0.Estimate(accNorm); e > 0 {
-			colEst[j] = e
-			total += e
-		}
+		total += colEst[j]
 	}
 	if total == 0 {
 		return Pair{}, 0, ErrSampleFailed

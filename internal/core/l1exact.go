@@ -48,7 +48,7 @@ func AliceExactL1(t comm.Transport, a *intmat.Dense) (err error) {
 // BobExactL1 drives Bob's side of Remark 2 and returns the exact ‖AB‖1
 // as Σ_k colSumA(k)·rowSumB(k).
 func BobExactL1(t comm.Transport, b *intmat.Dense) (total int64, err error) {
-	st, err := NewBobExactL1State(b)
+	st, err := NewBobExactL1State(b, 1)
 	if err != nil {
 		return 0, err
 	}
@@ -61,36 +61,52 @@ func BobExactL1(t comm.Transport, b *intmat.Dense) (total int64, err error) {
 // sums. Immutable after construction; safe for concurrent Serve calls.
 type BobExactL1State struct {
 	rowSums []int64
+	shards  int
 }
 
-// NewBobExactL1State validates B and precomputes its row sums.
-func NewBobExactL1State(b *intmat.Dense) (*BobExactL1State, error) {
-	if err := requireNonNegative(b); err != nil {
+// NewBobExactL1State validates B and precomputes its row sums, sharding
+// both row scans over contiguous ranges. shards ≤ 1 runs sequentially;
+// the shard count never changes a transcript byte or an output bit.
+func NewBobExactL1State(b *intmat.Dense, shards int) (*BobExactL1State, error) {
+	if err := requireNonNegativeSharded(b, shards); err != nil {
 		return nil, err
 	}
-	rowSums := make([]int64, b.Rows())
-	for k := 0; k < b.Rows(); k++ {
-		var rs int64
-		for _, v := range b.Row(k) {
-			rs += v
-		}
-		rowSums[k] = rs
-	}
-	return &BobExactL1State{rowSums: rowSums}, nil
+	return &BobExactL1State{rowSums: rowSumsSharded(b, shards), shards: shards}, nil
 }
 
 // Bytes reports the memory retained by the precomputation.
 func (s *BobExactL1State) Bytes() int64 { return int64(8 * len(s.rowSums)) }
 
-// Serve runs the per-query phase of Bob's side of Remark 2 over t.
+// Serve runs the per-query phase of Bob's side of Remark 2 over t. The
+// varint stream decodes sequentially; the dot product against the
+// precomputed row sums then shards with exact int64 partials.
 func (s *BobExactL1State) Serve(t comm.Transport) (total int64, err error) {
 	defer recoverDecodeError(&err)
 	recv := t.Recv(comm.AliceToBob)
-	for _, rs := range s.rowSums {
-		cs := int64(recv.Uvarint())
-		total += cs * rs
+	colSums := make([]int64, len(s.rowSums))
+	for k := range colSums {
+		colSums[k] = int64(recv.Uvarint())
 	}
+	total = sumInt64Shards(len(s.rowSums), s.shards, func(k int) int64 {
+		return colSums[k] * s.rowSums[k]
+	})
 	return total, nil
+}
+
+// rowSumsSharded computes per-row sums of b over contiguous sharded row
+// ranges (disjoint writes; exact integer arithmetic).
+func rowSumsSharded(b *intmat.Dense, shards int) []int64 {
+	rowSums := make([]int64, b.Rows())
+	runShards(b.Rows(), shards, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			var rs int64
+			for _, v := range b.Row(k) {
+				rs += v
+			}
+			rowSums[k] = rs
+		}
+	})
+	return rowSums
 }
 
 // SampleL1 is Remark 3: one-round ℓ1-sampling of C = AB for non-negative
@@ -154,7 +170,7 @@ func AliceSampleL1(t comm.Transport, a *intmat.Dense, seed uint64) (err error) {
 // colSumA(k)·rowSumB(k), sample a witness, then a column of B_{k,*}
 // proportionally to its entries.
 func BobSampleL1(t comm.Transport, b *intmat.Dense, seed uint64) (i, j, witness int, err error) {
-	st, err := NewBobL1SampleState(b)
+	st, err := NewBobL1SampleState(b, 1)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -169,22 +185,17 @@ func BobSampleL1(t comm.Transport, b *intmat.Dense, seed uint64) (i, j, witness 
 type BobL1SampleState struct {
 	b       *intmat.Dense
 	rowSums []int64
+	shards  int
 }
 
-// NewBobL1SampleState validates B and precomputes its row sums.
-func NewBobL1SampleState(b *intmat.Dense) (*BobL1SampleState, error) {
-	if err := requireNonNegative(b); err != nil {
+// NewBobL1SampleState validates B and precomputes its row sums over
+// sharded row ranges. shards ≤ 1 runs sequentially; the shard count
+// never changes a transcript byte or an output bit.
+func NewBobL1SampleState(b *intmat.Dense, shards int) (*BobL1SampleState, error) {
+	if err := requireNonNegativeSharded(b, shards); err != nil {
 		return nil, err
 	}
-	rowSums := make([]int64, b.Rows())
-	for k := 0; k < b.Rows(); k++ {
-		var rs int64
-		for _, v := range b.Row(k) {
-			rs += v
-		}
-		rowSums[k] = rs
-	}
-	return &BobL1SampleState{b: b, rowSums: rowSums}, nil
+	return &BobL1SampleState{b: b, rowSums: rowSumsSharded(b, shards), shards: shards}, nil
 }
 
 // Bytes reports the memory retained by the precomputation.
@@ -200,13 +211,28 @@ func (s *BobL1SampleState) Serve(t comm.Transport, seed uint64) (i, j, witness i
 	n := b.Rows()
 	colSums := make([]int64, n)
 	rowPicks := make([]int, n)
-	weights := make([]int64, n)
-	var total int64
 	for k := 0; k < n; k++ {
 		colSums[k] = int64(recv.Uvarint())
 		rowPicks[k] = int(recv.Varint())
-		weights[k] = colSums[k] * s.rowSums[k]
-		total += weights[k]
+	}
+	// Item weights shard with exact int64 arithmetic — only past the
+	// cheap-reduction floor, where the O(1)-per-item fill outweighs pool
+	// synchronization; the coin-consuming sampling below always stays
+	// sequential so bobPriv's stream is untouched.
+	weights := make([]int64, n)
+	var total int64
+	if n < minShardCheapElems {
+		for k := 0; k < n; k++ {
+			weights[k] = colSums[k] * s.rowSums[k]
+			total += weights[k]
+		}
+	} else {
+		runShards(n, s.shards, func(_, lo, hi int) {
+			for k := lo; k < hi; k++ {
+				weights[k] = colSums[k] * s.rowSums[k]
+			}
+		})
+		total = sumInt64Shards(n, s.shards, func(k int) int64 { return weights[k] })
 	}
 	if total == 0 {
 		return 0, 0, 0, ErrSampleFailed
@@ -236,12 +262,31 @@ func (s *BobL1SampleState) Serve(t comm.Transport, seed uint64) (i, j, witness i
 
 func requireNonNegative(ms ...*intmat.Dense) error {
 	for _, m := range ms {
-		for i := 0; i < m.Rows(); i++ {
+		if err := requireNonNegativeSharded(m, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// requireNonNegativeSharded is requireNonNegative with the row scan
+// split over sharded ranges; the verdict is split-independent.
+func requireNonNegativeSharded(m *intmat.Dense, shards int) error {
+	ranges := shardRanges(m.Rows(), shards)
+	neg := make([]bool, len(ranges))
+	runShards(m.Rows(), shards, func(s, lo, hi int) {
+		for i := lo; i < hi && !neg[s]; i++ {
 			for _, v := range m.Row(i) {
 				if v < 0 {
-					return ErrNeedNonNegative
+					neg[s] = true
+					break
 				}
 			}
+		}
+	})
+	for _, n := range neg {
+		if n {
+			return ErrNeedNonNegative
 		}
 	}
 	return nil

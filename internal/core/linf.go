@@ -21,6 +21,11 @@ type LinfOpts struct {
 	GammaC float64
 	// Seed is the shared public-coin seed.
 	Seed uint64
+	// Shards splits Bob's row-parallel phases (row-weight precompute,
+	// per-level ‖C^ℓ‖1 dot products) into contiguous ranges executed
+	// concurrently. Never changes a transcript byte or an output bit;
+	// 0 or 1 runs sequentially.
+	Shards int
 }
 
 func (o *LinfOpts) setDefaults() error {
@@ -307,16 +312,24 @@ type BobLinfState struct {
 }
 
 // NewBobLinfState validates the options and precomputes B's row
-// weights.
+// weights over sharded row ranges.
 func NewBobLinfState(b *bitmat.Matrix, o LinfOpts) (*BobLinfState, error) {
 	if err := o.setDefaults(); err != nil {
 		return nil, err
 	}
+	return &BobLinfState{b: b, vk: rowWeightsSharded(b, o.Shards), opts: o}, nil
+}
+
+// rowWeightsSharded computes per-row bit weights of b over contiguous
+// sharded row ranges (disjoint writes).
+func rowWeightsSharded(b *bitmat.Matrix, shards int) []int64 {
 	vk := make([]int64, b.Rows())
-	for k := range vk {
-		vk[k] = int64(b.RowWeight(k))
-	}
-	return &BobLinfState{b: b, vk: vk, opts: o}, nil
+	runShards(b.Rows(), shards, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			vk[k] = int64(b.RowWeight(k))
+		}
+	})
+	return vk
 }
 
 // Bytes reports the memory retained by the precomputation.
@@ -345,10 +358,13 @@ func (s *BobLinfState) Serve(t comm.Transport, m1 int) (est float64, arg Pair, e
 	threshold := gamma * float64(m1) * float64(m2)
 	lStar := gotMax
 	for ℓ := 0; ℓ <= gotMax; ℓ++ {
-		var l1 int64
-		for k := 0; k < n; k++ {
-			l1 += int64(bobColSums[ℓ][k]) * s.vk[k]
-		}
+		// Remark 2 per level: the ‖C^ℓ‖1 dot product shards with exact
+		// int64 partials; the level scan itself stays sequential (it
+		// stops at the first level under the threshold).
+		colSums := bobColSums[ℓ]
+		l1 := sumInt64Shards(n, o.Shards, func(k int) int64 {
+			return int64(colSums[k]) * s.vk[k]
+		})
 		if float64(l1) <= threshold {
 			lStar = ℓ
 			break

@@ -21,6 +21,11 @@ type LinfKappaOpts struct {
 	// DisableUniverseSampling turns off the universe-sampling step — the
 	// ablation the paper discusses, which only reaches Õ(n^1.5/√κ).
 	DisableUniverseSampling bool
+	// Shards splits Bob's row-parallel phases (row-weight precompute,
+	// per-level ‖D^ℓ‖1 dot products) into contiguous ranges executed
+	// concurrently. Never changes a transcript byte or an output bit;
+	// 0 or 1 runs sequentially.
+	Shards int
 }
 
 func (o *LinfKappaOpts) setDefaults(n int) error {
@@ -186,16 +191,12 @@ type BobLinfKappaState struct {
 }
 
 // NewBobLinfKappaState validates the options and precomputes B's row
-// weights.
+// weights over sharded row ranges.
 func NewBobLinfKappaState(b *bitmat.Matrix, o LinfKappaOpts) (*BobLinfKappaState, error) {
 	if err := o.setDefaults(b.Rows()); err != nil {
 		return nil, err
 	}
-	vk := make([]int64, b.Rows())
-	for k := range vk {
-		vk[k] = int64(b.RowWeight(k))
-	}
-	return &BobLinfKappaState{b: b, vk: vk, opts: o}, nil
+	return &BobLinfKappaState{b: b, vk: rowWeightsSharded(b, o.Shards), opts: o}, nil
 }
 
 // Bytes reports the memory retained by the precomputation.
@@ -236,13 +237,16 @@ func (s *BobLinfKappaState) Serve(t comm.Transport, m1 int) (est float64, arg Pa
 			bobColSums[ℓ][k] = int(recv1.Uvarint())
 		}
 	}
-	var l1C, l1D int64
-	for k := 0; k < n; k++ {
-		l1C += fullColSums[k] * s.vk[k]
-		if keepBob[k] {
-			l1D += int64(bobColSums[0][k]) * s.vk[k]
+	// ‖C‖1 and ‖D‖1 shard with exact int64 partials over item ranges.
+	l1C := sumInt64Shards(n, o.Shards, func(k int) int64 {
+		return fullColSums[k] * s.vk[k]
+	})
+	l1D := sumInt64Shards(n, o.Shards, func(k int) int64 {
+		if !keepBob[k] {
+			return 0
 		}
-	}
+		return int64(bobColSums[0][k]) * s.vk[k]
+	})
 	if l1D == 0 {
 		// ‖D‖1 = 0: announce the fallback and output 1 iff C is non-zero
 		// (κ-accurate by E5).
@@ -258,10 +262,11 @@ func (s *BobLinfKappaState) Serve(t comm.Transport, m1 int) (est float64, arg Pa
 	threshold := alpha * float64(m1) * float64(m2) / o.Kappa
 	lStar := gotMax
 	for ℓ := 0; ℓ <= gotMax; ℓ++ {
-		var l1 int64
-		for _, k := range activeBob {
-			l1 += int64(bobColSums[ℓ][k]) * s.vk[k]
-		}
+		colSums := bobColSums[ℓ]
+		l1 := sumInt64Shards(len(activeBob), o.Shards, func(t int) int64 {
+			k := activeBob[t]
+			return int64(colSums[k]) * s.vk[k]
+		})
 		if float64(l1) <= threshold {
 			lStar = ℓ
 			break

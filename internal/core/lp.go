@@ -36,6 +36,14 @@ type LpOpts struct {
 
 	// Seed is the shared public-coin seed.
 	Seed uint64
+
+	// Shards splits the row-parallel phases (Bob's per-row sketching and
+	// sampled-row evaluation, Alice's row-norm estimation) into this many
+	// contiguous row ranges executed concurrently on the bounded shard
+	// pool. It never changes a transcript byte or an output bit — the
+	// parallel sections are randomness-free and merge deterministically
+	// in shard order — so any value is safe. 0 or 1 runs sequentially.
+	Shards int
 }
 
 func (o *LpOpts) setDefaults() error {
@@ -103,7 +111,15 @@ func newRowSketcher(r *rng.RNG, dim int, p float64, sizeWords int) rowSketcher {
 
 // encodeRows sketches every row of b and appends the sketches to msg.
 func (rs rowSketcher) encodeRows(msg *comm.Message, b *intmat.Dense) {
-	for k := 0; k < b.Rows(); k++ {
+	rs.encodeRowRange(msg, b, 0, b.Rows())
+}
+
+// encodeRowRange sketches rows [lo, hi) of b and appends the sketches
+// to msg. Each row's encoding is self-delimiting, so the shard-parallel
+// precompute concatenates per-range buffers in range order to reproduce
+// the sequential encodeRows bytes exactly.
+func (rs rowSketcher) encodeRowRange(msg *comm.Message, b *intmat.Dense, lo, hi int) {
+	for k := lo; k < hi; k++ {
 		if rs.l0 != nil {
 			msg.PutUint64Slice(rs.l0.Apply(b.Row(k)))
 		} else {
@@ -281,11 +297,22 @@ func NewBobLpState(b *intmat.Dense, p float64, o LpOpts) (*BobLpState, error) {
 	if err := o.setDefaults(); err != nil {
 		return nil, err
 	}
-	msg1 := comm.NewMessage()
+	// Per-row sketches are independent, so each repetition's encoding is
+	// sharded over contiguous row ranges; concatenating the per-shard
+	// buffers in shard order reproduces the sequential payload bytes.
+	var round1 []byte
 	for _, rs := range lpSketchFamilies(o, b.Cols(), p) {
-		rs.encodeRows(msg1, b)
+		bufs := make([][]byte, len(shardRanges(b.Rows(), o.Shards)))
+		runShards(b.Rows(), o.Shards, func(s, lo, hi int) {
+			msg := comm.NewMessage()
+			rs.encodeRowRange(msg, b, lo, hi)
+			bufs[s] = msg.Bytes()
+		})
+		for _, part := range bufs {
+			round1 = append(round1, part...)
+		}
 	}
-	return &BobLpState{b: b, p: p, opts: o, round1: append([]byte(nil), msg1.Bytes()...)}, nil
+	return &BobLpState{b: b, p: p, opts: o, round1: round1}, nil
 }
 
 // Bytes reports the memory retained by the precomputed sketches (the
@@ -303,25 +330,51 @@ func (s *BobLpState) Serve(t comm.Transport) (est float64, err error) {
 	t.Send(comm.BobToAlice, msg1)
 
 	// Round 2: sampled rows in; exact norms of the sampled rows of C,
-	// weighted sum per repetition. One product buffer serves every
-	// sampled row.
+	// weighted sum per repetition. The varint stream decodes
+	// sequentially; the per-row products — the expensive part — are then
+	// sharded over sample ranges (each sampled row of C is independent)
+	// and the weighted contributions re-summed in sample order, which
+	// reproduces the sequential driver's float summation order exactly.
 	recv2 := t.Recv(comm.AliceToBob)
-	perRep := make([]float64, s.opts.Reps)
-	y := make([]int64, s.b.Cols())
-	for rep := range perRep {
-		count := int(recv2.Uvarint())
-		var est float64
-		for smp := 0; smp < count; smp++ {
+	counts := make([]int, s.opts.Reps)
+	var samples []lpSample
+	for rep := range counts {
+		counts[rep] = int(recv2.Uvarint())
+		for smp := 0; smp < counts[rep]; smp++ {
 			_ = recv2.Uvarint() // row index (informational)
 			w := recv2.Float64()
 			cols, vals := getSparseRow(recv2)
+			samples = append(samples, lpSample{w: w, cols: cols, vals: vals})
+		}
+	}
+	contrib := make([]float64, len(samples))
+	runShards(len(samples), s.opts.Shards, func(_, lo, hi int) {
+		y := make([]int64, s.b.Cols())
+		for i := lo; i < hi; i++ {
 			clear(y)
-			mulRowSparseInto(y, cols, vals, s.b)
-			est += w * rowLpPow(y, s.p)
+			mulRowSparseInto(y, samples[i].cols, samples[i].vals, s.b)
+			contrib[i] = samples[i].w * rowLpPow(y, s.p)
+		}
+	})
+	perRep := make([]float64, s.opts.Reps)
+	idx := 0
+	for rep, count := range counts {
+		var est float64
+		for smp := 0; smp < count; smp++ {
+			est += contrib[idx]
+			idx++
 		}
 		perRep[rep] = est
 	}
 	return median(perRep), nil
+}
+
+// lpSample is one decoded round-2 sample: a sparse row of A with its
+// inverse-probability weight.
+type lpSample struct {
+	w    float64
+	cols []int
+	vals []int64
 }
 
 // AliceLp drives Alice's side of Algorithm 1: she decodes Bob's row
@@ -402,12 +455,14 @@ func (s *AliceLpState) Serve(t comm.Transport, a *intmat.Dense) (err error) {
 	msg2 := comm.NewMessage()
 	rowCols := make([][]int, m1)
 	rowVals := make([][]int64, m1)
-	for i := 0; i < m1; i++ {
-		rowCols[i], rowVals[i] = sparseRow(a, i)
-	}
+	runShards(m1, s.opts.Shards, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rowCols[i], rowVals[i] = sparseRow(a, i)
+		}
+	})
 	for _, rs := range s.sketchers {
 		fieldSk, floatSk := rs.decodeRows(recv1, n)
-		picks := sampleRowsByNorm(rs, rowCols, rowVals, fieldSk, floatSk, beta, rho, alicePriv)
+		picks := sampleRowsByNorm(rs, rowCols, rowVals, fieldSk, floatSk, beta, rho, alicePriv, s.opts.Shards)
 		msg2.PutUvarint(uint64(len(picks)))
 		for _, smp := range picks {
 			msg2.PutUvarint(uint64(smp.i))

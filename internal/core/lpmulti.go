@@ -77,7 +77,7 @@ func EstimateLpMulti(a, b *intmat.Dense, ps []float64, o LpOpts) ([]float64, Cos
 	for _, fam := range sketchers {
 		for _, rs := range fam {
 			fieldSk, floatSk := rs.decodeRows(recv1, n)
-			picks := sampleRowsByNorm(rs, rowCols, rowVals, fieldSk, floatSk, beta, rho, alicePriv)
+			picks := sampleRowsByNorm(rs, rowCols, rowVals, fieldSk, floatSk, beta, rho, alicePriv, o.Shards)
 			msg2.PutUvarint(uint64(len(picks)))
 			for _, s := range picks {
 				msg2.PutUvarint(uint64(s.i))
@@ -118,21 +118,35 @@ type weightedPick struct {
 // sampleRowsByNorm performs Algorithm 1's group-and-sample step for one
 // sketch family: estimate every row norm, partition into (1+β)-geometric
 // groups, and sample each group at rate ∝ its share of the total.
-func sampleRowsByNorm(rs rowSketcher, rowCols [][]int, rowVals [][]int64, fieldSk [][]field.Elem, floatSk [][]float64, beta, rho float64, priv *rng.RNG) []weightedPick {
+//
+// The row-norm estimation — the expensive sketch-combine per row — is
+// sharded over contiguous row ranges (each shard owns a private scratch
+// buffer and writes disjoint rowEst slots); the total is then re-summed
+// in row order, matching the sequential float summation exactly, and the
+// coin-consuming group-and-sample step runs sequentially so priv's
+// stream is untouched by the shard count.
+func sampleRowsByNorm(rs rowSketcher, rowCols [][]int, rowVals [][]int64, fieldSk [][]field.Elem, floatSk [][]float64, beta, rho float64, priv *rng.RNG, shards int) []weightedPick {
 	m1 := len(rowCols)
 	rowEst := make([]float64, m1)
+	runShards(m1, shards, func(_, lo, hi int) {
+		scratch := newRowScratch(rs)
+		for i := lo; i < hi; i++ {
+			if len(rowCols[i]) == 0 {
+				continue
+			}
+			e := rs.estimateRowWith(scratch, rowCols[i], rowVals[i], fieldSk, floatSk)
+			if e < 0 {
+				e = 0
+			}
+			rowEst[i] = e
+		}
+	})
 	total := 0.0
-	scratch := newRowScratch(rs)
 	for i := 0; i < m1; i++ {
 		if len(rowCols[i]) == 0 {
 			continue
 		}
-		e := rs.estimateRowWith(scratch, rowCols[i], rowVals[i], fieldSk, floatSk)
-		if e < 0 {
-			e = 0
-		}
-		rowEst[i] = e
-		total += e
+		total += rowEst[i]
 	}
 	type group struct {
 		members []int

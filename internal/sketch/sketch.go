@@ -19,6 +19,16 @@
 // All randomness is drawn from rng.RNG streams derived from a shared seed,
 // so the two parties construct identical sketching matrices for free
 // (public-coin model).
+//
+// # Concurrency
+//
+// A constructed sketch is immutable: Apply, AddCoord, Estimate,
+// EstimatePow, Decode and the compression helpers only read the drawn
+// hash functions and matrices and write caller-owned buffers. The
+// row-shard parallel serve path in internal/core depends on this — one
+// shared sketch family is applied to disjoint row ranges from many
+// goroutines at once — so any new sketch added here must keep its
+// post-construction methods free of internal mutation.
 package sketch
 
 // median returns the median of v (averaging the middle pair for even

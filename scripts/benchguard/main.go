@@ -1,0 +1,194 @@
+// Command benchguard is the CI bench-regression guard: it parses `go
+// test -bench` output, emits a machine-readable JSON summary (the
+// BENCH_ci.json CI artifact), and fails when a guarded benchmark's
+// ns/op exceeds max-ratio × its checked-in baseline.
+//
+//	go test -bench='...' -benchtime=3x -run '^$' . | tee bench.txt
+//	go run ./scripts/benchguard -in bench.txt -out BENCH_ci.json \
+//	    -baseline ci/bench_baseline.json -max-ratio 2
+//
+// The baseline file maps benchmark names (GOMAXPROCS suffix stripped,
+// e.g. "ServiceLpCachedVsUncached/cached") to baseline ns/op. Baselines
+// are hardware-dependent; they are calibrated for the CI runner class
+// with enough headroom that only a genuine regression — not runner
+// noise — crosses the 2× line. A guarded benchmark missing from the
+// input is also a failure, so a renamed benchmark cannot silently
+// disable its guard.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line of go test -bench output, e.g.
+//
+//	BenchmarkServiceLpCachedVsUncached/cached-4   3   3128615 ns/op   2892160 bits/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// extraMetric matches trailing "value unit" metric pairs after ns/op.
+var extraMetric = regexp.MustCompile(`([\d.]+) (\S+)`)
+
+// Result is one parsed benchmark result.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the checked-in reference the guard compares against.
+type Baseline struct {
+	// NsPerOp maps benchmark names (no -N suffix) to baseline ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// Report is the BENCH_ci.json artifact.
+type Report struct {
+	Results []Result `json:"results"`
+	// Guarded records the guard verdict per baselined benchmark.
+	Guarded []GuardVerdict `json:"guarded"`
+}
+
+// GuardVerdict is one guarded benchmark's comparison outcome.
+type GuardVerdict struct {
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	Ratio      float64 `json:"ratio"`
+	Pass       bool    `json:"pass"`
+}
+
+func main() {
+	in := flag.String("in", "", "go test -bench output to parse (required)")
+	out := flag.String("out", "BENCH_ci.json", "JSON summary artifact to write")
+	baselinePath := flag.String("baseline", "", "checked-in baseline JSON; empty skips the guard")
+	maxRatio := flag.Float64("max-ratio", 2, "fail when ns/op exceeds this multiple of the baseline")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -in is required")
+		os.Exit(2)
+	}
+	results, err := parseBench(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	report := Report{Results: results}
+
+	failed := false
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		byName := make(map[string]Result, len(results))
+		for _, r := range results {
+			byName[r.Name] = r
+		}
+		for name, baseNs := range base.NsPerOp {
+			full := "Benchmark" + name
+			r, ok := byName[full]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchguard: guarded benchmark %s missing from %s\n", full, *in)
+				failed = true
+				continue
+			}
+			v := GuardVerdict{
+				Name:       name,
+				NsPerOp:    r.NsPerOp,
+				BaselineNs: baseNs,
+				Ratio:      r.NsPerOp / baseNs,
+				Pass:       r.NsPerOp <= *maxRatio*baseNs,
+			}
+			report.Guarded = append(report.Guarded, v)
+			status := "ok"
+			if !v.Pass {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("benchguard: %-45s %12.0f ns/op  baseline %12.0f  ratio %.2f  %s\n",
+				name, v.NsPerOp, v.BaselineNs, v.Ratio, status)
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: bench regression guard failed (see %s)\n", *out)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d results parsed, %d guarded, wrote %s\n",
+		len(report.Results), len(report.Guarded), *out)
+}
+
+func parseBench(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Result
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		for _, em := range extraMetric.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(em[1], 64)
+			if err != nil {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[em[2]] = v
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in %s", path)
+	}
+	return out, nil
+}
+
+func loadBaseline(path string) (Baseline, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return Baseline{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(b.NsPerOp) == 0 {
+		return Baseline{}, fmt.Errorf("%s guards no benchmarks", path)
+	}
+	return b, nil
+}

@@ -86,6 +86,85 @@ func (c *Client) DeleteMatrix(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/matrix/"+name, nil, nil)
 }
 
+// BeginUpload starts a chunked upload of a rows×cols matrix and
+// returns its state, including the upload token every subsequent step
+// must present.
+func (c *Client) BeginUpload(ctx context.Context, name string, rows, cols int) (UploadInfo, error) {
+	var out UploadInfo
+	err := c.do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+		ChunkRequest{Op: "begin", Rows: rows, Cols: cols}, &out)
+	return out, err
+}
+
+// AppendChunk ships one row-range chunk of a chunked upload.
+func (c *Client) AppendChunk(ctx context.Context, name, token string, rowStart, rowEnd int, entries [][3]int64) (UploadInfo, error) {
+	var out UploadInfo
+	err := c.do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+		ChunkRequest{Op: "append", Upload: token, RowStart: rowStart, RowEnd: rowEnd, Entries: entries}, &out)
+	return out, err
+}
+
+// CommitUpload installs a completed chunked upload in the registry.
+func (c *Client) CommitUpload(ctx context.Context, name, token string) (MatrixInfo, error) {
+	var out MatrixInfo
+	err := c.do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+		ChunkRequest{Op: "commit", Upload: token}, &out)
+	return out, err
+}
+
+// AbortUpload discards a staged chunked upload.
+func (c *Client) AbortUpload(ctx context.Context, name, token string) error {
+	return c.do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+		ChunkRequest{Op: "abort", Upload: token}, nil)
+}
+
+// UploadMatrixChunked uploads a matrix through the chunked begin/
+// append/commit lifecycle, shipping chunkRows rows per append — the
+// path for matrices whose single-body JSON form would exceed the
+// server's request size limit. On an append failure the staged upload
+// is aborted (best effort) so it does not linger until the server GC.
+func (c *Client) UploadMatrixChunked(ctx context.Context, name string, m Matrix, chunkRows int) (MatrixInfo, error) {
+	if chunkRows <= 0 {
+		chunkRows = 1024
+	}
+	info, err := c.BeginUpload(ctx, name, m.Rows, m.Cols)
+	if err != nil {
+		return MatrixInfo{}, err
+	}
+	// Bucket entries by chunk so each append carries exactly the
+	// entries of its row range, in one pass over the wire form.
+	chunks := (m.Rows + chunkRows - 1) / chunkRows
+	byChunk := make([][][3]int64, chunks)
+	for _, ent := range m.Entries {
+		i := ent[0]
+		if i < 0 || i >= int64(m.Rows) {
+			// Out-of-range rows cannot be assigned to any chunk, so the
+			// client rejects them itself (mirroring the server's bounds
+			// rule) and aborts the stage rather than silently dropping
+			// the entry.
+			_ = c.AbortUpload(ctx, name, info.Upload)
+			return MatrixInfo{}, &APIError{Status: 400, Message: fmt.Sprintf("entry row %d outside %d-row matrix", i, m.Rows)}
+		}
+		ci := int(i) / chunkRows
+		byChunk[ci] = append(byChunk[ci], ent)
+	}
+	for ci, entries := range byChunk {
+		if len(entries) == 0 {
+			continue // sparse region: no chunk needed for empty row ranges
+		}
+		lo := ci * chunkRows
+		hi := lo + chunkRows
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		if _, err := c.AppendChunk(ctx, name, info.Upload, lo, hi, entries); err != nil {
+			_ = c.AbortUpload(ctx, name, info.Upload)
+			return MatrixInfo{}, err
+		}
+	}
+	return c.CommitUpload(ctx, name, info.Upload)
+}
+
 // Matrices lists the served matrices.
 func (c *Client) Matrices(ctx context.Context) ([]MatrixInfo, error) {
 	var out []MatrixInfo

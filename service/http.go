@@ -14,13 +14,21 @@ var maxBodyBytes int64 = 256 << 20
 
 // NewHandler exposes the engine as a JSON API:
 //
-//	PUT    /matrix/{name}   upload/replace a served matrix
-//	DELETE /matrix/{name}   remove a served matrix
-//	GET    /matrices        list served matrices (most recent first)
-//	POST   /estimate        run one estimation query
-//	POST   /estimate/batch  run many queries against one admission slot
-//	GET    /stats           aggregate serving statistics
-//	GET    /healthz         liveness
+//	PUT    /matrix/{name}           upload/replace a served matrix (single body)
+//	DELETE /matrix/{name}           remove a served matrix
+//	GET    /matrices                list served matrices (most recent first)
+//	POST   /matrices/{name}/chunks  chunked upload: begin/append/commit/abort
+//	POST   /estimate                run one estimation query
+//	POST   /estimate/batch          run many queries against one admission slot
+//	GET    /stats                   aggregate serving statistics
+//	GET    /healthz                 liveness
+//
+// The chunks endpoint is the streaming ingestion path: each request is
+// one lifecycle step ({"op":"begin","rows":…,"cols":…} →
+// {"op":"append","upload":…,"row_start":…,"row_end":…,"entries":…} →
+// {"op":"commit","upload":…}), so each request body holds only one
+// row-range chunk and matrices far beyond the single-body size limit
+// can be admitted.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
@@ -48,6 +56,48 @@ func NewHandler(e *Engine) http.Handler {
 	})
 	mux.HandleFunc("GET /matrices", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Matrices())
+	})
+	mux.HandleFunc("POST /matrices/{name}/chunks", func(w http.ResponseWriter, r *http.Request) {
+		var req ChunkRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		name := r.PathValue("name")
+		switch req.Op {
+		case "begin":
+			info, err := e.BeginUpload(name, req.Rows, req.Cols)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, info)
+		case "append":
+			info, err := e.AppendChunk(name, req.Upload, req.RowStart, req.RowEnd, req.Entries)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, info)
+		case "commit":
+			info, evicted, err := e.CommitUpload(name, req.Upload)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, struct {
+				MatrixInfo
+				Evicted []string `json:"evicted,omitempty"`
+			}{info, evicted})
+		case "abort":
+			if err := e.AbortUpload(name, req.Upload); err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"aborted": req.Upload})
+		default:
+			writeError(w, fmt.Errorf("%w: unknown chunk op %q", ErrBadRequest, req.Op))
+		}
 	})
 	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
@@ -82,6 +132,25 @@ func NewHandler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// ChunkRequest is the body of POST /matrices/{name}/chunks: one
+// lifecycle step of a chunked upload, selected by Op.
+type ChunkRequest struct {
+	// Op is "begin", "append", "commit", or "abort".
+	Op string `json:"op"`
+	// Upload is the generation token returned by begin; required for
+	// append, commit, and abort.
+	Upload string `json:"upload,omitempty"`
+	// Rows and Cols declare the full matrix dimensions (begin only).
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// RowStart and RowEnd declare the chunk's row range [RowStart,
+	// RowEnd); every entry must land inside it (append only).
+	RowStart int `json:"row_start,omitempty"`
+	RowEnd   int `json:"row_end,omitempty"`
+	// Entries are the chunk's sparse (row, col, value) triples.
+	Entries [][3]int64 `json:"entries,omitempty"`
 }
 
 // BatchRequest is the body of POST /estimate/batch.
@@ -126,7 +195,7 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrBodyTooLarge):
 		status = http.StatusRequestEntityTooLarge
-	case errors.Is(err, ErrMatrixNotFound):
+	case errors.Is(err, ErrMatrixNotFound), errors.Is(err, ErrUploadNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusTooManyRequests

@@ -21,6 +21,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -92,6 +94,29 @@ type Config struct {
 	// MaxBatch bounds the queries accepted in one EstimateBatch call.
 	// Default 256.
 	MaxBatch int
+	// Shards splits each job's row-parallel phases (Bob's per-row
+	// precompute and the row scans of every Serve) into this many
+	// contiguous row ranges executed concurrently on the process-wide
+	// bounded shard pool. Transcripts and outputs are byte-identical for
+	// any value — the core parity tests pin this — so the knob trades
+	// nothing but CPU for latency. Default min(GOMAXPROCS, 8); 1 runs
+	// every job sequentially.
+	Shards int
+	// UploadTTL bounds how long an uncommitted chunked upload may sit
+	// idle before it is garbage-collected (partial-upload GC runs lazily
+	// on every upload operation). Default 2 minutes.
+	UploadTTL time.Duration
+	// MaxUploads bounds concurrently staged chunked uploads; beginning
+	// one beyond it (after GC) fails with ErrOverloaded. Default 16.
+	MaxUploads int
+	// MaxStagedElems bounds the total rows×cols staged across all
+	// in-progress chunked uploads. Staging allocates the dense buffer at
+	// begin — proportional to the declared dimensions, not the data
+	// shipped — so this, not MaxUploads, is what caps the memory a
+	// client can pin with cheap begin requests (8 bytes per element:
+	// the default 2·maxMatrixElems ≈ 256 MiB of staging). Begins beyond
+	// the budget fail with ErrOverloaded. Default 1<<25.
+	MaxStagedElems int64
 }
 
 func (c *Config) setDefaults() {
@@ -118,6 +143,21 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.UploadTTL <= 0 {
+		c.UploadTTL = 2 * time.Minute
+	}
+	if c.MaxUploads <= 0 {
+		c.MaxUploads = 16
+	}
+	if c.MaxStagedElems <= 0 {
+		c.MaxStagedElems = 2 * maxMatrixElems
 	}
 }
 
@@ -179,6 +219,12 @@ type Engine struct {
 	seedSeq chan uint64
 	genSeq  atomic.Uint64 // upload generations (cache-key component)
 	closed  chan struct{}
+
+	upMu        sync.Mutex
+	uploads     map[string]*stagingUpload // in-progress chunked uploads by token
+	upSeq       atomic.Uint64             // upload-token sequence
+	upStats     uploadCounters
+	stagedElems int64 // Σ rows×cols across e.uploads, vs MaxStagedElems
 }
 
 // NewEngine returns a ready engine.
@@ -192,6 +238,7 @@ func NewEngine(cfg Config) *Engine {
 		queue:   make(chan struct{}, cfg.QueueDepth),
 		seedSeq: make(chan uint64, 1),
 		closed:  make(chan struct{}),
+		uploads: make(map[string]*stagingUpload),
 	}
 	if !cfg.DisableCache {
 		e.cache = newSketchCache(cfg.CacheCapacity, cfg.SeedRotateEvery)
@@ -279,6 +326,8 @@ func (e *Engine) Stats() Stats {
 	if e.cache != nil {
 		s.Cache = e.cache.snapshot()
 	}
+	s.Shard = shardStatsSnapshot(e.cfg.Shards)
+	s.Uploads = e.uploadStats()
 	return s
 }
 
@@ -577,7 +626,7 @@ func (e *Engine) buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinar
 	switch req.Kind {
 	case "lp":
 		p := req.P // p = 0 is meaningful: ℓ0, the composition-size estimate
-		o := core.LpOpts{Eps: eps, Seed: seed}
+		o := core.LpOpts{Eps: eps, Seed: seed, Shards: e.cfg.Shards}
 		st, err := state(fmt.Sprintf("p=%g eps=%g seed=%d", p, eps, seed),
 			func() (bobState, error) { return newLpStates(b, m2, p, o) })
 		if err != nil {
@@ -593,7 +642,7 @@ func (e *Engine) buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinar
 			result: res,
 		}, nil
 	case "l0sample":
-		o := core.L0SampleOpts{Eps: eps, Seed: seed}
+		o := core.L0SampleOpts{Eps: eps, Seed: seed, Shards: e.cfg.Shards}
 		st, err := state(fmt.Sprintf("eps=%g seed=%d", eps, seed),
 			func() (bobState, error) { return core.NewBobL0SampleState(b, o) })
 		if err != nil {
@@ -611,7 +660,7 @@ func (e *Engine) buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinar
 			result: res,
 		}, nil
 	case "l1sample":
-		st, err := state("", func() (bobState, error) { return core.NewBobL1SampleState(b) })
+		st, err := state("", func() (bobState, error) { return core.NewBobL1SampleState(b, e.cfg.Shards) })
 		if err != nil {
 			return nil, err
 		}
@@ -625,7 +674,7 @@ func (e *Engine) buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinar
 			result: res,
 		}, nil
 	case "exact":
-		st, err := state("", func() (bobState, error) { return core.NewBobExactL1State(b) })
+		st, err := state("", func() (bobState, error) { return core.NewBobExactL1State(b, e.cfg.Shards) })
 		if err != nil {
 			return nil, err
 		}
@@ -644,7 +693,7 @@ func (e *Engine) buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinar
 		if err != nil {
 			return nil, err
 		}
-		o := core.LinfOpts{Eps: eps, Seed: seed}
+		o := core.LinfOpts{Eps: eps, Seed: seed, Shards: e.cfg.Shards}
 		st, err := state(fmt.Sprintf("eps=%g", eps),
 			func() (bobState, error) { return core.NewBobLinfState(bBits, o) })
 		if err != nil {
@@ -671,7 +720,7 @@ func (e *Engine) buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinar
 		if kappa == 0 {
 			kappa = 8
 		}
-		o := core.LinfKappaOpts{Kappa: kappa, Seed: seed}
+		o := core.LinfKappaOpts{Kappa: kappa, Seed: seed, Shards: e.cfg.Shards}
 		st, err := state(fmt.Sprintf("kappa=%g", kappa),
 			func() (bobState, error) { return core.NewBobLinfKappaState(bBits, o) })
 		if err != nil {
@@ -698,7 +747,7 @@ func (e *Engine) buildJob(req Request, sm *servedMatrix, a *intmat.Dense, aBinar
 		if hhEps == 0 {
 			hhEps = phi / 2
 		}
-		o := core.HHOpts{Phi: phi, Eps: hhEps, P: req.P, Seed: seed}
+		o := core.HHOpts{Phi: phi, Eps: hhEps, P: req.P, Seed: seed, Shards: e.cfg.Shards}
 		st, err := state(fmt.Sprintf("p=%g phi=%g eps=%g seed=%d", req.P, phi, hhEps, seed),
 			func() (bobState, error) { return core.NewBobHHState(b, o) })
 		if err != nil {

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
 // latencyWindow is how many recent request latencies the percentile
@@ -28,7 +30,9 @@ type Stats struct {
 	Matrices   int                  `json:"matrices"`
 	TotalBits  int64                `json:"total_bits"` // protocol payload bits on the wire
 	PerKind    map[string]KindStats `json:"per_kind"`
-	Cache      CacheStats           `json:"cache"` // sketch-cache counters (zero when disabled)
+	Cache      CacheStats           `json:"cache"`   // sketch-cache counters (zero when disabled)
+	Shard      ShardStats           `json:"shard"`   // row-shard serve-path counters
+	Uploads    UploadStats          `json:"uploads"` // chunked-upload lifecycle counters
 	LatencyP50 time.Duration        `json:"latency_p50_ns"`
 	LatencyP90 time.Duration        `json:"latency_p90_ns"`
 	LatencyP99 time.Duration        `json:"latency_p99_ns"`
@@ -132,6 +136,32 @@ func (c *collector) snapshot(matrices int) Stats {
 		s.LatencyP99 = Percentile(lats, 0.99)
 	}
 	return s
+}
+
+// ShardStats describes the row-shard parallel serve path: the engine's
+// configured shard count plus the pool's execution counters. The pool —
+// and therefore Jobs/Tasks/Busy — is process-wide (all engines' shard
+// tasks share one GOMAXPROCS-bounded pool), so in a process hosting
+// several engines the counters aggregate across them.
+type ShardStats struct {
+	// Shards is the engine's configured row-shard count per job.
+	Shards int `json:"shards"`
+	// Jobs counts sharded sections that actually ran in parallel;
+	// sections coarsened to one range run inline and are not counted.
+	Jobs int64 `json:"jobs"`
+	// Tasks counts shard tasks executed by the pool.
+	Tasks int64 `json:"tasks"`
+	// Busy is the cumulative busy time per shard index (shard 0 first) —
+	// a skew diagnostic: a healthy row distribution keeps the entries
+	// near-equal.
+	Busy []time.Duration `json:"busy_ns"`
+}
+
+// shardStatsSnapshot folds the engine's configured shard count with the
+// process-wide pool counters.
+func shardStatsSnapshot(shards int) ShardStats {
+	info := core.ShardCounters()
+	return ShardStats{Shards: shards, Jobs: info.Jobs, Tasks: info.Tasks, Busy: info.Busy}
 }
 
 // Percentile reads the q-quantile from a sorted slice by the

@@ -41,6 +41,17 @@ func MatrixFromBool(b *bitmat.Matrix) Matrix {
 // a tiny hostile request cannot demand an enormous allocation.
 const maxMatrixElems = 1 << 24
 
+// dimsInRange validates matrix dimensions against maxMatrixElems. Each
+// side is bounded before the product is formed, so hostile dimensions
+// around 2^32 cannot wrap the int64 multiplication past the check and
+// panic the dense allocation.
+func dimsInRange(rows, cols int) bool {
+	if rows <= 0 || cols <= 0 || rows > maxMatrixElems || cols > maxMatrixElems {
+		return false
+	}
+	return int64(rows)*int64(cols) <= maxMatrixElems
+}
+
 // toDense validates the wire matrix and converts it, reporting whether
 // every entry is 0/1 (binary, eligible for the ℓ∞ protocols) and
 // whether all entries are non-negative (eligible for Remark 2/3).
@@ -49,7 +60,7 @@ const maxMatrixElems = 1 << 24
 // which is computed from the dense form precisely because wire entries
 // may carry explicit zeros.
 func (m Matrix) toDense() (d *intmat.Dense, binary, nonNeg bool, err error) {
-	if m.Rows <= 0 || m.Cols <= 0 || int64(m.Rows)*int64(m.Cols) > maxMatrixElems {
+	if !dimsInRange(m.Rows, m.Cols) {
 		return nil, false, false, fmt.Errorf("%w: matrix dimensions %dx%d out of range", ErrBadRequest, m.Rows, m.Cols)
 	}
 	d = intmat.NewDense(m.Rows, m.Cols)
