@@ -24,6 +24,15 @@
 // streaming-ingestion endpoint (POST /matrices/{name}/chunks, N rows
 // per chunk) instead of one monolithic PUT body — the path for matrices
 // beyond the server's single-body size limit.
+//
+// With -gateway the target is an mpgateway fleet front rather than a
+// single mpserver: the load path is identical (the gateway mirrors the
+// service API), and after the run the generator fetches the gateway's
+// stats and prints the fleet view — per-backend request counts and
+// health plus the placement/failover/retry counters — so a mid-run
+// backend kill shows up as failovers rather than client errors:
+//
+//	mpload -gateway -addr http://127.0.0.1:8080 -duration 10s
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/gateway"
 	"repro/internal/rng"
 	"repro/internal/workload"
 	"repro/service"
@@ -138,6 +148,7 @@ func main() {
 	batch := flag.Int("batch", 1, "queries per request: >1 uses POST /estimate/batch (one admission slot per batch; latencies reported amortized per query)")
 	pinSeed := flag.Uint64("pin-seed", 0, "pin every query's job seed (>0) so repeat queries hit the server's sketch cache; 0 lets the server assign epoch seeds")
 	chunkRows := flag.Int("chunk-rows", 0, "upload the served matrix through POST /matrices/{name}/chunks with this many rows per chunk (0 = single-body PUT)")
+	gatewayMode := flag.Bool("gateway", false, "target is an mpgateway fleet front: print the gateway's per-backend and failover stats after the run")
 	flag.Parse()
 
 	if *batch < 1 {
@@ -295,10 +306,42 @@ func main() {
 	wg.Wait()
 
 	printSummary(tally, *duration)
+	if *gatewayMode {
+		printGatewayStats(ctx, *addr)
+	}
 	if firstErr != nil {
 		log.Printf("first error: %v", firstErr)
 		os.Exit(1)
 	}
+}
+
+// printGatewayStats fetches and prints the fleet view after a
+// -gateway run: the routing counters that show how much failover the
+// run absorbed, and one line per backend.
+func printGatewayStats(ctx context.Context, addr string) {
+	gc := gateway.NewClient(addr)
+	st, err := gc.GatewayStats(ctx)
+	if err != nil {
+		log.Printf("gateway stats: %v", err)
+		return
+	}
+	fmt.Printf("gateway: %d matrices at replication %d, %d estimates, %d batches, %d failovers, %d retries, %d repairs, %d rebalanced\n",
+		st.Matrices, st.Replication, st.Estimates, st.Batches, st.Failovers, st.Retries, st.Repairs, st.Rebalanced)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "backend\tstate\tmatrices\treqs\terrs\tfailovers\tp50\tp99")
+	for _, b := range st.Backends {
+		state := "healthy"
+		if !b.Healthy {
+			state = "unhealthy"
+		}
+		if b.Draining {
+			state += ",draining"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%v\t%v\n",
+			b.Addr, state, b.Matrices, b.Requests, b.Errors, b.Failovers,
+			b.LatencyP50.Round(time.Microsecond), b.LatencyP99.Round(time.Microsecond))
+	}
+	tw.Flush()
 }
 
 func printSummary(t *tallies, dur time.Duration) {

@@ -1,0 +1,136 @@
+package gateway
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/service"
+)
+
+// backendLatencyWindow is how many recent per-backend request
+// latencies the percentile estimates are computed over.
+const backendLatencyWindow = 1024
+
+// backend is one pooled mpserver: its service client, routing state
+// (health, drain, in-flight load), probe bookkeeping, and counters.
+type backend struct {
+	id     string // normalized base URL; the pool key and admin handle
+	client *service.Client
+
+	// inflight counts requests currently outstanding against the
+	// backend — the least-busy routing signal. Atomic so the hot
+	// routing path never takes the bookkeeping lock.
+	inflight atomic.Int64
+
+	mu       sync.Mutex
+	healthy  bool
+	draining bool
+	probing  bool // a probe is in flight; the ticker must not stack another
+	// consecFails counts consecutive probe failures; the prober's
+	// exponential backoff derives from it.
+	consecFails int
+	// demotions counts transport-level health demotions (noteFailover).
+	// The prober snapshots it before a probe and refuses to re-admit if
+	// it moved — a success observed before a crash must not win.
+	demotions int64
+	// nextProbe is when the prober may contact the backend again.
+	nextProbe time.Time
+	lastErr   string
+
+	requests  int64
+	errors    int64
+	failovers int64 // requests that failed over away from this backend
+	ring      [backendLatencyWindow]time.Duration
+	ringN     int
+}
+
+func newBackend(id string, httpc *http.Client) *backend {
+	c := service.NewClient(id)
+	c.HTTPClient = httpc
+	// A new backend is admitted optimistically: the prober demotes it
+	// on its first failed probe, and routing failover covers the gap.
+	return &backend{id: id, client: c, healthy: true}
+}
+
+// recordResult folds one request outcome into the backend's counters.
+func (b *backend) recordResult(lat time.Duration, failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.requests++
+	if failed {
+		b.errors++
+		return
+	}
+	b.ring[b.ringN%backendLatencyWindow] = lat
+	b.ringN++
+}
+
+// noteFailover records that a request failed over away from this
+// backend. Transport-level failures also demote it to unhealthy
+// immediately — routing then skips it until the prober re-admits it —
+// while an answered error (an APIError) leaves health alone: the
+// backend is alive, it just could not serve this request.
+func (b *backend) noteFailover(err error, transportLevel bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failovers++
+	if transportLevel {
+		b.healthy = false
+		b.demotions++
+		b.lastErr = err.Error()
+	}
+}
+
+// eligible reports whether routing may send new work to the backend.
+func (b *backend) eligible() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy && !b.draining
+}
+
+// routeState snapshots the routing-relevant flags under the lock (a
+// bare field read would race the admin paths writing them).
+func (b *backend) routeState() (healthy, draining bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy, b.draining
+}
+
+// placeable reports whether new matrix placements may target the
+// backend (same condition as routing eligibility; kept separate so the
+// two policies can diverge without touching call sites).
+func (b *backend) placeable() bool { return b.eligible() }
+
+// status snapshots the backend for Stats and the admin listing.
+func (b *backend) status(placements int) BackendStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BackendStatus{
+		Addr:        b.id,
+		Healthy:     b.healthy,
+		Draining:    b.draining,
+		Inflight:    b.inflight.Load(),
+		Requests:    b.requests,
+		Errors:      b.errors,
+		Failovers:   b.failovers,
+		Matrices:    placements,
+		ConsecFails: b.consecFails,
+		LastError:   b.lastErr,
+	}
+	n := b.ringN
+	if n > backendLatencyWindow {
+		n = backendLatencyWindow
+	}
+	if n > 0 {
+		lats := make([]time.Duration, n)
+		copy(lats, b.ring[:n])
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		st.LatencyP50 = service.Percentile(lats, 0.50)
+		st.LatencyP90 = service.Percentile(lats, 0.90)
+		st.LatencyP99 = service.Percentile(lats, 0.99)
+	}
+	return st
+}

@@ -1,0 +1,51 @@
+// Package gateway is the multi-backend front tier of the estimation
+// service: one Gateway owns a health-checked pool of mpserver
+// backends and serves the service API across them, so a fleet looks
+// like one server to clients.
+//
+// # Placement
+//
+// Matrices are placed by rendezvous (highest-random-weight) hashing on
+// the matrix name with a configurable replication factor R: each
+// matrix ranks every backend by a per-(backend, name) hash and lives
+// on the top R. Uploads — single-body puts and the chunked
+// begin/append/commit lifecycle alike — fan out to all R replicas and
+// commit all-or-nothing: a partial failure tears down the copies that
+// landed, so a matrix is either queryable on its full replica set or
+// absent everywhere. The gateway retains each matrix's wire form and
+// is the placement's source of truth; that copy is what rebalancing
+// and replica repair re-upload.
+//
+// # Routing
+//
+// Estimates route to the least-busy healthy replica and fail over to
+// the next replica on transport errors (and on answered 404/502/503);
+// a replica that restarted empty is re-seeded in line from the
+// retained copy. Batches scatter per-backend sub-batches concurrently
+// and gather items back in request order, with per-query re-routing
+// when a sub-batch's backend dies mid-call. Answered client errors
+// (bad parameters, over-limit bodies) never fail over — the backend
+// is alive, the request is at fault.
+//
+// # Health and topology
+//
+// A background prober pings every backend's stats endpoint on
+// Config.ProbeInterval, demotes failures with exponential backoff,
+// and re-admits a recovering backend only after resyncing it against
+// the placement table (re-seeding lost copies, deleting stragglers).
+// The admin API (POST /admin/backends) adds, drains, and removes
+// backends at runtime; each change rebalances affected matrices to
+// their new rendezvous targets, uploading gains before dropping
+// losses.
+//
+// # Consistency caveats
+//
+// Replicas are independent engines: each keeps its own sketch cache
+// and seed-epoch schedule, so unpinned repeat queries may be answered
+// under different epoch seeds depending on which replica serves them —
+// estimates then differ within the protocol's accuracy guarantee,
+// not bit-for-bit. Queries that pin a seed are bit-reproducible on
+// every replica. See DESIGN.md's gateway section for the full
+// lifecycle and failure semantics, and docs/API.md for the HTTP
+// reference.
+package gateway

@@ -1,0 +1,619 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/service"
+)
+
+// Gateway errors. The HTTP layer maps them to statuses (see
+// writeError in http.go); service errors wrapped by gateway paths keep
+// their service-side status mapping.
+var (
+	// ErrNoBackends is returned when no backend is eligible to take a
+	// placement or a query (mapped to 503).
+	ErrNoBackends = errors.New("gateway: no eligible backends")
+	// ErrAllReplicasFailed is returned when every replica of a matrix
+	// failed to answer a query (mapped to 502).
+	ErrAllReplicasFailed = errors.New("gateway: all replicas failed")
+	// ErrUnknownBackend is returned by admin operations naming a
+	// backend that is not in the pool (mapped to 404).
+	ErrUnknownBackend = errors.New("gateway: unknown backend")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("gateway: closed")
+)
+
+// Config parameterizes a Gateway. Zero values select the defaults.
+type Config struct {
+	// Backends are the initial backend base URLs (e.g.
+	// "http://127.0.0.1:8081"). More can be added at runtime through
+	// the admin API.
+	Backends []string
+	// Replication is the number of backends each matrix is placed on
+	// (R). Placements use the top R of the matrix's rendezvous ranking
+	// over the eligible backends; fewer than R eligible backends
+	// degrade to what is available. Default 2.
+	Replication int
+	// ProbeInterval is the health prober's base period between probes
+	// of a healthy backend. Default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe call. Default 2s.
+	ProbeTimeout time.Duration
+	// ProbeBackoffMax caps the exponential backoff between probes of a
+	// failing backend (ProbeInterval·2^consecutive-failures, capped
+	// here). Default 30s.
+	ProbeBackoffMax time.Duration
+	// UploadTTL bounds how long an idle fan-out chunked upload may sit
+	// staged at the gateway before it is garbage-collected (legs on the
+	// backends are aborted best-effort). Default 2 minutes.
+	UploadTTL time.Duration
+	// HTTPClient is the shared client for backend calls. Default
+	// http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Config) setDefaults() {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ProbeBackoffMax <= 0 {
+		c.ProbeBackoffMax = 30 * time.Second
+	}
+	if c.UploadTTL <= 0 {
+		c.UploadTTL = 2 * time.Minute
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+}
+
+// placedMatrix is one placement-table entry: the catalog info, the
+// retained wire form (what rebalancing and replica repair re-upload —
+// the gateway is the placement's source of truth, so it keeps the
+// bytes), and the backends currently holding the matrix. Entries are
+// replaced wholesale (copy-on-write), so a snapshot taken under the
+// gateway lock stays consistent after release.
+type placedMatrix struct {
+	info     service.MatrixInfo
+	wire     service.Matrix
+	replicas []string
+}
+
+// Gateway is the multi-backend front tier: it owns a health-checked
+// pool of mpserver backends, places matrices across them by rendezvous
+// hashing with replication, and routes the service API against the
+// placement — estimates to the least-busy healthy replica with
+// failover, uploads fanned out to every replica all-or-nothing.
+type Gateway struct {
+	cfg Config
+
+	// mu guards the pool, placement table, and upload staging maps.
+	// Never held across a backend network call: fan-out paths snapshot
+	// under mu, call outside it, and re-acquire to commit.
+	mu       sync.Mutex
+	backends map[string]*backend
+	matrices map[string]*placedMatrix
+	uploads  map[string]*fanoutUpload
+
+	// topoMu serializes topology changes (admin add/drain/remove and
+	// their rebalances, write side) against each other and against
+	// placements (PutMatrix and chunked commits, read side): a backend
+	// removed mid-placement would otherwise leave a matrix tabled only
+	// on an id no longer in the pool, unroutable until the next admin
+	// operation. Held across network calls — admin operations are rare
+	// and placements may share the read side freely.
+	topoMu sync.RWMutex
+
+	upSeq        atomic.Uint64
+	estimates    atomic.Int64
+	batches      atomic.Int64
+	failovers    atomic.Int64
+	retries      atomic.Int64
+	repairs      atomic.Int64
+	placements   atomic.Int64
+	rebalanced   atomic.Int64
+	lostReplicas atomic.Int64
+
+	start     time.Time
+	closed    chan struct{}
+	closeOnce sync.Once
+	// baseCtx parents every prober-initiated call (probes, resyncs),
+	// so Close can abort them instead of waiting out their timeouts.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	probeWG    sync.WaitGroup
+}
+
+// New returns a gateway fronting the configured backends and starts
+// its health prober. Close releases it.
+func New(cfg Config) *Gateway {
+	cfg.setDefaults()
+	g := &Gateway{
+		cfg:      cfg,
+		backends: make(map[string]*backend),
+		matrices: make(map[string]*placedMatrix),
+		uploads:  make(map[string]*fanoutUpload),
+		start:    time.Now(),
+		closed:   make(chan struct{}),
+	}
+	g.baseCtx, g.cancelBase = context.WithCancel(context.Background())
+	for _, addr := range cfg.Backends {
+		if addr == "" {
+			continue
+		}
+		g.backends[addr] = newBackend(addr, cfg.HTTPClient)
+	}
+	g.probeWG.Add(1)
+	go g.probeLoop()
+	return g
+}
+
+// Close stops the health prober — aborting any in-flight probe or
+// resync — and makes every subsequent operation fail with ErrClosed.
+// In-flight client requests finish.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() {
+		close(g.closed)
+		g.cancelBase()
+	})
+	g.probeWG.Wait()
+}
+
+func (g *Gateway) isClosed() bool {
+	select {
+	case <-g.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// backendIDs returns the ids of backends passing keep, sorted for
+// deterministic placement. Callers hold g.mu.
+func (g *Gateway) backendIDsLocked(keep func(*backend) bool) []string {
+	ids := make([]string, 0, len(g.backends))
+	for id, b := range g.backends {
+		if keep == nil || keep(b) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// placementTargets picks the backends a matrix should live on right
+// now: the top Replication of its rendezvous ranking over the
+// placeable (healthy, non-draining) backends.
+func (g *Gateway) placementTargets(name string) []*backend {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ids := placeOn(rankBackends(g.backendIDsLocked((*backend).placeable), name), g.cfg.Replication)
+	out := make([]*backend, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, g.backends[id])
+	}
+	return out
+}
+
+// replicaSnapshot resolves a matrix's current placement to live
+// backend handles plus the table entry.
+func (g *Gateway) replicaSnapshot(name string) (*placedMatrix, []*backend, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	pm, ok := g.matrices[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", service.ErrMatrixNotFound, name)
+	}
+	reps := make([]*backend, 0, len(pm.replicas))
+	for _, id := range pm.replicas {
+		if b, ok := g.backends[id]; ok {
+			reps = append(reps, b)
+		}
+	}
+	return pm, reps, nil
+}
+
+// uploadTo ships a wire matrix to one backend and reconciles any LRU
+// evictions the insert caused: a backend whose registry capacity is
+// smaller than its share of placements evicts placed matrices on
+// upload, and silently keeping the evicted names in the table would
+// route queries at copies that no longer exist. The pruned entries
+// stay placed on their surviving replicas (an empty replica list makes
+// the loss visible as a routing 503, not a lie). Backends should be
+// provisioned with -max-matrices above their expected share — the
+// LostReplicas stat counts how often that assumption broke.
+func (g *Gateway) uploadTo(ctx context.Context, b *backend, name string, m service.Matrix) (service.MatrixInfo, error) {
+	rep, err := b.client.UploadMatrixFull(ctx, name, m)
+	if err != nil {
+		return service.MatrixInfo{}, err
+	}
+	if len(rep.Evicted) > 0 {
+		g.mu.Lock()
+		for _, victim := range rep.Evicted {
+			pm, ok := g.matrices[victim]
+			if !ok {
+				continue
+			}
+			kept := make([]string, 0, len(pm.replicas))
+			for _, id := range pm.replicas {
+				if id != b.id {
+					kept = append(kept, id)
+				}
+			}
+			if len(kept) != len(pm.replicas) {
+				g.matrices[victim] = &placedMatrix{info: pm.info, wire: pm.wire, replicas: kept}
+				g.lostReplicas.Add(1)
+			}
+		}
+		g.mu.Unlock()
+	}
+	return rep.MatrixInfo, nil
+}
+
+// fanout runs op against every backend concurrently and returns the
+// per-backend errors (nil entries for successes) plus the first error
+// in backend order.
+func fanout(backends []*backend, op func(i int, b *backend) error) (errs []error, first error) {
+	errs = make([]error, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			errs[i] = op(i, b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return errs, err
+		}
+	}
+	return errs, nil
+}
+
+// PutMatrix validates and places a matrix: it uploads the wire form to
+// every target replica concurrently, and on any failure deletes the
+// copies that landed (all-or-nothing) and reports the failure. On
+// success the placement table records the matrix, its replicas, and
+// the retained wire form rebalancing re-uploads from.
+func (g *Gateway) PutMatrix(ctx context.Context, name string, m service.Matrix) (PlacementInfo, error) {
+	if g.isClosed() {
+		return PlacementInfo{}, ErrClosed
+	}
+	if name == "" {
+		return PlacementInfo{}, fmt.Errorf("%w: empty matrix name", service.ErrBadRequest)
+	}
+	// Shared with other placements, exclusive against admin topology
+	// changes: the target set picked here stays in the pool until the
+	// table entry is installed.
+	g.topoMu.RLock()
+	defer g.topoMu.RUnlock()
+	targets := g.placementTargets(name)
+	if len(targets) == 0 {
+		return PlacementInfo{}, ErrNoBackends
+	}
+	infos := make([]service.MatrixInfo, len(targets))
+	errs, first := fanout(targets, func(i int, b *backend) error {
+		var err error
+		infos[i], err = g.uploadTo(ctx, b, name, m)
+		return err
+	})
+	if first != nil {
+		// All-or-nothing: tear the successful copies back down so no
+		// replica serves a matrix the gateway does not consider placed.
+		for i, err := range errs {
+			if err == nil {
+				delCtx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+				_ = targets[i].client.DeleteMatrix(delCtx, name)
+				cancel()
+			}
+		}
+		return PlacementInfo{}, fmt.Errorf("gateway: replicated put of %q failed: %w", name, first)
+	}
+	ids := make([]string, len(targets))
+	for i, b := range targets {
+		ids[i] = b.id
+	}
+	pm := &placedMatrix{info: infos[0], wire: m, replicas: ids}
+	g.mu.Lock()
+	g.matrices[name] = pm
+	g.mu.Unlock()
+	g.placements.Add(1)
+	return PlacementInfo{MatrixInfo: pm.info, Replicas: ids}, nil
+}
+
+// DeleteMatrix removes a matrix from every replica holding it and from
+// the placement table. Replica deletions are best-effort (a down
+// replica's copy is cleaned up by the straggler sweep when it
+// returns); an unknown name is ErrMatrixNotFound.
+func (g *Gateway) DeleteMatrix(ctx context.Context, name string) error {
+	if g.isClosed() {
+		return ErrClosed
+	}
+	_, reps, err := g.replicaSnapshot(name)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	delete(g.matrices, name)
+	g.mu.Unlock()
+	_, _ = fanout(reps, func(_ int, b *backend) error {
+		return b.client.DeleteMatrix(ctx, name)
+	})
+	return nil
+}
+
+// Matrices lists the placed matrices with their replica sets, sorted
+// by name.
+func (g *Gateway) Matrices() []PlacementInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]PlacementInfo, 0, len(g.matrices))
+	for _, pm := range g.matrices {
+		out = append(out, PlacementInfo{MatrixInfo: pm.info, Replicas: pm.replicas})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// failoverable classifies a replica error: transport-level failures
+// (no HTTP answer) and answered 404/502/503 warrant trying the next
+// replica — the backend is gone, restarting, closing, or has lost the
+// replica — while any other answered error is the query's own fault
+// and is returned to the client as-is.
+func failoverable(err error) (ok, transportLevel bool) {
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusNotFound, http.StatusBadGateway, http.StatusServiceUnavailable:
+			return true, false
+		}
+		return false, false
+	}
+	return true, true
+}
+
+// routeOrder orders a matrix's replicas for one query: eligible
+// (healthy, non-draining) replicas first, least busy first, then
+// ineligible non-draining replicas as a last resort — a probe can lag
+// a recovery, and a request that would otherwise fail outright is
+// worth one try against a suspect replica. nEligible is how many of
+// the returned backends are in the eligible prefix; load-balancing
+// decisions must confine themselves to it so an idle-because-dead
+// suspect never outbids a busy healthy replica.
+func routeOrder(reps []*backend) (order []*backend, nEligible int) {
+	var suspect []*backend
+	for _, b := range reps {
+		healthy, draining := b.routeState()
+		switch {
+		case healthy && !draining:
+			order = append(order, b)
+		case !draining:
+			suspect = append(suspect, b)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].inflight.Load() < order[j].inflight.Load()
+	})
+	nEligible = len(order)
+	return append(order, suspect...), nEligible
+}
+
+// callEstimate runs one query against one backend, maintaining its
+// in-flight gauge and counters.
+func (b *backend) callEstimate(ctx context.Context, req service.Request) (*service.Result, error) {
+	b.inflight.Add(1)
+	start := time.Now()
+	res, err := b.client.Estimate(ctx, req)
+	b.inflight.Add(-1)
+	b.recordResult(time.Since(start), err != nil)
+	return res, err
+}
+
+// repairReplica re-uploads a placed matrix to a replica that answered
+// 404 for it — the backend restarted (losing its in-memory registry)
+// between the prober's resync passes. Returns true when the replica
+// holds the matrix again.
+func (g *Gateway) repairReplica(ctx context.Context, b *backend, name string) bool {
+	g.mu.Lock()
+	pm, ok := g.matrices[name]
+	g.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if _, err := g.uploadTo(ctx, b, name, pm.wire); err != nil {
+		return false
+	}
+	g.repairs.Add(1)
+	return true
+}
+
+// Estimate routes one query to the least-busy healthy replica of its
+// matrix, failing over to the next replica on transport errors (and on
+// answered 404/502/503 — see failoverable). A replica that lost the
+// matrix to a restart is repaired in line from the gateway's retained
+// copy and retried. Answered client errors (bad parameters and the
+// like) are returned without failover.
+func (g *Gateway) Estimate(ctx context.Context, req service.Request) (*service.Result, error) {
+	if g.isClosed() {
+		return nil, ErrClosed
+	}
+	g.estimates.Add(1)
+	_, reps, err := g.replicaSnapshot(req.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	order, _ := routeOrder(reps)
+	if len(order) == 0 {
+		return nil, fmt.Errorf("%w: matrix %q has no routable replica", ErrNoBackends, req.Matrix)
+	}
+	var lastErr error
+	for attempt, b := range order {
+		if attempt > 0 {
+			g.retries.Add(1)
+		}
+		res, err := b.callEstimate(ctx, req)
+		if err == nil {
+			if attempt > 0 {
+				g.failovers.Add(1)
+			}
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		ok, transportLevel := failoverable(err)
+		if !ok {
+			return nil, err
+		}
+		// A 404 from a replica that should hold the matrix means the
+		// backend restarted empty: re-seed it from the retained wire
+		// form and retry it once before moving on.
+		var apiErr *service.APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound && g.repairReplica(ctx, b, req.Matrix) {
+			if res, rerr := b.callEstimate(ctx, req); rerr == nil {
+				if attempt > 0 {
+					g.failovers.Add(1)
+				}
+				return res, nil
+			}
+		}
+		b.noteFailover(err, transportLevel)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: %q: %v", ErrAllReplicasFailed, req.Matrix, lastErr)
+}
+
+// EstimateBatch scatters a batch across the fleet — each query is
+// assigned to the least-loaded routable replica of its matrix, the
+// per-backend sub-batches run concurrently through the backends'
+// single-admission batch endpoint — and gathers the items back in
+// request order. A sub-batch whose call fails is retried query by
+// query through Estimate's failover path, so one dying backend costs
+// latency, not answers. Queries naming unplaced matrices fail in their
+// item, matching the single-backend batch semantics.
+func (g *Gateway) EstimateBatch(ctx context.Context, reqs []service.Request) ([]service.BatchItem, error) {
+	if g.isClosed() {
+		return nil, ErrClosed
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", service.ErrBadRequest)
+	}
+	g.batches.Add(1)
+
+	// Assign each query to a backend: among its matrix's routable
+	// replicas, minimize in-flight load plus what this batch has
+	// already assigned, so a batch spreads across replicas instead of
+	// dog-piling the currently-idlest one.
+	items := make([]service.BatchItem, len(reqs))
+	assigned := make(map[*backend][]int) // backend → query indices
+	localLoad := make(map[*backend]int64)
+	for i, req := range reqs {
+		_, reps, err := g.replicaSnapshot(req.Matrix)
+		if err != nil {
+			items[i] = service.BatchItem{Error: err.Error()}
+			continue
+		}
+		order, nEligible := routeOrder(reps)
+		if len(order) == 0 {
+			items[i] = service.BatchItem{Error: fmt.Sprintf("gateway: matrix %q has no routable replica", req.Matrix)}
+			continue
+		}
+		// Balance only across the eligible prefix: an unhealthy replica
+		// is idle precisely because it is failing, and winning the
+		// least-load contest would send it the whole sub-batch. Suspects
+		// are used only when nothing eligible exists (the per-query
+		// fallback path then handles their failures).
+		pool := order[:nEligible]
+		if nEligible == 0 {
+			pool = order[:1]
+		}
+		best := pool[0]
+		bestLoad := best.inflight.Load() + localLoad[best]
+		for _, b := range pool[1:] {
+			if l := b.inflight.Load() + localLoad[b]; l < bestLoad {
+				best, bestLoad = b, l
+			}
+		}
+		assigned[best] = append(assigned[best], i)
+		localLoad[best]++
+	}
+
+	var wg sync.WaitGroup
+	for b, idxs := range assigned {
+		wg.Add(1)
+		go func(b *backend, idxs []int) {
+			defer wg.Done()
+			sub := make([]service.Request, len(idxs))
+			for k, i := range idxs {
+				sub[k] = reqs[i]
+			}
+			b.inflight.Add(int64(len(sub)))
+			start := time.Now()
+			got, err := b.client.EstimateBatch(ctx, sub)
+			b.inflight.Add(int64(-len(sub)))
+			b.recordResult(time.Since(start), err != nil)
+			if err == nil && len(got) == len(idxs) {
+				for k, i := range idxs {
+					items[i] = got[k]
+				}
+				// A per-item "matrix not found" from a replica that is
+				// supposed to hold the matrix means it lost its copy (a
+				// restart or an LRU eviction): re-route those queries
+				// through the single-query path, which repairs the
+				// replica or fails over. Other per-item errors are the
+				// query's own fault and pass through.
+				for k, i := range idxs {
+					if got[k].Error == "" || !strings.Contains(got[k].Error, service.ErrMatrixNotFound.Error()) {
+						continue
+					}
+					g.retries.Add(1)
+					if res, qerr := g.Estimate(ctx, sub[k]); qerr == nil {
+						items[i] = service.BatchItem{Result: res}
+					}
+				}
+				return
+			}
+			if ctx.Err() != nil {
+				return // the gather below reports the cancellation
+			}
+			// The sub-batch call failed as a whole (transport error,
+			// overload, a closing backend): re-route its queries one by
+			// one so the other replicas can absorb them.
+			if err != nil {
+				if ok, transportLevel := failoverable(err); ok {
+					b.noteFailover(err, transportLevel)
+				}
+			}
+			for k, i := range idxs {
+				g.retries.Add(1)
+				res, qerr := g.Estimate(ctx, sub[k])
+				if qerr != nil {
+					items[i] = service.BatchItem{Error: qerr.Error()}
+					continue
+				}
+				items[i] = service.BatchItem{Result: res}
+			}
+		}(b, idxs)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}

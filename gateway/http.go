@@ -1,0 +1,182 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/service"
+)
+
+// NewHandler exposes the gateway as a JSON API. The front routes
+// mirror the backend service API one for one — a service.Client
+// pointed at a gateway works unchanged — plus the admin surface:
+//
+//	PUT    /matrix/{name}           replicated upload (all-or-nothing across R replicas)
+//	DELETE /matrix/{name}           remove a matrix from every replica
+//	GET    /matrices                placed matrices with their replica sets
+//	POST   /matrices/{name}/chunks  replicated chunked upload: begin/append/commit/abort
+//	POST   /estimate                route to the least-busy healthy replica, failover on error
+//	POST   /estimate/batch          scatter sub-batches across replicas, gather in order
+//	GET    /stats                   gateway + per-backend counters
+//	GET    /healthz                 gateway liveness
+//	GET    /admin/backends          list the pool with health and counters
+//	POST   /admin/backends          {"op":"add"|"drain"|"remove","addr":…} with rebalance
+//
+// docs/API.md is the complete reference.
+func NewHandler(g *Gateway) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var m service.Matrix
+		if err := service.DecodeJSON(w, r, &m); err != nil {
+			writeError(w, err)
+			return
+		}
+		info, err := g.PutMatrix(r.Context(), r.PathValue("name"), m)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := g.DeleteMatrix(r.Context(), r.PathValue("name")); err != nil {
+			writeError(w, err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
+	})
+	mux.HandleFunc("GET /matrices", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, g.Matrices())
+	})
+	mux.HandleFunc("POST /matrices/{name}/chunks", func(w http.ResponseWriter, r *http.Request) {
+		var req service.ChunkRequest
+		if err := service.DecodeJSON(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		name := r.PathValue("name")
+		switch req.Op {
+		case "begin":
+			info, err := g.BeginUpload(r.Context(), name, req.Rows, req.Cols)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			service.WriteJSON(w, http.StatusOK, info)
+		case "append":
+			info, err := g.AppendChunk(r.Context(), name, req.Upload, req.RowStart, req.RowEnd, req.Entries)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			service.WriteJSON(w, http.StatusOK, info)
+		case "commit":
+			info, err := g.CommitUpload(r.Context(), name, req.Upload)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			service.WriteJSON(w, http.StatusOK, info)
+		case "abort":
+			if err := g.AbortUpload(r.Context(), name, req.Upload); err != nil {
+				writeError(w, err)
+				return
+			}
+			service.WriteJSON(w, http.StatusOK, map[string]string{"aborted": req.Upload})
+		default:
+			writeError(w, fmt.Errorf("%w: unknown chunk op %q", service.ErrBadRequest, req.Op))
+		}
+	})
+	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req service.Request
+		if err := service.DecodeJSON(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		res, err := g.Estimate(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /estimate/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req service.BatchRequest
+		if err := service.DecodeJSON(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		items, err := g.EstimateBatch(r.Context(), req.Queries)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, service.BatchResponse{Results: items})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, g.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /admin/backends", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, g.Backends())
+	})
+	mux.HandleFunc("POST /admin/backends", func(w http.ResponseWriter, r *http.Request) {
+		var req AdminRequest
+		if err := service.DecodeJSON(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		var rep RebalanceReport
+		var err error
+		switch req.Op {
+		case "add":
+			rep, err = g.AddBackend(r.Context(), req.Addr)
+		case "drain":
+			rep, err = g.DrainBackend(r.Context(), req.Addr)
+		case "remove":
+			rep, err = g.RemoveBackend(r.Context(), req.Addr)
+		default:
+			err = fmt.Errorf("%w: unknown admin op %q", service.ErrBadRequest, req.Op)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, rep)
+	})
+	return mux
+}
+
+// AdminRequest is the body of POST /admin/backends: one pool change,
+// selected by Op.
+type AdminRequest struct {
+	// Op is "add", "drain", or "remove".
+	Op string `json:"op"`
+	// Addr is the backend base URL the operation targets.
+	Addr string `json:"addr"`
+}
+
+// writeError maps gateway and backend errors to HTTP statuses. A
+// backend's answered error (an APIError a query was returned without
+// failover) passes through with its original status and message;
+// gateway-level conditions get their own statuses (no eligible
+// backends → 503, all replicas failed → 502, unknown backend → 404);
+// everything else falls through to the service package's mapping.
+func writeError(w http.ResponseWriter, err error) {
+	var apiErr *service.APIError
+	switch {
+	case errors.As(err, &apiErr):
+		service.WriteJSON(w, apiErr.Status, map[string]string{"error": apiErr.Message})
+	case errors.Is(err, ErrNoBackends), errors.Is(err, ErrClosed):
+		service.WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrAllReplicasFailed):
+		service.WriteJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrUnknownBackend):
+		service.WriteJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+	default:
+		service.WriteError(w, err)
+	}
+}

@@ -1,0 +1,68 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// placementScore is the rendezvous (highest-random-weight) score of a
+// (backend, matrix) pair: a 64-bit hash of the backend id and the
+// matrix name. Each matrix independently ranks every backend by score,
+// and its replicas are the top R of that ranking — so adding or
+// removing one backend only moves the matrices whose top R that
+// backend enters or leaves, the minimal-disruption property that makes
+// rebalancing cheap.
+func placementScore(backendID, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(backendID))
+	h.Write([]byte{0}) // separate the parts so "ab"+"c" ≠ "a"+"bc"
+	h.Write([]byte(name))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a alone avalanches poorly on
+// short tails: backend URLs differing only in the port digit produce
+// scores whose per-id gaps dwarf the per-name variation, so one
+// backend would lose the ranking for every matrix. The finalizer
+// cascades every input bit across the word, restoring the independent
+// per-(backend, name) coin rendezvous hashing needs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rankBackends orders backend ids for a matrix name by descending
+// rendezvous score (ties broken by id, so the ranking is a pure
+// function of the id set and the name — insertion order never
+// matters). The placement of a matrix is the first R entries.
+func rankBackends(ids []string, name string) []string {
+	ranked := make([]string, len(ids))
+	copy(ranked, ids)
+	score := make(map[string]uint64, len(ids))
+	for _, id := range ids {
+		score[id] = placementScore(id, name)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := score[ranked[i]], score[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// placeOn returns the top-r prefix of the ranked backends (all of them
+// when fewer than r are available).
+func placeOn(ranked []string, r int) []string {
+	if len(ranked) > r {
+		ranked = ranked[:r]
+	}
+	out := make([]string, len(ranked))
+	copy(out, ranked)
+	return out
+}

@@ -1,0 +1,76 @@
+package gateway
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestRankBackendsDeterministic(t *testing.T) {
+	ids := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	base := rankBackends(ids, "matrix-7")
+	for trial := 0; trial < 20; trial++ {
+		perm := make([]string, len(ids))
+		copy(perm, ids)
+		r := rand.New(rand.NewSource(int64(trial)))
+		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got := rankBackends(perm, "matrix-7")
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("ranking depends on insertion order: %v vs %v", got, base)
+			}
+		}
+	}
+}
+
+func TestPlaceOnReplicas(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	got := placeOn(rankBackends(ids, "m"), 2)
+	if len(got) != 2 || got[0] == got[1] {
+		t.Fatalf("want 2 distinct replicas, got %v", got)
+	}
+	// Degrades to the available backends when fewer than R exist.
+	if got := placeOn(rankBackends(ids[:1], "m"), 2); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("want degraded placement [a], got %v", got)
+	}
+}
+
+func TestPlacementSpreadsLoad(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	count := map[string]int{}
+	for i := 0; i < 300; i++ {
+		for _, id := range placeOn(rankBackends(ids, fmt.Sprintf("name-%d", i)), 2) {
+			count[id]++
+		}
+	}
+	// 600 replica slots over 3 backends: each should carry a
+	// non-degenerate share (exact balance is not promised).
+	for _, id := range ids {
+		if count[id] < 100 {
+			t.Fatalf("backend %s got only %d of 600 replica slots: %v", id, count[id], count)
+		}
+	}
+}
+
+func TestPlacementMinimalDisruption(t *testing.T) {
+	old := []string{"a", "b", "c"}
+	grown := []string{"a", "b", "c", "d"}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("name-%d", i)
+		before := placeOn(rankBackends(old, name), 2)
+		after := placeOn(rankBackends(grown, name), 2)
+		// Rendezvous property: adding d either leaves a matrix's
+		// placement untouched or moves exactly the slots d claims —
+		// every replica in the new set is either d or was already a
+		// replica.
+		was := map[string]bool{}
+		for _, id := range before {
+			was[id] = true
+		}
+		for _, id := range after {
+			if id != "d" && !was[id] {
+				t.Fatalf("%s: replica %s appeared without d claiming it: %v -> %v", name, id, before, after)
+			}
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/service"
+)
+
+func TestChunkedUploadFanout(t *testing.T) {
+	n := 8
+	b1, b2, b3 := startBackend(t), startBackend(t), startBackend(t)
+	byAddr := map[string]*testBackend{b1.addr: b1, b2.addr: b2, b3.addr: b3}
+	g := newTestGateway(t, 2, b1.addr, b2.addr, b3.addr)
+	ctx := context.Background()
+
+	wire, sum := testMatrix(n)
+	up, err := g.BeginUpload(ctx, "m", n, n)
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if !strings.HasPrefix(up.Upload, "gw-") {
+		t.Fatalf("gateway token not minted: %q", up.Upload)
+	}
+	// Ship the matrix in two row-range chunks.
+	var lo, hi [][3]int64
+	for _, e := range wire.Entries {
+		if e[0] < int64(n/2) {
+			lo = append(lo, e)
+		} else {
+			hi = append(hi, e)
+		}
+	}
+	if _, err := g.AppendChunk(ctx, "m", up.Upload, 0, n/2, lo); err != nil {
+		t.Fatalf("append lo: %v", err)
+	}
+	info, err := g.AppendChunk(ctx, "m", up.Upload, n/2, n, hi)
+	if err != nil {
+		t.Fatalf("append hi: %v", err)
+	}
+	if info.Entries != len(wire.Entries) || info.Chunks != 2 {
+		t.Fatalf("aggregated upload info wrong: %+v", info)
+	}
+	placed, err := g.CommitUpload(ctx, "m", up.Upload)
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if len(placed.Replicas) != 2 || placed.NNZ != len(wire.Entries) {
+		t.Fatalf("placement after chunked commit wrong: %+v", placed)
+	}
+	for _, addr := range placed.Replicas {
+		if !byAddr[addr].holds("m") {
+			t.Fatalf("replica %s missing the committed matrix", addr)
+		}
+	}
+	res, err := g.Estimate(ctx, exactReq("m", n))
+	if err != nil || res.Estimate != sum {
+		t.Fatalf("estimate after chunked commit: res=%v err=%v", res, err)
+	}
+	// The consumed token is gone.
+	if _, err := g.CommitUpload(ctx, "m", up.Upload); !errors.Is(err, service.ErrUploadNotFound) {
+		t.Fatalf("re-commit of consumed token: %v", err)
+	}
+}
+
+func TestChunkedUploadAbort(t *testing.T) {
+	n := 4
+	b1, b2 := startBackend(t), startBackend(t)
+	g := newTestGateway(t, 2, b1.addr, b2.addr)
+	ctx := context.Background()
+
+	up, err := g.BeginUpload(ctx, "m", n, n)
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if _, err := g.AppendChunk(ctx, "m", up.Upload, 0, n, identWire(n).Entries); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := g.AbortUpload(ctx, "m", up.Upload); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	if err := g.AbortUpload(ctx, "m", up.Upload); !errors.Is(err, service.ErrUploadNotFound) {
+		t.Fatalf("double abort: %v", err)
+	}
+	// Nothing committed anywhere, and the backends' staged legs are
+	// consumed (their upload stats show the aborts).
+	if len(g.Matrices()) != 0 {
+		t.Fatal("aborted upload entered the placement table")
+	}
+	if st := b1.engine.Stats().Uploads; st.Aborted == 0 {
+		t.Fatalf("backend leg not aborted: %+v", st)
+	}
+}
+
+// TestChunkedAppendFailureAbortsUpload pins the divergence rule: a
+// chunk only some replicas would accept must kill the whole upload,
+// because a resend would be a duplicate on the replicas that took it.
+func TestChunkedAppendFailureAbortsUpload(t *testing.T) {
+	n := 4
+	b1, b2 := startBackend(t), startBackend(t)
+	g := newTestGateway(t, 2, b1.addr, b2.addr)
+	ctx := context.Background()
+
+	up, err := g.BeginUpload(ctx, "m", n, n)
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	// Out-of-range entries: every backend rejects the chunk, the
+	// gateway aborts the upload rather than leaving it resendable.
+	bad := [][3]int64{{int64(n + 1), 0, 1}}
+	if _, err := g.AppendChunk(ctx, "m", up.Upload, 0, n, bad); err == nil {
+		t.Fatal("bad chunk accepted")
+	}
+	if _, err := g.AppendChunk(ctx, "m", up.Upload, 0, n, identWire(n).Entries); !errors.Is(err, service.ErrUploadNotFound) {
+		t.Fatalf("upload survived a failed append: %v", err)
+	}
+}
+
+func TestChunkedCommitAllOrNothing(t *testing.T) {
+	n := 4
+	good := startBackend(t)
+	// A backend that stages chunks like a real engine but refuses to
+	// commit: real handler underneath, commit op intercepted.
+	realEngine := service.NewEngine(service.Config{Workers: 2, Shards: 1})
+	t.Cleanup(realEngine.Close)
+	real := service.NewHandler(realEngine)
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/chunks") {
+			body, _ := io.ReadAll(r.Body)
+			var req service.ChunkRequest
+			_ = json.Unmarshal(body, &req)
+			if req.Op == "commit" {
+				http.Error(w, `{"error":"commit refused"}`, http.StatusInternalServerError)
+				return
+			}
+			r.Body = io.NopCloser(strings.NewReader(string(body)))
+			r.ContentLength = int64(len(body))
+		}
+		real.ServeHTTP(w, r)
+	}))
+	t.Cleanup(bad.Close)
+
+	g := newTestGateway(t, 2, good.addr, bad.URL)
+	ctx := context.Background()
+	up, err := g.BeginUpload(ctx, "m", n, n)
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if _, err := g.AppendChunk(ctx, "m", up.Upload, 0, n, identWire(n).Entries); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if _, err := g.CommitUpload(ctx, "m", up.Upload); err == nil {
+		t.Fatal("commit with a refusing replica succeeded")
+	}
+	// All-or-nothing: the good replica's committed copy was torn down.
+	if good.holds("m") {
+		t.Fatal("partial commit left a copy on the good replica")
+	}
+	if len(g.Matrices()) != 0 {
+		t.Fatal("failed commit entered the placement table")
+	}
+}
+
+func TestUploadTTLGC(t *testing.T) {
+	b1 := startBackend(t)
+	g := New(Config{
+		Backends:      []string{b1.addr},
+		Replication:   1,
+		ProbeInterval: 20 * time.Millisecond,
+		UploadTTL:     30 * time.Millisecond,
+	})
+	t.Cleanup(g.Close)
+	ctx := context.Background()
+	up, err := g.BeginUpload(ctx, "m", 4, 4)
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	// The next upload operation runs the lazy GC; the stale token must
+	// be gone.
+	if _, err := g.AppendChunk(ctx, "m", up.Upload, 0, 4, nil); !errors.Is(err, service.ErrUploadNotFound) {
+		t.Fatalf("expired upload still alive: %v", err)
+	}
+}
+
+func TestBatchScatterGather(t *testing.T) {
+	n := 8
+	b1, b2, b3 := startBackend(t), startBackend(t), startBackend(t)
+	byAddr := map[string]*testBackend{b1.addr: b1, b2.addr: b2, b3.addr: b3}
+	g := newTestGateway(t, 2, b1.addr, b2.addr, b3.addr)
+	ctx := context.Background()
+
+	wire, sum := testMatrix(n)
+	info, err := g.PutMatrix(ctx, "m", wire)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	reqs := make([]service.Request, 20)
+	for i := range reqs {
+		reqs[i] = exactReq("m", n)
+		seed := uint64(1000 + i)
+		reqs[i].Seed = &seed
+	}
+	// One query against an unknown matrix fails in its item, not the
+	// call.
+	reqs[7] = exactReq("ghost", n)
+	items, err := g.EstimateBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(items) != len(reqs) {
+		t.Fatalf("got %d items for %d queries", len(items), len(reqs))
+	}
+	for i, item := range items {
+		if i == 7 {
+			if item.Error == "" || item.Result != nil {
+				t.Fatalf("ghost query item: %+v", item)
+			}
+			continue
+		}
+		if item.Error != "" || item.Result == nil {
+			t.Fatalf("item %d failed: %+v", i, item)
+		}
+		// Order check: the pinned seed is echoed per result.
+		if item.Result.Seed != uint64(1000+i) {
+			t.Fatalf("item %d out of order: seed %d", i, item.Result.Seed)
+		}
+		if item.Result.Estimate != sum {
+			t.Fatalf("item %d estimate = %v, want %v", i, item.Result.Estimate, sum)
+		}
+	}
+	// The scatter spread sub-batches across both replicas.
+	served := 0
+	for _, addr := range info.Replicas {
+		if byAddr[addr].engine.Stats().Requests > 0 {
+			served++
+		}
+	}
+	if served < 2 {
+		t.Fatalf("batch scattered to %d of %d replicas", served, len(info.Replicas))
+	}
+	if g.Stats().Batches == 0 {
+		t.Fatal("batch counter not bumped")
+	}
+	if _, err := g.EstimateBatch(ctx, nil); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func TestBatchFailoverFallback(t *testing.T) {
+	n := 8
+	b1, b2, b3 := startBackend(t), startBackend(t), startBackend(t)
+	byAddr := map[string]*testBackend{b1.addr: b1, b2.addr: b2, b3.addr: b3}
+	g := newTestGateway(t, 2, b1.addr, b2.addr, b3.addr)
+	ctx := context.Background()
+
+	wire, sum := testMatrix(n)
+	info, err := g.PutMatrix(ctx, "m", wire)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	byAddr[info.Replicas[0]].stop()
+	reqs := make([]service.Request, 12)
+	for i := range reqs {
+		reqs[i] = exactReq("m", n)
+	}
+	items, err := g.EstimateBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("batch with a dead replica: %v", err)
+	}
+	for i, item := range items {
+		if item.Error != "" || item.Result == nil || item.Result.Estimate != sum {
+			t.Fatalf("item %d not absorbed by failover: %+v", i, item)
+		}
+	}
+}

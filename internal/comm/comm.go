@@ -1,20 +1,3 @@
-// Package comm is the two-party protocol runtime.
-//
-// The paper's model has Alice and Bob exchanging messages; the complexity
-// measures are the total number of transmitted bits and the number of
-// rounds (maximal blocks of messages flowing in one direction). This
-// package provides an in-process simulation of that model with exact
-// accounting: every protocol message is serialized into a Message, handed
-// to Conn.Send, and the connection records its payload size and advances
-// the round counter whenever the direction of communication flips.
-//
-// Local computation is free, exactly as in the communication-complexity
-// model. Shared randomness is free too (public-coin model): both parties
-// derive sketching matrices from a common seed outside this package.
-//
-// The encoding vocabulary (unsigned/signed varints, fixed 64-bit floats,
-// bitmaps, delta-coded index lists, sparse matrices) mirrors the message
-// types the paper's protocols need; each helper documents its exact cost.
 package comm
 
 import (
@@ -34,6 +17,7 @@ const (
 	BobToAlice
 )
 
+// String names the direction for traces and error messages.
 func (d Direction) String() string {
 	if d == AliceToBob {
 		return "Alice→Bob"
@@ -52,6 +36,7 @@ type Stats struct {
 // TotalBits returns the total communication in bits.
 func (s Stats) TotalBits() int64 { return s.BitsAliceToBob + s.BitsBobToAlice }
 
+// String formats the cost summary in one line.
 func (s Stats) String() string {
 	return fmt.Sprintf("bits=%d (A→B %d, B→A %d), rounds=%d, messages=%d",
 		s.TotalBits(), s.BitsAliceToBob, s.BitsBobToAlice, s.Rounds, s.Messages)
@@ -59,10 +44,14 @@ func (s Stats) String() string {
 
 // MessageInfo describes one transmitted message for tracing.
 type MessageInfo struct {
+	// Direction is who sent the message.
 	Direction Direction
-	Bits      int64
-	Round     int
-	Label     string
+	// Bits is the message's payload size.
+	Bits int64
+	// Round is the round the message belonged to.
+	Round int
+	// Label is the sender's annotation of what the message carries.
+	Label string
 }
 
 // Conn is a two-party connection that accounts communication. The zero

@@ -36,6 +36,7 @@ func (m LatencyModel) Estimate(s Stats) time.Duration {
 	return time.Duration(s.Rounds)*m.RTT + transfer
 }
 
+// String formats the model parameters for experiment labels.
 func (m LatencyModel) String() string {
 	return fmt.Sprintf("RTT=%v bw=%.0fMb/s", m.RTT, m.BitsPerSecond/1e6)
 }

@@ -16,6 +16,7 @@ const (
 	Bob
 )
 
+// String names the party for traces and error messages.
 func (p Party) String() string {
 	if p == Alice {
 		return "Alice"
@@ -87,14 +88,18 @@ var (
 // TransportError wraps an I/O or peer failure surfaced by a Transport.
 // Transports panic with it; party drivers recover it into an error.
 type TransportError struct {
-	Op  string // "send", "recv"
+	// Op is the failed operation: "send" or "recv".
+	Op string
+	// Err is the underlying I/O or peer failure.
 	Err error
 }
 
+// Error formats the failure with its operation.
 func (e *TransportError) Error() string {
 	return fmt.Sprintf("comm: transport %s: %v", e.Op, e.Err)
 }
 
+// Unwrap exposes the underlying failure to errors.Is/As.
 func (e *TransportError) Unwrap() error { return e.Err }
 
 // tally is the accounting state shared by all transports: bits per

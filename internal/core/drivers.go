@@ -32,7 +32,9 @@ import (
 // deadlocking (PairConn.Finish for in-process pairs, Close on the
 // underlying connection for sockets).
 type Endpoint struct {
-	T      comm.Transport
+	// T is the transport the party's driver runs over.
+	T comm.Transport
+	// Finish, when non-nil, signals that this party's driver returned.
 	Finish func()
 }
 

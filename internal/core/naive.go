@@ -9,9 +9,13 @@ import (
 // ExactStats are the exact statistics of C = A·B computed by the naive
 // baselines (and by tests as ground truth).
 type ExactStats struct {
-	L0     int64
-	L1     int64
-	Linf   int64
+	// L0 is the number of non-zero entries of C.
+	L0 int64
+	// L1 is the entrywise 1-norm of C.
+	L1 int64
+	// Linf is the maximum absolute entry of C.
+	Linf int64
+	// ArgMax locates an entry attaining Linf.
 	ArgMax Pair
 }
 

@@ -65,9 +65,12 @@ var (
 // the cumulative busy time per shard index (shard 0 first). Sections
 // that degenerate to a single range run inline and are not counted.
 type ShardInfo struct {
-	Jobs  int64
+	// Jobs counts sharded sections that ran in parallel.
+	Jobs int64
+	// Tasks counts shard tasks executed by the pool.
 	Tasks int64
-	Busy  []time.Duration
+	// Busy is the cumulative busy time per shard index.
+	Busy []time.Duration
 }
 
 // ShardCounters snapshots the row-shard pool counters.

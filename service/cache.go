@@ -162,13 +162,14 @@ func (c *sketchCache) invalidateMatrix(names ...string) {
 
 // CacheStats is a snapshot of the sketch cache's counters.
 type CacheStats struct {
-	// Hits and Misses count lookups that found / did not find a
-	// precomputed Bob state.
-	Hits   int64 `json:"hits"`
+	// Hits counts lookups that found a precomputed Bob state.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to build the state fresh.
 	Misses int64 `json:"misses"`
-	// Entries and Bytes describe the currently retained states.
-	Entries int   `json:"entries"`
-	Bytes   int64 `json:"bytes"`
+	// Entries is the number of currently retained states.
+	Entries int `json:"entries"`
+	// Bytes is the summed in-memory size of the retained states.
+	Bytes int64 `json:"bytes"`
 	// SeedEpoch is the current seed epoch (see Config.SeedRotateEvery).
 	SeedEpoch uint64 `json:"seed_epoch"`
 }

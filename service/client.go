@@ -27,17 +27,29 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// APIError is a non-2xx server reply.
+// APIError is a non-2xx server reply. A call that fails with an
+// APIError reached a live server and was answered; any other client
+// error (connection refused, reset, timeout) never got an answer —
+// the distinction the gateway's failover logic routes on.
 type APIError struct {
-	Status  int
+	// Status is the HTTP status code the server replied with.
+	Status int
+	// Message is the server's error string (the "error" field of the
+	// JSON error body, or the raw body when it is not that shape).
 	Message string
 }
 
+// Error formats the reply as "service: server returned <status>: <msg>".
 func (e *APIError) Error() string {
 	return fmt.Sprintf("service: server returned %d: %s", e.Status, e.Message)
 }
 
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+// DoJSON performs one JSON API call: in (when non-nil) is marshaled as
+// the request body, out (when non-nil) is filled from the response
+// body, and a non-2xx reply is returned as an *APIError. Exported so
+// clients layered on the service API — the gateway's admin client —
+// reuse the same request plumbing and error discipline.
+func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -74,16 +86,32 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// UploadReply is the full reply of PUT /matrix/{name}: the installed
+// catalog info plus any names the insert LRU-evicted to make room.
+type UploadReply struct {
+	MatrixInfo
+	// Evicted lists the matrices evicted by this upload.
+	Evicted []string `json:"evicted,omitempty"`
+}
+
 // UploadMatrix uploads (or replaces) a served matrix.
 func (c *Client) UploadMatrix(ctx context.Context, name string, m Matrix) (MatrixInfo, error) {
-	var out MatrixInfo
-	err := c.do(ctx, http.MethodPut, "/matrix/"+name, m, &out)
+	rep, err := c.UploadMatrixFull(ctx, name, m)
+	return rep.MatrixInfo, err
+}
+
+// UploadMatrixFull uploads (or replaces) a served matrix and returns
+// the full reply including LRU evictions — what a placement tier (the
+// gateway) needs to keep its view of the backend's registry truthful.
+func (c *Client) UploadMatrixFull(ctx context.Context, name string, m Matrix) (UploadReply, error) {
+	var out UploadReply
+	err := c.DoJSON(ctx, http.MethodPut, "/matrix/"+name, m, &out)
 	return out, err
 }
 
 // DeleteMatrix removes a served matrix.
 func (c *Client) DeleteMatrix(ctx context.Context, name string) error {
-	return c.do(ctx, http.MethodDelete, "/matrix/"+name, nil, nil)
+	return c.DoJSON(ctx, http.MethodDelete, "/matrix/"+name, nil, nil)
 }
 
 // BeginUpload starts a chunked upload of a rows×cols matrix and
@@ -91,7 +119,7 @@ func (c *Client) DeleteMatrix(ctx context.Context, name string) error {
 // must present.
 func (c *Client) BeginUpload(ctx context.Context, name string, rows, cols int) (UploadInfo, error) {
 	var out UploadInfo
-	err := c.do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+	err := c.DoJSON(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
 		ChunkRequest{Op: "begin", Rows: rows, Cols: cols}, &out)
 	return out, err
 }
@@ -99,7 +127,7 @@ func (c *Client) BeginUpload(ctx context.Context, name string, rows, cols int) (
 // AppendChunk ships one row-range chunk of a chunked upload.
 func (c *Client) AppendChunk(ctx context.Context, name, token string, rowStart, rowEnd int, entries [][3]int64) (UploadInfo, error) {
 	var out UploadInfo
-	err := c.do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+	err := c.DoJSON(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
 		ChunkRequest{Op: "append", Upload: token, RowStart: rowStart, RowEnd: rowEnd, Entries: entries}, &out)
 	return out, err
 }
@@ -107,14 +135,14 @@ func (c *Client) AppendChunk(ctx context.Context, name, token string, rowStart, 
 // CommitUpload installs a completed chunked upload in the registry.
 func (c *Client) CommitUpload(ctx context.Context, name, token string) (MatrixInfo, error) {
 	var out MatrixInfo
-	err := c.do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+	err := c.DoJSON(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
 		ChunkRequest{Op: "commit", Upload: token}, &out)
 	return out, err
 }
 
 // AbortUpload discards a staged chunked upload.
 func (c *Client) AbortUpload(ctx context.Context, name, token string) error {
-	return c.do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+	return c.DoJSON(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
 		ChunkRequest{Op: "abort", Upload: token}, nil)
 }
 
@@ -168,14 +196,14 @@ func (c *Client) UploadMatrixChunked(ctx context.Context, name string, m Matrix,
 // Matrices lists the served matrices.
 func (c *Client) Matrices(ctx context.Context) ([]MatrixInfo, error) {
 	var out []MatrixInfo
-	err := c.do(ctx, http.MethodGet, "/matrices", nil, &out)
+	err := c.DoJSON(ctx, http.MethodGet, "/matrices", nil, &out)
 	return out, err
 }
 
 // Estimate runs one estimation query.
 func (c *Client) Estimate(ctx context.Context, req Request) (*Result, error) {
 	var out Result
-	if err := c.do(ctx, http.MethodPost, "/estimate", req, &out); err != nil {
+	if err := c.DoJSON(ctx, http.MethodPost, "/estimate", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -186,7 +214,7 @@ func (c *Client) Estimate(ctx context.Context, req Request) (*Result, error) {
 // per-query failure is reported in its item, not as a call error.
 func (c *Client) EstimateBatch(ctx context.Context, reqs []Request) ([]BatchItem, error) {
 	var out BatchResponse
-	if err := c.do(ctx, http.MethodPost, "/estimate/batch", BatchRequest{Queries: reqs}, &out); err != nil {
+	if err := c.DoJSON(ctx, http.MethodPost, "/estimate/batch", BatchRequest{Queries: reqs}, &out); err != nil {
 		return nil, err
 	}
 	return out.Results, nil
@@ -195,6 +223,12 @@ func (c *Client) EstimateBatch(ctx context.Context, reqs []Request) ([]BatchItem
 // Stats fetches the aggregate serving statistics.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats
-	err := c.do(ctx, http.MethodGet, "/stats", nil, &out)
+	err := c.DoJSON(ctx, http.MethodGet, "/stats", nil, &out)
 	return out, err
+}
+
+// Health checks the server's liveness endpoint. A nil error means the
+// server answered GET /healthz with a 2xx.
+func (c *Client) Health(ctx context.Context) error {
+	return c.DoJSON(ctx, http.MethodGet, "/healthz", nil, nil)
 }

@@ -1,0 +1,40 @@
+// Package service is the networked estimation service built on the
+// paper's protocols: a server engine hosts Bob's side — a registry of
+// named matrices, uploaded once and queried many times — and answers
+// estimation queries by running the two-party protocol drivers of
+// internal/core against the querying client, who plays Alice.
+//
+// # Engine
+//
+// The engine is transport-agnostic: each job runs over a pluggable
+// comm.Transport (in-process pair by default, loopback TCP to force
+// every protocol message through a real socket) with the exact
+// bit-and-round accounting of the paper's communication model, which
+// the per-request results and aggregate stats report.
+//
+// A bounded worker pool caps concurrent protocol executions, a bounded
+// admission queue sheds overload, and per-job seeds make every answer
+// reproducible. A Bob-side sketch cache (see Config.CacheCapacity)
+// answers repeat queries from precomputed per-matrix protocol states,
+// and each job's row-parallel phases are sharded across a process-wide
+// pool (Config.Shards) with transcripts byte-identical to sequential
+// execution.
+//
+// # Ingestion
+//
+// Matrices arrive either as one PUT body or through the chunked
+// begin/append/commit upload lifecycle (BeginUpload, AppendChunk,
+// CommitUpload), which admits matrices beyond the single-body size
+// limit one validated row-range chunk at a time.
+//
+// # HTTP surface
+//
+// NewHandler exposes the engine as a JSON API and Client is its typed
+// counterpart; docs/API.md is the complete HTTP reference. The
+// exported helpers DecodeJSON, WriteJSON, and WriteError plus
+// Client.DoJSON let HTTP tiers layered on this API — package gateway,
+// the replicated multi-backend front tier — share the same body-limit,
+// error-mapping, and request plumbing. cmd/mpserver and cmd/mpload are
+// the runnable server and load generator; cmd/mpgateway fronts a fleet
+// of servers.
+package service

@@ -33,34 +33,31 @@ func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
 		var m Matrix
-		if err := decodeJSON(w, r, &m); err != nil {
-			writeError(w, err)
+		if err := DecodeJSON(w, r, &m); err != nil {
+			WriteError(w, err)
 			return
 		}
 		info, evicted, err := e.PutMatrix(r.PathValue("name"), m)
 		if err != nil {
-			writeError(w, err)
+			WriteError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, struct {
-			MatrixInfo
-			Evicted []string `json:"evicted,omitempty"`
-		}{info, evicted})
+		WriteJSON(w, http.StatusOK, UploadReply{MatrixInfo: info, Evicted: evicted})
 	})
 	mux.HandleFunc("DELETE /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
 		if err := e.DeleteMatrix(r.PathValue("name")); err != nil {
-			writeError(w, err)
+			WriteError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
+		WriteJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
 	})
 	mux.HandleFunc("GET /matrices", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Matrices())
+		WriteJSON(w, http.StatusOK, e.Matrices())
 	})
 	mux.HandleFunc("POST /matrices/{name}/chunks", func(w http.ResponseWriter, r *http.Request) {
 		var req ChunkRequest
-		if err := decodeJSON(w, r, &req); err != nil {
-			writeError(w, err)
+		if err := DecodeJSON(w, r, &req); err != nil {
+			WriteError(w, err)
 			return
 		}
 		name := r.PathValue("name")
@@ -68,68 +65,65 @@ func NewHandler(e *Engine) http.Handler {
 		case "begin":
 			info, err := e.BeginUpload(name, req.Rows, req.Cols)
 			if err != nil {
-				writeError(w, err)
+				WriteError(w, err)
 				return
 			}
-			writeJSON(w, http.StatusOK, info)
+			WriteJSON(w, http.StatusOK, info)
 		case "append":
 			info, err := e.AppendChunk(name, req.Upload, req.RowStart, req.RowEnd, req.Entries)
 			if err != nil {
-				writeError(w, err)
+				WriteError(w, err)
 				return
 			}
-			writeJSON(w, http.StatusOK, info)
+			WriteJSON(w, http.StatusOK, info)
 		case "commit":
 			info, evicted, err := e.CommitUpload(name, req.Upload)
 			if err != nil {
-				writeError(w, err)
+				WriteError(w, err)
 				return
 			}
-			writeJSON(w, http.StatusOK, struct {
-				MatrixInfo
-				Evicted []string `json:"evicted,omitempty"`
-			}{info, evicted})
+			WriteJSON(w, http.StatusOK, UploadReply{MatrixInfo: info, Evicted: evicted})
 		case "abort":
 			if err := e.AbortUpload(name, req.Upload); err != nil {
-				writeError(w, err)
+				WriteError(w, err)
 				return
 			}
-			writeJSON(w, http.StatusOK, map[string]string{"aborted": req.Upload})
+			WriteJSON(w, http.StatusOK, map[string]string{"aborted": req.Upload})
 		default:
-			writeError(w, fmt.Errorf("%w: unknown chunk op %q", ErrBadRequest, req.Op))
+			WriteError(w, fmt.Errorf("%w: unknown chunk op %q", ErrBadRequest, req.Op))
 		}
 	})
 	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
-		if err := decodeJSON(w, r, &req); err != nil {
-			writeError(w, err)
+		if err := DecodeJSON(w, r, &req); err != nil {
+			WriteError(w, err)
 			return
 		}
 		res, err := e.Estimate(r.Context(), req)
 		if err != nil {
-			writeError(w, err)
+			WriteError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		WriteJSON(w, http.StatusOK, res)
 	})
 	mux.HandleFunc("POST /estimate/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
-		if err := decodeJSON(w, r, &req); err != nil {
-			writeError(w, err)
+		if err := DecodeJSON(w, r, &req); err != nil {
+			WriteError(w, err)
 			return
 		}
 		items, err := e.EstimateBatch(r.Context(), req.Queries)
 		if err != nil {
-			writeError(w, err)
+			WriteError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+		WriteJSON(w, http.StatusOK, BatchResponse{Results: items})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Stats())
+		WriteJSON(w, http.StatusOK, e.Stats())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
 }
@@ -142,34 +136,41 @@ type ChunkRequest struct {
 	// Upload is the generation token returned by begin; required for
 	// append, commit, and abort.
 	Upload string `json:"upload,omitempty"`
-	// Rows and Cols declare the full matrix dimensions (begin only).
+	// Rows declares the full matrix row count (begin only).
 	Rows int `json:"rows,omitempty"`
+	// Cols declares the full matrix column count (begin only).
 	Cols int `json:"cols,omitempty"`
-	// RowStart and RowEnd declare the chunk's row range [RowStart,
-	// RowEnd); every entry must land inside it (append only).
+	// RowStart is the inclusive start of the chunk's row range; every
+	// entry must land inside [RowStart, RowEnd) (append only).
 	RowStart int `json:"row_start,omitempty"`
-	RowEnd   int `json:"row_end,omitempty"`
+	// RowEnd is the exclusive end of the chunk's row range (append only).
+	RowEnd int `json:"row_end,omitempty"`
 	// Entries are the chunk's sparse (row, col, value) triples.
 	Entries [][3]int64 `json:"entries,omitempty"`
 }
 
 // BatchRequest is the body of POST /estimate/batch.
 type BatchRequest struct {
+	// Queries are the estimation requests to run against one admission
+	// slot, bounded by the engine's MaxBatch.
 	Queries []Request `json:"queries"`
 }
 
 // BatchResponse is the reply of POST /estimate/batch: one item per
 // query, in order.
 type BatchResponse struct {
+	// Results holds one BatchItem per request query, in request order.
 	Results []BatchItem `json:"results"`
 }
 
-// decodeJSON decodes a bounded request body. The real ResponseWriter
-// must reach MaxBytesReader (a nil writer panics inside net/http when
-// the limit trips on some paths, and the writer is how it flags the
-// connection to close), and an over-limit body is a 413, not a generic
-// bad request.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+// DecodeJSON decodes a bounded request body, rejecting unknown fields.
+// The real ResponseWriter must reach MaxBytesReader (a nil writer
+// panics inside net/http when the limit trips on some paths, and the
+// writer is how it flags the connection to close), and an over-limit
+// body is ErrBodyTooLarge (a 413 under WriteError), not a generic bad
+// request. Exported so HTTP tiers layered on the service API — the
+// gateway — share one body-limit and error discipline.
+func DecodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -182,13 +183,18 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as the JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// WriteError maps a service error to its HTTP status (ErrBadRequest →
+// 400, ErrBodyTooLarge → 413, ErrMatrixNotFound/ErrUploadNotFound →
+// 404, ErrOverloaded → 429, ErrClosed → 503, anything else → 500) and
+// writes the {"error": …} body every endpoint uses.
+func WriteError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrBadRequest):
@@ -202,5 +208,5 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	WriteJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -11,12 +11,22 @@ import (
 
 // MatrixInfo describes a served matrix in the registry.
 type MatrixInfo struct {
-	Name     string    `json:"name"`
-	Rows     int       `json:"rows"`
-	Cols     int       `json:"cols"`
-	NNZ      int       `json:"nnz"`
-	Binary   bool      `json:"binary"`
-	NonNeg   bool      `json:"non_negative"`
+	// Name is the registry name queries address the matrix by.
+	Name string `json:"name"`
+	// Rows is the matrix row count.
+	Rows int `json:"rows"`
+	// Cols is the matrix column count.
+	Cols int `json:"cols"`
+	// NNZ is the number of non-zero entries (computed from the dense
+	// form, so explicit zeros in the upload do not count).
+	NNZ int `json:"nnz"`
+	// Binary reports whether every entry is 0/1, which qualifies the
+	// matrix for the ℓ∞ protocols.
+	Binary bool `json:"binary"`
+	// NonNeg reports whether every entry is ≥ 0, which qualifies the
+	// matrix for the exact/l1sample protocols (Remarks 2 and 3).
+	NonNeg bool `json:"non_negative"`
+	// Uploaded is when the matrix was (last) installed.
 	Uploaded time.Time `json:"uploaded"`
 }
 

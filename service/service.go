@@ -1,20 +1,3 @@
-// Package service is the networked estimation service built on the
-// paper's protocols: a server engine hosts Bob's side — a registry of
-// named matrices, uploaded once and queried many times — and answers
-// estimation queries by running the two-party protocol drivers of
-// internal/core against the querying client, who plays Alice.
-//
-// The engine is transport-agnostic: each job runs over a pluggable
-// comm.Transport (in-process pair by default, loopback TCP to force
-// every protocol message through a real socket) with the exact
-// bit-and-round accounting of the paper's communication model, which
-// the per-request results and aggregate stats report.
-//
-// A bounded worker pool caps concurrent protocol executions, a bounded
-// admission queue sheds overload, and per-job seeds make every answer
-// reproducible. The HTTP layer (NewHandler) exposes the engine as a
-// JSON API; Client is its typed counterpart; cmd/mpserver and
-// cmd/mpload are the runnable server and load generator.
 package service
 
 import (
@@ -188,20 +171,25 @@ type Request struct {
 // Result is one estimation answer together with its exact
 // communication cost and the seed that reproduces it.
 type Result struct {
-	Kind     string  `json:"kind"`
-	Matrix   string  `json:"matrix"`
+	// Kind echoes the request's protocol kind.
+	Kind string `json:"kind"`
+	// Matrix echoes the served matrix the query ran against.
+	Matrix string `json:"matrix"`
+	// Estimate is the protocol's answer (for hh, the output-set size).
 	Estimate float64 `json:"estimate"`
-	// I, J locate a sampled or witnessing entry (l0sample, l1sample,
-	// linf, linfkappa).
+	// I is the row of a sampled or witnessing entry (l0sample,
+	// l1sample, linf, linfkappa).
 	I int `json:"i,omitempty"`
+	// J is the column of the sampled or witnessing entry.
 	J int `json:"j,omitempty"`
 	// Witness is the sampled join witness of l1sample.
 	Witness int `json:"witness,omitempty"`
 	// Entries is the hh output set.
 	Entries []Entry `json:"entries,omitempty"`
-	// Bits and Rounds are the protocol's exact communication cost.
-	Bits   int64 `json:"bits"`
-	Rounds int   `json:"rounds"`
+	// Bits is the protocol's exact communication payload in bits.
+	Bits int64 `json:"bits"`
+	// Rounds is the protocol's exact round count.
+	Rounds int `json:"rounds"`
 	// Seed reproduces this answer bit-for-bit.
 	Seed uint64 `json:"seed"`
 	// Elapsed is the server-side wall-clock protocol time.
@@ -433,8 +421,10 @@ func (e *Engine) EstimateBatch(ctx context.Context, reqs []Request) ([]BatchItem
 // BatchItem is one query's outcome within a batch: exactly one of
 // Result and Error is set.
 type BatchItem struct {
+	// Result is the query's answer when it succeeded.
 	Result *Result `json:"result,omitempty"`
-	Error  string  `json:"error,omitempty"`
+	// Error is the query's failure message when it did not.
+	Error string `json:"error,omitempty"`
 }
 
 // jobSeed picks the seed (and cache epoch) for a request: the pinned
@@ -564,6 +554,7 @@ func newLpStates(b *intmat.Dense, m2 int, p float64, o core.LpOpts) (*lpStates, 
 	return &lpStates{bob: bob, alice: alice}, nil
 }
 
+// Bytes is the entry's in-memory size, for the cache's Bytes stat.
 func (s *lpStates) Bytes() int64 { return s.bob.Bytes() + s.alice.Bytes() }
 
 // job packages one protocol execution: the two party drivers plus the

@@ -15,28 +15,46 @@ const latencyWindow = 4096
 
 // KindStats aggregates serving statistics for one job kind.
 type KindStats struct {
+	// Requests counts queries of this kind, failed ones included.
 	Requests int64 `json:"requests"`
-	Errors   int64 `json:"errors"`
-	Bits     int64 `json:"bits"`
-	Rounds   int64 `json:"rounds"`
+	// Errors counts the failed queries among Requests.
+	Errors int64 `json:"errors"`
+	// Bits is the summed protocol payload of the kind's queries.
+	Bits int64 `json:"bits"`
+	// Rounds is the summed round count of the kind's queries.
+	Rounds int64 `json:"rounds"`
 }
 
 // Stats is a snapshot of the engine's aggregate serving statistics.
 type Stats struct {
-	Requests   int64                `json:"requests"`
-	Errors     int64                `json:"errors"`
-	Rejected   int64                `json:"rejected"` // overload admissions failures
-	Evictions  int64                `json:"evictions"`
-	Matrices   int                  `json:"matrices"`
-	TotalBits  int64                `json:"total_bits"` // protocol payload bits on the wire
-	PerKind    map[string]KindStats `json:"per_kind"`
-	Cache      CacheStats           `json:"cache"`   // sketch-cache counters (zero when disabled)
-	Shard      ShardStats           `json:"shard"`   // row-shard serve-path counters
-	Uploads    UploadStats          `json:"uploads"` // chunked-upload lifecycle counters
-	LatencyP50 time.Duration        `json:"latency_p50_ns"`
-	LatencyP90 time.Duration        `json:"latency_p90_ns"`
-	LatencyP99 time.Duration        `json:"latency_p99_ns"`
-	Uptime     time.Duration        `json:"uptime_ns"`
+	// Requests counts estimation queries run, failed ones included.
+	Requests int64 `json:"requests"`
+	// Errors counts the failed queries among Requests.
+	Errors int64 `json:"errors"`
+	// Rejected counts admissions shed with ErrOverloaded.
+	Rejected int64 `json:"rejected"`
+	// Evictions counts matrices LRU-evicted from the registry.
+	Evictions int64 `json:"evictions"`
+	// Matrices is the current registry size.
+	Matrices int `json:"matrices"`
+	// TotalBits is the summed protocol payload on the wire.
+	TotalBits int64 `json:"total_bits"`
+	// PerKind breaks the request counters down by job kind.
+	PerKind map[string]KindStats `json:"per_kind"`
+	// Cache holds the sketch-cache counters (zero when disabled).
+	Cache CacheStats `json:"cache"`
+	// Shard holds the row-shard serve-path counters.
+	Shard ShardStats `json:"shard"`
+	// Uploads holds the chunked-upload lifecycle counters.
+	Uploads UploadStats `json:"uploads"`
+	// LatencyP50 is the median protocol latency over the recent window.
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	// LatencyP90 is the 90th-percentile latency over the recent window.
+	LatencyP90 time.Duration `json:"latency_p90_ns"`
+	// LatencyP99 is the 99th-percentile latency over the recent window.
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+	// Uptime is how long the engine has been serving.
+	Uptime time.Duration `json:"uptime_ns"`
 }
 
 // collector accumulates serving stats; latencies go into a fixed ring

@@ -30,12 +30,15 @@ type UploadInfo struct {
 	Upload string `json:"upload"`
 	// Name is the registry name the upload will commit to.
 	Name string `json:"name"`
-	Rows int    `json:"rows"`
-	Cols int    `json:"cols"`
+	// Rows is the declared row count of the staged matrix.
+	Rows int `json:"rows"`
+	// Cols is the declared column count of the staged matrix.
+	Cols int `json:"cols"`
 	// Entries counts wire entries accepted so far (explicit zeros
-	// included); NNZ counts the non-zeros among them.
+	// included).
 	Entries int `json:"entries"`
-	NNZ     int `json:"nnz"`
+	// NNZ counts the non-zero entries among Entries.
+	NNZ int `json:"nnz"`
 	// Chunks counts accepted append calls.
 	Chunks int `json:"chunks"`
 	// Expires is when the upload is garbage-collected unless another
@@ -78,17 +81,21 @@ type uploadCounters struct {
 
 // UploadStats is a snapshot of the chunked-upload lifecycle counters.
 type UploadStats struct {
-	// Active is the number of currently staged (uncommitted) uploads;
-	// StagedElems is their total rows×cols against MaxStagedElems.
-	Active      int   `json:"active"`
+	// Active is the number of currently staged (uncommitted) uploads.
+	Active int `json:"active"`
+	// StagedElems is the active uploads' total rows×cols against the
+	// MaxStagedElems budget.
 	StagedElems int64 `json:"staged_elems"`
-	// Begun/Chunks/Committed/Aborted/Expired are lifetime totals;
-	// Expired counts partial uploads removed by the lazy GC.
-	Begun     int64 `json:"begun"`
-	Chunks    int64 `json:"chunks"`
+	// Begun is the lifetime total of uploads started.
+	Begun int64 `json:"begun"`
+	// Chunks is the lifetime total of chunks accepted.
+	Chunks int64 `json:"chunks"`
+	// Committed is the lifetime total of uploads installed.
 	Committed int64 `json:"committed"`
-	Aborted   int64 `json:"aborted"`
-	Expired   int64 `json:"expired"`
+	// Aborted is the lifetime total of uploads explicitly discarded.
+	Aborted int64 `json:"aborted"`
+	// Expired counts partial uploads removed by the lazy TTL GC.
+	Expired int64 `json:"expired"`
 }
 
 func (e *Engine) uploadStats() UploadStats {

@@ -11,8 +11,12 @@ import (
 // plus sparse (row, col, value) triples. It is what clients upload as
 // Bob's served matrix and ship as Alice's query matrix.
 type Matrix struct {
-	Rows    int        `json:"rows"`
-	Cols    int        `json:"cols"`
+	// Rows is the matrix row count.
+	Rows int `json:"rows"`
+	// Cols is the matrix column count.
+	Cols int `json:"cols"`
+	// Entries are sparse (row, col, value) triples; unlisted cells are
+	// zero. Duplicate (row, col) pairs are rejected on upload.
 	Entries [][3]int64 `json:"entries"`
 }
 
@@ -104,7 +108,10 @@ func toBool(d *intmat.Dense) *bitmat.Matrix {
 // Entry is one heavy-hitter output entry: a matrix position with the
 // protocol's estimate of its value.
 type Entry struct {
-	I     int     `json:"i"`
-	J     int     `json:"j"`
+	// I is the entry's row in the product C = A·B.
+	I int `json:"i"`
+	// J is the entry's column in the product.
+	J int `json:"j"`
+	// Value is the protocol's estimate of C[I][J].
 	Value float64 `json:"value"`
 }
