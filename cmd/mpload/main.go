@@ -33,6 +33,16 @@
 // backend kill shows up as failovers rather than client errors:
 //
 //	mpload -gateway -addr http://127.0.0.1:8080 -duration 10s
+//
+// The mix accepts the pseudo-kind "update" for a mixed read/write
+// workload: each "update" pick issues one PATCH /matrices/{name}/rows
+// replacing -update-rows random rows with fresh 0/1 entries (the
+// served matrix stays binary and non-negative, so every estimation
+// kind remains valid throughout). Against a single server this
+// exercises the sketch-cache revalidation path; against a gateway, the
+// replicated all-or-nothing propagation:
+//
+//	mpload -addr http://127.0.0.1:8080 -mix lp=8,exact=2,update=1 -duration 10s
 package main
 
 import (
@@ -77,7 +87,7 @@ func parseMix(s string) ([]kindWeight, int, error) {
 				return nil, 0, fmt.Errorf("bad weight in %q", part)
 			}
 		}
-		if _, known := service.Kinds[kind]; !known {
+		if _, known := service.Kinds[kind]; !known && kind != "update" {
 			return nil, 0, fmt.Errorf("unknown kind %q", kind)
 		}
 		if w == 0 {
@@ -149,6 +159,7 @@ func main() {
 	pinSeed := flag.Uint64("pin-seed", 0, "pin every query's job seed (>0) so repeat queries hit the server's sketch cache; 0 lets the server assign epoch seeds")
 	chunkRows := flag.Int("chunk-rows", 0, "upload the served matrix through POST /matrices/{name}/chunks with this many rows per chunk (0 = single-body PUT)")
 	gatewayMode := flag.Bool("gateway", false, "target is an mpgateway fleet front: print the gateway's per-backend and failover stats after the run")
+	updateRows := flag.Int("update-rows", 1, "rows replaced per \"update\" pick in the mix (PATCH /matrices/{name}/rows batch size)")
 	flag.Parse()
 
 	if *batch < 1 {
@@ -217,16 +228,47 @@ func main() {
 	log.Printf("driving %d workers for %v (mix %s, qps %s)", *workers, *duration, *mixFlag,
 		map[bool]string{true: fmt.Sprintf("%.0f", *qps), false: "closed-loop"}[*qps > 0])
 
-	makeReq := func(r *rng.RNG) service.Request {
+	pickKind := func(r *rng.RNG) string {
 		pick := r.Intn(mixTotal)
-		kind := mix[len(mix)-1].kind
 		for _, kw := range mix {
 			if pick < kw.weight {
-				kind = kw.kind
-				break
+				return kw.kind
 			}
 			pick -= kw.weight
 		}
+		return mix[len(mix)-1].kind
+	}
+
+	// makeUpdate builds one random row-replacement request: fresh 0/1
+	// rows at the workload density, so the served matrix keeps every
+	// kind's preconditions while its content churns.
+	if *updateRows < 1 {
+		log.Fatalf("-update-rows must be ≥ 1")
+	}
+	if *updateRows > *n {
+		*updateRows = *n
+	}
+	makeUpdate := func(r *rng.RNG) service.UpdateRequest {
+		var req service.UpdateRequest
+		seen := make(map[int]bool, *updateRows)
+		for len(req.Updates) < *updateRows {
+			row := r.Intn(*n)
+			if seen[row] {
+				continue
+			}
+			seen[row] = true
+			u := service.RowUpdate{Row: row}
+			for j := 0; j < *n; j++ {
+				if r.Float64() < *density {
+					u.Entries = append(u.Entries, [2]int64{int64(j), 1})
+				}
+			}
+			req.Updates = append(req.Updates, u)
+		}
+		return req
+	}
+
+	makeReq := func(r *rng.RNG, kind string) service.Request {
 		req := service.Request{
 			Matrix: *matrix,
 			Kind:   kind,
@@ -262,8 +304,22 @@ func main() {
 						return
 					}
 				}
+				kind := pickKind(r)
+				if kind == "update" {
+					// One write per pick, batch mode or not: updates take
+					// the PATCH path, never the estimate batch.
+					upd := makeUpdate(r)
+					start := time.Now()
+					_, err := client.UpdateRows(ctx, *matrix, upd)
+					lat := time.Since(start)
+					if err != nil {
+						errOnce.Do(func() { firstErr = fmt.Errorf("update: %w", err) })
+					}
+					tally.record("update", lat, 0, 0, err)
+					continue
+				}
 				if *batch == 1 {
-					req := makeReq(r)
+					req := makeReq(r, kind)
 					start := time.Now()
 					res, err := client.Estimate(ctx, req)
 					lat := time.Since(start)
@@ -277,7 +333,11 @@ func main() {
 				}
 				reqs := make([]service.Request, *batch)
 				for i := range reqs {
-					reqs[i] = makeReq(r)
+					k := pickKind(r)
+					if k == "update" {
+						k = kind // keep batches pure reads; the write path is above
+					}
+					reqs[i] = makeReq(r, k)
 				}
 				start := time.Now()
 				items, err := client.EstimateBatch(ctx, reqs)
@@ -325,8 +385,8 @@ func printGatewayStats(ctx context.Context, addr string) {
 		log.Printf("gateway stats: %v", err)
 		return
 	}
-	fmt.Printf("gateway: %d matrices at replication %d, %d estimates, %d batches, %d failovers, %d retries, %d repairs, %d rebalanced\n",
-		st.Matrices, st.Replication, st.Estimates, st.Batches, st.Failovers, st.Retries, st.Repairs, st.Rebalanced)
+	fmt.Printf("gateway: %d matrices at replication %d, %d estimates, %d batches, %d updates (%d reverts), %d failovers, %d retries, %d repairs, %d rebalanced\n",
+		st.Matrices, st.Replication, st.Estimates, st.Batches, st.Updates, st.UpdateReverts, st.Failovers, st.Retries, st.Repairs, st.Rebalanced)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "backend\tstate\tmatrices\treqs\terrs\tfailovers\tp50\tp99")
 	for _, b := range st.Backends {

@@ -86,11 +86,15 @@ func (c *Config) setDefaults() {
 // the gateway is the placement's source of truth, so it keeps the
 // bytes), and the backends currently holding the matrix. Entries are
 // replaced wholesale (copy-on-write), so a snapshot taken under the
-// gateway lock stays consistent after release.
+// gateway lock stays consistent after release. needsHeal marks an
+// entry whose replica set was shrunk by a row update dropping an
+// unreachable backend; the prober's heal pass re-places it from the
+// retained wire until it is back at full replication.
 type placedMatrix struct {
-	info     service.MatrixInfo
-	wire     service.Matrix
-	replicas []string
+	info      service.MatrixInfo
+	wire      service.Matrix
+	replicas  []string
+	needsHeal bool
 }
 
 // Gateway is the multi-backend front tier: it owns a health-checked
@@ -118,15 +122,21 @@ type Gateway struct {
 	// and placements may share the read side freely.
 	topoMu sync.RWMutex
 
-	upSeq        atomic.Uint64
-	estimates    atomic.Int64
-	batches      atomic.Int64
-	failovers    atomic.Int64
-	retries      atomic.Int64
-	repairs      atomic.Int64
-	placements   atomic.Int64
-	rebalanced   atomic.Int64
-	lostReplicas atomic.Int64
+	// updMu serializes replicated row updates: the retained wire copy
+	// must advance through a single line of patched successors.
+	updMu sync.Mutex
+
+	upSeq         atomic.Uint64
+	estimates     atomic.Int64
+	batches       atomic.Int64
+	failovers     atomic.Int64
+	retries       atomic.Int64
+	repairs       atomic.Int64
+	placements    atomic.Int64
+	rebalanced    atomic.Int64
+	lostReplicas  atomic.Int64
+	updates       atomic.Int64
+	updateReverts atomic.Int64
 
 	start     time.Time
 	closed    chan struct{}
@@ -255,7 +265,7 @@ func (g *Gateway) uploadTo(ctx context.Context, b *backend, name string, m servi
 				}
 			}
 			if len(kept) != len(pm.replicas) {
-				g.matrices[victim] = &placedMatrix{info: pm.info, wire: pm.wire, replicas: kept}
+				g.matrices[victim] = &placedMatrix{info: pm.info, wire: pm.wire, replicas: kept, needsHeal: pm.needsHeal}
 				g.lostReplicas.Add(1)
 			}
 		}

@@ -16,6 +16,7 @@ import (
 //	DELETE /matrix/{name}           remove a matrix from every replica
 //	GET    /matrices                placed matrices with their replica sets
 //	POST   /matrices/{name}/chunks  replicated chunked upload: begin/append/commit/abort
+//	PATCH  /matrices/{name}/rows    replicated row update (all-or-nothing, wire copy retained)
 //	POST   /estimate                route to the least-busy healthy replica, failover on error
 //	POST   /estimate/batch          scatter sub-batches across replicas, gather in order
 //	GET    /stats                   gateway + per-backend counters
@@ -87,6 +88,19 @@ func NewHandler(g *Gateway) http.Handler {
 		default:
 			writeError(w, fmt.Errorf("%w: unknown chunk op %q", service.ErrBadRequest, req.Op))
 		}
+	})
+	mux.HandleFunc("PATCH /matrices/{name}/rows", func(w http.ResponseWriter, r *http.Request) {
+		var req service.UpdateRequest
+		if err := service.DecodeJSON(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		rep, err := g.UpdateRows(r.Context(), r.PathValue("name"), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, rep)
 	})
 	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req service.Request

@@ -1,0 +1,271 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/service"
+)
+
+// Replicated row updates: PATCH /matrices/{name}/rows at the gateway
+// applies a sparse row patch to every replica of a placed matrix and —
+// critically for the repair path — retains the patched wire copy in
+// the placement table in the same commit. Every later repair
+// (estimate-path 404 re-seed, probe resync, rebalance move) re-uploads
+// from that retained copy, so a replica repaired after an update comes
+// back holding the updated matrix, not the bytes of the original
+// upload. (Retaining only the upload-time copy was the bug class this
+// design closes: updates that landed after the copy was taken were
+// silently rolled back by the next repair. The update-then-repair
+// regression test pins the fix.)
+//
+// Per-leg failures split the same way the routing layer splits them
+// (see failoverable):
+//
+//   - an answered hard rejection (400/409/…) means the patch itself is
+//     suspect on that backend — the update is all-or-nothing: every
+//     leg that applied it is reverted to the retained pre-update wire
+//     and the request fails;
+//   - an answered 404 means the replica restarted empty — it is
+//     repaired in line with a full upload of the *patched* wire and
+//     counts as success;
+//   - a transport-level failure (or an answered 502/503) means the
+//     replica is unreachable or closing — it is dropped from the
+//     placement and the update commits on the reachable legs; when the
+//     backend returns, the probe resync deletes its stale copy
+//     (straggler) and the post-repair rebalance re-places the matrix
+//     from the patched retained wire, restoring the replica count.
+//
+// If no leg succeeds the update fails without committing; unreachable
+// legs are still dropped so their (unknown-state) copies are resynced
+// from the retained wire rather than trusted.
+
+// patchWire applies a row update to a retained wire matrix, mirroring
+// exactly the dense-side arithmetic the backends apply: replace mode
+// makes each patched row exactly its listed entries; delta mode adds
+// values cell-wise. Resulting zero cells are dropped from the wire
+// form (equivalent under the dense semantics). It returns the patched
+// wire and the distinct updated row indices.
+func patchWire(w service.Matrix, ups []service.RowUpdate, delta bool) (service.Matrix, []int, error) {
+	affected := make(map[int]map[int64]int64, len(ups))
+	rows := make([]int, 0, len(ups))
+	for _, u := range ups {
+		if u.Row < 0 || u.Row >= w.Rows {
+			return service.Matrix{}, nil, fmt.Errorf("%w: row %d outside %d-row matrix", service.ErrBadRequest, u.Row, w.Rows)
+		}
+		m := make(map[int64]int64, len(u.Entries))
+		for _, ent := range u.Entries {
+			if ent[0] < 0 || ent[0] >= int64(w.Cols) {
+				return service.Matrix{}, nil, fmt.Errorf("%w: entry column %d outside %d-column matrix", service.ErrBadRequest, ent[0], w.Cols)
+			}
+			if _, dup := m[ent[0]]; dup {
+				return service.Matrix{}, nil, fmt.Errorf("%w: duplicate column %d in row %d update", service.ErrBadRequest, ent[0], u.Row)
+			}
+			m[ent[0]] = ent[1]
+		}
+		affected[u.Row] = m
+		rows = append(rows, u.Row)
+	}
+	out := service.Matrix{Rows: w.Rows, Cols: w.Cols}
+	for _, ent := range w.Entries {
+		m, hit := affected[int(ent[0])]
+		if !hit {
+			out.Entries = append(out.Entries, ent)
+			continue
+		}
+		if !delta {
+			continue // replaced row: old entries vanish
+		}
+		if dv, ok := m[ent[1]]; ok {
+			delete(m, ent[1]) // merged into this entry; not re-emitted below
+			if nv := ent[2] + dv; nv != 0 {
+				out.Entries = append(out.Entries, [3]int64{ent[0], ent[1], nv})
+			}
+			continue
+		}
+		out.Entries = append(out.Entries, ent)
+	}
+	// Entries of the patch that did not merge into an existing cell.
+	for _, u := range ups {
+		m := affected[u.Row]
+		for _, ent := range u.Entries {
+			v, ok := m[ent[0]]
+			if !ok {
+				continue // delta already merged into an existing entry
+			}
+			if v != 0 {
+				out.Entries = append(out.Entries, [3]int64{int64(u.Row), ent[0], v})
+			}
+		}
+	}
+	return out, rows, nil
+}
+
+// UpdateRows applies a row update to every replica of a placed matrix
+// and atomically retains the patched wire copy for future repairs (see
+// the file comment for the per-leg failure semantics). Updates are
+// serialized per gateway; a concurrent full replacement of the name
+// wins with ErrConflict and the replicas are converged back to it.
+func (g *Gateway) UpdateRows(ctx context.Context, name string, req service.UpdateRequest) (service.UpdateReply, error) {
+	if g.isClosed() {
+		return service.UpdateReply{}, ErrClosed
+	}
+	g.updates.Add(1)
+	ups, err := req.Normalized()
+	if err != nil {
+		return service.UpdateReply{}, err
+	}
+	g.updMu.Lock()
+	defer g.updMu.Unlock()
+	pm, reps, err := g.replicaSnapshot(name)
+	if err != nil {
+		return service.UpdateReply{}, err
+	}
+	if len(reps) == 0 {
+		return service.UpdateReply{}, fmt.Errorf("%w: matrix %q has no replica to update", ErrNoBackends, name)
+	}
+	newWire, _, err := patchWire(pm.wire, ups, req.Delta)
+	if err != nil {
+		return service.UpdateReply{}, err
+	}
+
+	replies := make([]service.UpdateReply, len(reps))
+	repaired := make([]bool, len(reps))
+	errs, _ := fanout(reps, func(i int, b *backend) error {
+		var err error
+		replies[i], err = b.client.UpdateRows(ctx, name, req)
+		if err == nil {
+			return nil
+		}
+		// A replica that lost the matrix to a restart is repaired in
+		// line with the patched wire: it then holds the post-update
+		// matrix, which is exactly what the update wants.
+		var apiErr *service.APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			if info, rerr := g.uploadTo(ctx, b, name, newWire); rerr == nil {
+				g.repairs.Add(1)
+				repaired[i] = true
+				replies[i] = service.UpdateReply{MatrixInfo: info, RowsApplied: len(ups)}
+				return nil
+			}
+		}
+		return err
+	})
+
+	var hardErr error // first answered rejection: triggers the revert
+	var okIdx []int
+	dropped := make(map[string]bool)
+	for i, err := range errs {
+		if err == nil {
+			okIdx = append(okIdx, i)
+			continue
+		}
+		if droppable, _ := failoverable(err); droppable {
+			dropped[reps[i].id] = true
+			reps[i].noteFailover(err, isTransportLevel(err))
+		} else if hardErr == nil {
+			hardErr = err
+		}
+	}
+
+	if hardErr != nil {
+		// All-or-nothing: converge every leg that applied the patch (or
+		// was repaired to it) back to the retained pre-update wire.
+		g.updateReverts.Add(1)
+		for _, i := range okIdx {
+			revCtx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+			_, rerr := g.uploadTo(revCtx, reps[i], name, pm.wire)
+			cancel()
+			if rerr != nil {
+				// Divergent copy we cannot reach: drop it too, so the
+				// resync sweep deletes it and a rebalance re-places.
+				dropped[reps[i].id] = true
+			}
+		}
+		g.pruneReplicas(name, pm, pm.wire, pm.info, dropped)
+		return service.UpdateReply{}, fmt.Errorf("gateway: replicated update of %q rejected (reverted): %w", name, hardErr)
+	}
+	if len(okIdx) == 0 {
+		// Nothing applied anywhere. The unreachable legs' copies are of
+		// unknown state, so they are dropped for resync; the retained
+		// wire stays pre-update.
+		g.pruneReplicas(name, pm, pm.wire, pm.info, dropped)
+		return service.UpdateReply{}, fmt.Errorf("%w: no replica of %q accepted the update", ErrAllReplicasFailed, name)
+	}
+
+	// Commit: the patched wire becomes the retained copy in the same
+	// table write that publishes the update — repairs and resyncs from
+	// here on re-seed the post-update matrix, and dropped replicas are
+	// re-placed from it by the post-repair rebalance. The reply (and
+	// the table's info) comes from a leg that actually applied the
+	// patch when one exists: a 404-repaired leg's reply is synthesized
+	// from its full re-upload, whose sub-version and cache counters do
+	// not describe the update.
+	best := okIdx[0]
+	for _, i := range okIdx {
+		if !repaired[i] {
+			best = i
+			break
+		}
+	}
+	rep := replies[best]
+	rep.RowsApplied = len(ups)
+	if !g.pruneReplicas(name, pm, newWire, rep.MatrixInfo, dropped) {
+		// A full replacement raced in and owns the table: its wholesale
+		// upload is authoritative, but a replica it wrote *before* our
+		// update landed there would now be divergent. Converge every
+		// replica back to the replacement's retained wire, best-effort.
+		g.mu.Lock()
+		cur, ok := g.matrices[name]
+		g.mu.Unlock()
+		if ok {
+			_, curReps, err := g.replicaSnapshot(name)
+			if err == nil {
+				_, _ = fanout(curReps, func(_ int, b *backend) error {
+					syncCtx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+					defer cancel()
+					_, err := g.uploadTo(syncCtx, b, name, cur.wire)
+					return err
+				})
+			}
+		}
+		return service.UpdateReply{}, fmt.Errorf("%w: %q", service.ErrConflict, name)
+	}
+	return rep, nil
+}
+
+// isTransportLevel classifies an update-leg error for the backend's
+// health bookkeeping.
+func isTransportLevel(err error) bool {
+	var apiErr *service.APIError
+	return !errors.As(err, &apiErr)
+}
+
+// pruneReplicas installs the update outcome for name iff the table
+// entry is still pm (compare half of the copy-on-write): the new wire
+// and info are recorded and the dropped replica ids removed. An entry
+// that lost replicas is flagged for the prober's heal pass, which
+// re-places it from the retained wire. Reports whether the swap
+// happened.
+func (g *Gateway) pruneReplicas(name string, pm *placedMatrix, wire service.Matrix, info service.MatrixInfo, dropped map[string]bool) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cur, ok := g.matrices[name]
+	if !ok || cur != pm {
+		return false
+	}
+	kept := make([]string, 0, len(pm.replicas))
+	for _, id := range pm.replicas {
+		if !dropped[id] {
+			kept = append(kept, id)
+		}
+	}
+	n := len(pm.replicas) - len(kept)
+	if n > 0 {
+		g.lostReplicas.Add(int64(n))
+	}
+	g.matrices[name] = &placedMatrix{info: info, wire: wire, replicas: kept, needsHeal: n > 0 || pm.needsHeal}
+	return true
+}

@@ -1,0 +1,432 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/service"
+)
+
+// replaceRowReq builds a replace-mode single-row update request.
+func replaceRowReq(row int, entries [][2]int64) service.UpdateRequest {
+	return service.UpdateRequest{Updates: []service.RowUpdate{{Row: row, Entries: entries}}}
+}
+
+// wireSum is Σ entries of a wire matrix (= exact ‖AB‖1 against an
+// identity Alice for non-negative matrices).
+func wireSum(m service.Matrix) float64 {
+	var s float64
+	for _, ent := range m.Entries {
+		s += float64(ent[2])
+	}
+	return s
+}
+
+func TestPatchWire(t *testing.T) {
+	w := service.Matrix{Rows: 4, Cols: 4, Entries: [][3]int64{{0, 0, 2}, {1, 1, 3}, {1, 3, 4}, {2, 2, 1}}}
+
+	// Replace row 1 entirely.
+	got, rows, err := patchWire(w, []service.RowUpdate{{Row: 1, Entries: [][2]int64{{0, 9}}}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, []int{1}) {
+		t.Fatalf("rows = %v", rows)
+	}
+	want := [][3]int64{{0, 0, 2}, {2, 2, 1}, {1, 0, 9}}
+	if !reflect.DeepEqual(got.Entries, want) {
+		t.Fatalf("replace: got %v want %v", got.Entries, want)
+	}
+
+	// Delta: merge into an existing cell (cancelling it) and create a
+	// fresh one.
+	got, _, err = patchWire(w, []service.RowUpdate{{Row: 1, Entries: [][2]int64{{1, -3}, {2, 5}}}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = [][3]int64{{0, 0, 2}, {1, 3, 4}, {2, 2, 1}, {1, 2, 5}}
+	if !reflect.DeepEqual(got.Entries, want) {
+		t.Fatalf("delta: got %v want %v", got.Entries, want)
+	}
+
+	// Validation.
+	if _, _, err := patchWire(w, []service.RowUpdate{{Row: 4}}, false); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("row out of range: %v", err)
+	}
+	if _, _, err := patchWire(w, []service.RowUpdate{{Row: 0, Entries: [][2]int64{{4, 1}}}}, false); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("col out of range: %v", err)
+	}
+	if _, _, err := patchWire(w, []service.RowUpdate{{Row: 0, Entries: [][2]int64{{1, 1}, {1, 2}}}}, false); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("dup col: %v", err)
+	}
+}
+
+// TestUpdateRowsReplicates pins the happy path: the patch lands on
+// every replica, the retained wire is patched, and estimates answer
+// the post-update value from any replica.
+func TestUpdateRowsReplicates(t *testing.T) {
+	n := 8
+	b1, b2, b3 := startBackend(t), startBackend(t), startBackend(t)
+	g := newTestGateway(t, 2, b1.addr, b2.addr, b3.addr)
+	ctx := context.Background()
+
+	wire, sum := testMatrix(n)
+	info, err := g.PutMatrix(ctx, "m", wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace row 0 (old value: entry (0,1) = 1) with a value-7 entry.
+	rep, err := g.UpdateRows(ctx, "m", replaceRowReq(0, [][2]int64{{2, 7}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsApplied != 1 {
+		t.Fatalf("reply %+v", rep)
+	}
+	wantSum := sum - 1 + 7
+
+	// The gateway's estimate and the retained wire agree.
+	res, err := g.Estimate(ctx, exactReq("m", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != wantSum {
+		t.Fatalf("estimate after update = %v, want %v", res.Estimate, wantSum)
+	}
+	g.mu.Lock()
+	retained := g.matrices["m"].wire
+	g.mu.Unlock()
+	if got := wireSum(retained); got != wantSum {
+		t.Fatalf("retained wire sum = %v, want %v", got, wantSum)
+	}
+
+	// Every replica answers the updated value when queried directly.
+	for _, addr := range info.Replicas {
+		res, err := service.NewClient(addr).Estimate(ctx, exactReq("m", n))
+		if err != nil {
+			t.Fatalf("replica %s: %v", addr, err)
+		}
+		if res.Estimate != wantSum {
+			t.Fatalf("replica %s answers %v, want %v", addr, res.Estimate, wantSum)
+		}
+	}
+	if st := g.Stats(); st.Updates != 1 || st.UpdateReverts != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Validation errors pass through without touching replicas.
+	if _, err := g.UpdateRows(ctx, "m", replaceRowReq(99, nil)); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("bad row: %v", err)
+	}
+	if _, err := g.UpdateRows(ctx, "ghost", replaceRowReq(0, nil)); !errors.Is(err, service.ErrMatrixNotFound) {
+		t.Fatalf("unknown matrix: %v", err)
+	}
+	if _, err := g.UpdateRows(ctx, "m", service.UpdateRequest{}); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("empty update: %v", err)
+	}
+}
+
+// TestUpdateThenRepairServesUpdatedMatrix is the regression test for
+// the retained-wire-copy bug: a repair that runs *after* an update
+// must re-seed the patched matrix, not the original upload. It pins
+// both repair paths — the estimate-path 404 repair and the probe-time
+// resync after a kill/restart.
+func TestUpdateThenRepairServesUpdatedMatrix(t *testing.T) {
+	n := 8
+	b1, b2 := startBackend(t), startBackend(t)
+	byAddr := map[string]*testBackend{b1.addr: b1, b2.addr: b2}
+	g := newTestGateway(t, 2, b1.addr, b2.addr)
+	ctx := context.Background()
+
+	wire, sum := testMatrix(n)
+	info, err := g.PutMatrix(ctx, "m", wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.UpdateRows(ctx, "m", replaceRowReq(0, [][2]int64{{2, 7}})); err != nil {
+		t.Fatal(err)
+	}
+	wantSum := sum - 1 + 7
+
+	// Estimate-path repair: one replica silently loses the matrix (as
+	// if its registry LRU-evicted it); the 404 triggers an in-line
+	// re-seed, which must ship the patched copy.
+	victim := byAddr[info.Replicas[0]]
+	if err := service.NewClient(victim.addr).DeleteMatrix(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	repairsBefore := g.Stats().Repairs
+	for i := 0; i < 50 && g.Stats().Repairs == repairsBefore; i++ {
+		res, err := g.Estimate(ctx, exactReq("m", n))
+		if err != nil {
+			t.Fatalf("estimate during repair window: %v", err)
+		}
+		if res.Estimate != wantSum {
+			t.Fatalf("estimate = %v, want %v (stale pre-update copy served)", res.Estimate, wantSum)
+		}
+	}
+	waitFor(t, "estimate-path repair", func() bool { return victim.holds("m") })
+	res, err := service.NewClient(victim.addr).Estimate(ctx, exactReq("m", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != wantSum {
+		t.Fatalf("repaired replica answers %v, want %v — repair used the pre-update wire copy", res.Estimate, wantSum)
+	}
+
+	// Probe-resync repair: kill and restart the other replica (it comes
+	// back empty); the resync must also re-seed the patched copy.
+	other := byAddr[info.Replicas[1]]
+	other.stop()
+	time.Sleep(50 * time.Millisecond)
+	other.restart()
+	waitFor(t, "probe resync", func() bool { return other.holds("m") })
+	res, err = service.NewClient(other.addr).Estimate(ctx, exactReq("m", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != wantSum {
+		t.Fatalf("resynced replica answers %v, want %v — resync used the pre-update wire copy", res.Estimate, wantSum)
+	}
+}
+
+// rejectingBackend is a fake backend that accepts uploads and probes
+// but answers every row update with a hard 400 — the trigger for the
+// all-or-nothing revert.
+func rejectingBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPatch:
+			service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "synthetic rejection"})
+		case r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/matrix/"):
+			service.WriteJSON(w, http.StatusOK, service.UploadReply{})
+		case r.Method == http.MethodDelete:
+			service.WriteJSON(w, http.StatusOK, map[string]string{})
+		default:
+			service.WriteJSON(w, http.StatusOK, service.Stats{})
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestUpdateRowsAllOrNothingRevert pins the revert: when one replica
+// answers a hard rejection, replicas that applied the patch are
+// re-seeded with the pre-update wire and the retained copy stays
+// unpatched.
+func TestUpdateRowsAllOrNothingRevert(t *testing.T) {
+	n := 8
+	good := startBackend(t)
+	bad := rejectingBackend(t)
+	g := newTestGateway(t, 2, good.addr, bad.URL)
+	ctx := context.Background()
+
+	wire, sum := testMatrix(n)
+	if _, err := g.PutMatrix(ctx, "m", wire); err != nil {
+		t.Fatal(err)
+	}
+	_, err := g.UpdateRows(ctx, "m", replaceRowReq(0, [][2]int64{{2, 7}}))
+	if err == nil {
+		t.Fatal("update succeeded despite a rejecting replica")
+	}
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("want the replica's 400 surfaced, got %v", err)
+	}
+	if st := g.Stats(); st.UpdateReverts != 1 {
+		t.Fatalf("UpdateReverts = %d, want 1", st.UpdateReverts)
+	}
+
+	// The good replica was reverted to the pre-update matrix and the
+	// retained wire never advanced.
+	res, err := service.NewClient(good.addr).Estimate(ctx, exactReq("m", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != sum {
+		t.Fatalf("replica answers %v after revert, want pre-update %v", res.Estimate, sum)
+	}
+	g.mu.Lock()
+	retained := g.matrices["m"].wire
+	g.mu.Unlock()
+	if got := wireSum(retained); got != sum {
+		t.Fatalf("retained wire sum = %v, want pre-update %v", got, sum)
+	}
+}
+
+// TestUpdateRowsDropsUnreachableReplica pins the availability half:
+// with one replica down, the update commits on the reachable one, the
+// dead replica is dropped from the placement, and — once it returns —
+// the post-repair resync + rebalance restore it with the *patched*
+// matrix.
+func TestUpdateRowsDropsUnreachableReplica(t *testing.T) {
+	n := 8
+	b1, b2 := startBackend(t), startBackend(t)
+	byAddr := map[string]*testBackend{b1.addr: b1, b2.addr: b2}
+	g := newTestGateway(t, 2, b1.addr, b2.addr)
+	ctx := context.Background()
+
+	wire, sum := testMatrix(n)
+	info, err := g.PutMatrix(ctx, "m", wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := byAddr[info.Replicas[0]]
+	victim.stop()
+
+	rep, err := g.UpdateRows(ctx, "m", replaceRowReq(0, [][2]int64{{2, 7}}))
+	if err != nil {
+		t.Fatalf("update with one dead replica: %v", err)
+	}
+	if rep.RowsApplied != 1 {
+		t.Fatalf("reply %+v", rep)
+	}
+	wantSum := sum - 1 + 7
+	g.mu.Lock()
+	pm := g.matrices["m"]
+	g.mu.Unlock()
+	if len(pm.replicas) != 1 {
+		t.Fatalf("dead replica not dropped: %v", pm.replicas)
+	}
+	if got := wireSum(pm.wire); got != wantSum {
+		t.Fatalf("retained wire sum = %v, want %v", got, wantSum)
+	}
+	if res, err := g.Estimate(ctx, exactReq("m", n)); err != nil || res.Estimate != wantSum {
+		t.Fatalf("estimate = %v/%v, want %v", res, err, wantSum)
+	}
+
+	// The dead backend returns (empty): resync + the post-repair
+	// rebalance must restore the replica with the patched matrix.
+	victim.restart()
+	waitFor(t, "replica restored", func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.matrices["m"].replicas) == 2
+	})
+	waitFor(t, "restored copy", func() bool { return victim.holds("m") })
+	res, err := service.NewClient(victim.addr).Estimate(ctx, exactReq("m", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != wantSum {
+		t.Fatalf("restored replica answers %v, want patched %v", res.Estimate, wantSum)
+	}
+	if st := g.Stats(); st.LostReplicas == 0 {
+		t.Fatalf("dropped replica not counted: %+v", st)
+	}
+}
+
+// TestUpdateRows404RepairsLeg pins the inline update-path repair: a
+// replica that silently lost the matrix answers 404 to the PATCH and
+// is re-seeded with the *patched* wire, and the update still succeeds
+// on its full replica set.
+func TestUpdateRows404RepairsLeg(t *testing.T) {
+	n := 8
+	b1, b2 := startBackend(t), startBackend(t)
+	byAddr := map[string]*testBackend{b1.addr: b1, b2.addr: b2}
+	g := newTestGateway(t, 2, b1.addr, b2.addr)
+	ctx := context.Background()
+
+	wire, sum := testMatrix(n)
+	info, err := g.PutMatrix(ctx, "m", wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := byAddr[info.Replicas[0]]
+	if err := service.NewClient(victim.addr).DeleteMatrix(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	repairsBefore := g.Stats().Repairs
+	rep, err := g.UpdateRows(ctx, "m", replaceRowReq(0, [][2]int64{{2, 7}}))
+	if err != nil {
+		t.Fatalf("update with a 404 leg: %v", err)
+	}
+	if rep.RowsApplied != 1 {
+		t.Fatalf("reply %+v", rep)
+	}
+	// The reply must come from the leg that applied the patch (sub
+	// advanced), not the repaired leg's synthesized full-upload reply.
+	if rep.Sub != 1 {
+		t.Fatalf("reply sub = %d, want 1 (non-repaired leg's reply)", rep.Sub)
+	}
+	if g.Stats().Repairs != repairsBefore+1 {
+		t.Fatal("404 leg repair not counted")
+	}
+	wantSum := sum - 1 + 7
+	for _, addr := range []string{b1.addr, b2.addr} {
+		res, err := service.NewClient(addr).Estimate(ctx, exactReq("m", n))
+		if err != nil {
+			t.Fatalf("replica %s: %v", addr, err)
+		}
+		if res.Estimate != wantSum {
+			t.Fatalf("replica %s answers %v, want %v", addr, res.Estimate, wantSum)
+		}
+	}
+}
+
+// TestUpdateRowsEdgeErrors covers the closed-gateway and
+// replica-less-placement paths.
+func TestUpdateRowsEdgeErrors(t *testing.T) {
+	b1 := startBackend(t)
+	g := newTestGateway(t, 1, b1.addr)
+	ctx := context.Background()
+	wire, _ := testMatrix(4)
+	if _, err := g.PutMatrix(ctx, "m", wire); err != nil {
+		t.Fatal(err)
+	}
+	// A placement whose replicas were all pruned (e.g. by backend-side
+	// evictions) has nothing to update.
+	g.mu.Lock()
+	pm := g.matrices["m"]
+	g.matrices["m"] = &placedMatrix{info: pm.info, wire: pm.wire, replicas: nil}
+	g.mu.Unlock()
+	if _, err := g.UpdateRows(ctx, "m", replaceRowReq(0, nil)); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("replica-less update: got %v, want ErrNoBackends", err)
+	}
+	g.Close()
+	if _, err := g.UpdateRows(ctx, "m", replaceRowReq(0, nil)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed gateway: got %v, want ErrClosed", err)
+	}
+}
+
+// TestUpdateRowsHTTPAndClient drives the gateway PATCH route through
+// the service client (a gateway is a drop-in service endpoint).
+func TestUpdateRowsHTTPAndClient(t *testing.T) {
+	n := 8
+	b1 := startBackend(t)
+	g := newTestGateway(t, 1, b1.addr)
+	srv := httptest.NewServer(NewHandler(g))
+	t.Cleanup(srv.Close)
+	ctx := context.Background()
+
+	client := service.NewClient(srv.URL)
+	wire, sum := testMatrix(n)
+	if _, err := client.UploadMatrix(ctx, "m", wire); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := client.ReplaceRow(ctx, "m", 0, [][2]int64{{2, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsApplied != 1 {
+		t.Fatalf("reply %+v", rep)
+	}
+	res, err := client.Estimate(ctx, exactReq("m", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sum - 1 + 7; res.Estimate != want {
+		t.Fatalf("estimate = %v, want %v", res.Estimate, want)
+	}
+	var apiErr *service.APIError
+	if _, err := client.ReplaceRow(ctx, "ghost", 0, nil); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown matrix over HTTP: %v", err)
+	}
+}

@@ -80,6 +80,12 @@ type Stats struct {
 	// Rebalanced counts matrices moved by admin add/drain/remove
 	// rebalances.
 	Rebalanced int64 `json:"rebalanced"`
+	// Updates counts replicated row-update requests (PATCH
+	// /matrices/{name}/rows), failed ones included.
+	Updates int64 `json:"updates"`
+	// UpdateReverts counts updates that failed on some replica and were
+	// rolled back all-or-nothing on the legs that had applied them.
+	UpdateReverts int64 `json:"update_reverts"`
 	// LostReplicas counts replica copies LRU-evicted by their own
 	// backend (its -max-matrices is below its share of placements) and
 	// pruned from the placement table. A growing value means the
@@ -111,17 +117,19 @@ func (g *Gateway) Stats() Stats {
 	matrices := len(g.matrices)
 	g.mu.Unlock()
 	return Stats{
-		Replication:  g.cfg.Replication,
-		Matrices:     matrices,
-		Estimates:    g.estimates.Load(),
-		Batches:      g.batches.Load(),
-		Placements:   g.placements.Load(),
-		Failovers:    g.failovers.Load(),
-		Retries:      g.retries.Load(),
-		Repairs:      g.repairs.Load(),
-		Rebalanced:   g.rebalanced.Load(),
-		LostReplicas: g.lostReplicas.Load(),
-		Backends:     g.Backends(),
-		Uptime:       time.Since(g.start),
+		Replication:   g.cfg.Replication,
+		Matrices:      matrices,
+		Estimates:     g.estimates.Load(),
+		Batches:       g.batches.Load(),
+		Placements:    g.placements.Load(),
+		Failovers:     g.failovers.Load(),
+		Retries:       g.retries.Load(),
+		Repairs:       g.repairs.Load(),
+		Rebalanced:    g.rebalanced.Load(),
+		Updates:       g.updates.Load(),
+		UpdateReverts: g.updateReverts.Load(),
+		LostReplicas:  g.lostReplicas.Load(),
+		Backends:      g.Backends(),
+		Uptime:        time.Since(g.start),
 	}
 }

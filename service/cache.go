@@ -20,6 +20,12 @@ type bobState interface{ Bytes() int64 }
 // query inserts it after the replacement purged the name (the stale
 // entry is simply unreachable and ages out of the LRU).
 //
+// sub is the generation's sub-version, advanced by one per row update.
+// Unlike a generation change — which strands old entries to age out —
+// a sub-version change migrates them: refreshMatrix advances each
+// entry's state incrementally and re-keys it, so an update keeps the
+// cache warm.
+//
 // fp is the kind-specific parameter fingerprint. It includes the job
 // seed exactly when the precomputed state depends on it (lp, l0sample,
 // hh — their sketches are drawn from the shared seed); for the
@@ -28,6 +34,7 @@ type bobState interface{ Bytes() int64 }
 type cacheKey struct {
 	matrix string
 	gen    uint64
+	sub    uint64
 	kind   string
 	fp     string
 	epoch  uint64
@@ -158,6 +165,60 @@ func (c *sketchCache) invalidateMatrix(names ...string) {
 			c.removeLocked(e)
 		}
 	}
+}
+
+// refreshMatrix migrates the named matrix's cached states across a row
+// update: every entry keyed to (gen, oldSub) whose state advance
+// succeeds is re-keyed to newSub in place (keeping its LRU position);
+// entries that cannot advance — or that are keyed to a stale
+// generation or sub-version — are dropped. advance runs under the
+// cache lock: it recomputes only the update's touched rows, and
+// holding the lock keeps a concurrent miss from rebuilding the same
+// state redundantly while the migration is mid-flight.
+func (c *sketchCache) refreshMatrix(matrix string, gen, oldSub, newSub uint64, advance func(bobState) (bobState, bool)) (refreshed, dropped int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.matrix != matrix {
+			continue
+		}
+		if e.key.gen == gen && e.key.sub == newSub {
+			// A concurrent miss already built this state against the new
+			// sub-version (the registry entry is published before this
+			// sweep runs): it is valid as-is — keep it.
+			continue
+		}
+		if e.key.gen != gen || e.key.sub != oldSub {
+			c.removeLocked(e)
+			dropped++
+			continue
+		}
+		st, ok := advance(e.state)
+		if !ok {
+			c.removeLocked(e)
+			dropped++
+			continue
+		}
+		nk := e.key
+		nk.sub = newSub
+		if _, taken := c.m[nk]; taken {
+			// Lost the race to a concurrent fresh build under the new
+			// sub-version; keeping both would orphan one of them, so the
+			// already-installed entry wins and the migration is dropped.
+			c.removeLocked(e)
+			dropped++
+			continue
+		}
+		delete(c.m, e.key)
+		e.key = nk
+		e.state = st
+		c.m[nk] = e
+		refreshed++
+	}
+	return refreshed, dropped
 }
 
 // CacheStats is a snapshot of the sketch cache's counters.

@@ -193,6 +193,21 @@ func (c *Client) UploadMatrixChunked(ctx context.Context, name string, m Matrix,
 	return c.CommitUpload(ctx, name, info.Upload)
 }
 
+// UpdateRows applies a batch of sparse row patches to a served matrix
+// in place — the dynamic-update path that keeps the server's sketch
+// cache warm instead of forcing a full re-upload.
+func (c *Client) UpdateRows(ctx context.Context, name string, req UpdateRequest) (UpdateReply, error) {
+	var out UpdateReply
+	err := c.DoJSON(ctx, http.MethodPatch, "/matrices/"+name+"/rows", req, &out)
+	return out, err
+}
+
+// ReplaceRow replaces one row of a served matrix with the given
+// (col, value) entries (unlisted cells become zero).
+func (c *Client) ReplaceRow(ctx context.Context, name string, row int, entries [][2]int64) (UpdateReply, error) {
+	return c.UpdateRows(ctx, name, UpdateRequest{Updates: []RowUpdate{{Row: row, Entries: entries}}})
+}
+
 // Matrices lists the served matrices.
 func (c *Client) Matrices(ctx context.Context) ([]MatrixInfo, error) {
 	var out []MatrixInfo

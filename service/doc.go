@@ -27,6 +27,13 @@
 // CommitUpload), which admits matrices beyond the single-body size
 // limit one validated row-range chunk at a time.
 //
+// Served matrices are dynamic: UpdateRows applies sparse row
+// replacements or deltas in place. The protocols' sketches are linear
+// in the rows of B, so the update recomputes only the touched rows
+// and revalidates cached states under a bumped generation sub-version
+// instead of evicting them — transcripts stay byte-identical to a
+// from-scratch rebuild on the patched matrix.
+//
 // # HTTP surface
 //
 // NewHandler exposes the engine as a JSON API and Client is its typed

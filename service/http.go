@@ -18,6 +18,7 @@ var maxBodyBytes int64 = 256 << 20
 //	DELETE /matrix/{name}           remove a served matrix
 //	GET    /matrices                list served matrices (most recent first)
 //	POST   /matrices/{name}/chunks  chunked upload: begin/append/commit/abort
+//	PATCH  /matrices/{name}/rows    apply sparse row replacements/deltas in place
 //	POST   /estimate                run one estimation query
 //	POST   /estimate/batch          run many queries against one admission slot
 //	GET    /stats                   aggregate serving statistics
@@ -92,6 +93,19 @@ func NewHandler(e *Engine) http.Handler {
 		default:
 			WriteError(w, fmt.Errorf("%w: unknown chunk op %q", ErrBadRequest, req.Op))
 		}
+	})
+	mux.HandleFunc("PATCH /matrices/{name}/rows", func(w http.ResponseWriter, r *http.Request) {
+		var req UpdateRequest
+		if err := DecodeJSON(w, r, &req); err != nil {
+			WriteError(w, err)
+			return
+		}
+		rep, err := e.UpdateRows(r.PathValue("name"), req)
+		if err != nil {
+			WriteError(w, err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, rep)
 	})
 	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
@@ -192,8 +206,9 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 
 // WriteError maps a service error to its HTTP status (ErrBadRequest →
 // 400, ErrBodyTooLarge → 413, ErrMatrixNotFound/ErrUploadNotFound →
-// 404, ErrOverloaded → 429, ErrClosed → 503, anything else → 500) and
-// writes the {"error": …} body every endpoint uses.
+// 404, ErrConflict → 409, ErrOverloaded → 429, ErrClosed → 503,
+// anything else → 500) and writes the {"error": …} body every endpoint
+// uses.
 func WriteError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -203,6 +218,8 @@ func WriteError(w http.ResponseWriter, err error) {
 		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrMatrixNotFound), errors.Is(err, ErrUploadNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):

@@ -34,10 +34,14 @@ type MatrixInfo struct {
 // protocols need, plus the catalog metadata Alice learns out of band.
 // gen is the upload generation of the name — unique per PutMatrix, so
 // sketch-cache entries built against a replaced matrix can never serve
-// its successor.
+// its successor. sub is the generation's sub-version: it advances by
+// one per row update (UpdateRows), under which cached states are
+// revalidated in place rather than evicted; a full replacement resets
+// it with a fresh gen.
 type servedMatrix struct {
 	info  MatrixInfo
 	gen   uint64
+	sub   uint64
 	dense *intmat.Dense
 	bits  *bitmat.Matrix // non-nil iff the matrix is 0/1
 	elem  *list.Element
@@ -88,6 +92,25 @@ func (r *registry) get(name string) (*servedMatrix, bool) {
 	}
 	r.lru.MoveToFront(sm.elem)
 	return sm, true
+}
+
+// replaceIf swaps the named entry for its updated successor iff the
+// stored entry is still the one the update was derived from — the
+// compare half of the row-update path's copy-on-write: a concurrent
+// PutMatrix (fresh generation) wins and the stale update is discarded
+// by the caller. The successor inherits the entry's LRU position and
+// is marked most recently used.
+func (r *registry) replaceIf(name string, old, repl *servedMatrix) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.m[name]
+	if !ok || cur != old {
+		return false
+	}
+	repl.elem = cur.elem
+	r.m[name] = repl
+	r.lru.MoveToFront(repl.elem)
+	return true
 }
 
 // delete removes the named matrix, reporting whether it existed.

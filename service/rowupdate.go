@@ -1,0 +1,313 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/intmat"
+)
+
+// Dynamic row updates: PATCH /matrices/{name}/rows applies sparse
+// row replacements (or deltas) to a served matrix in place of a full
+// re-upload. The registry entry is replaced copy-on-write under the
+// matrix's existing upload generation with a bumped sub-version, and
+// every cached Bob state is *revalidated* — incrementally advanced to
+// the new sub-version by the core layer's UpdateRows methods, which
+// recompute only the touched rows — instead of evicted. In-flight
+// queries keep serving the old immutable generation; new queries see
+// the new sub-version with a warm cache. The core parity tests pin
+// that a revalidated state is byte-identical to one rebuilt from
+// scratch, so the update path changes latency, never answers.
+
+// ErrConflict is returned when a row update raced a full replacement
+// of the same matrix (the update loses; mapped to 409).
+var ErrConflict = errors.New("service: matrix changed concurrently")
+
+// RowUpdate is one sparse row patch: the row index and its (col,
+// value) pairs. In replace mode the row becomes exactly the listed
+// entries (unlisted cells zero); in delta mode each value is added to
+// the existing cell.
+type RowUpdate struct {
+	// Row is the 0-based row index of the served matrix.
+	Row int `json:"row"`
+	// Entries are (col, value) pairs; duplicate columns are rejected.
+	Entries [][2]int64 `json:"entries"`
+}
+
+// UpdateRequest is the body of PATCH /matrices/{name}/rows: a batch of
+// row patches, or a single patch via the shorthand Row/Entries fields.
+type UpdateRequest struct {
+	// Updates is the batch form: one patch per row, applied atomically.
+	Updates []RowUpdate `json:"updates,omitempty"`
+	// Row is the single-patch shorthand (with Entries); it may be
+	// combined with Updates.
+	Row *int `json:"row,omitempty"`
+	// Entries are the shorthand patch's (col, value) pairs.
+	Entries [][2]int64 `json:"entries,omitempty"`
+	// Delta selects delta mode: values are added to the existing cells
+	// instead of replacing whole rows.
+	Delta bool `json:"delta,omitempty"`
+}
+
+// Normalized folds the shorthand form into the batch and rejects empty
+// or ambiguous (duplicate-row) requests. Exported so tiers layered on
+// the service API — the gateway — validate with the same rules.
+func (r UpdateRequest) Normalized() ([]RowUpdate, error) {
+	ups := r.Updates
+	if r.Row != nil {
+		ups = append(append([]RowUpdate(nil), ups...), RowUpdate{Row: *r.Row, Entries: r.Entries})
+	}
+	if len(ups) == 0 {
+		return nil, fmt.Errorf("%w: empty row update", ErrBadRequest)
+	}
+	seen := make(map[int]bool, len(ups))
+	for _, u := range ups {
+		if seen[u.Row] {
+			return nil, fmt.Errorf("%w: row %d updated twice in one request", ErrBadRequest, u.Row)
+		}
+		seen[u.Row] = true
+	}
+	return ups, nil
+}
+
+// UpdateReply is the reply of PATCH /matrices/{name}/rows.
+type UpdateReply struct {
+	MatrixInfo
+	// Sub is the matrix's new generation sub-version: it advances by
+	// one per applied update and scopes the sketch-cache keys, so
+	// cached states revalidate across an update instead of evicting.
+	Sub uint64 `json:"sub"`
+	// RowsApplied is the number of distinct rows the update touched.
+	RowsApplied int `json:"rows_applied"`
+	// CacheRefreshed counts cached Bob states incrementally advanced to
+	// the new sub-version.
+	CacheRefreshed int `json:"cache_refreshed"`
+	// CacheDropped counts cached states that could not be advanced
+	// (e.g. a sign or binarity transition invalidated the kind) and
+	// will rebuild on next use.
+	CacheDropped int `json:"cache_dropped"`
+}
+
+// RowUpdateStats is a snapshot of the dynamic-update counters.
+type RowUpdateStats struct {
+	// Requests counts update requests, failed ones included.
+	Requests int64 `json:"requests"`
+	// Errors counts the failed requests among Requests.
+	Errors int64 `json:"errors"`
+	// Rows is the total number of row patches applied.
+	Rows int64 `json:"rows"`
+	// StatesRefreshed counts cached Bob states incrementally advanced
+	// across updates.
+	StatesRefreshed int64 `json:"states_refreshed"`
+	// StatesDropped counts cached states dropped because they could not
+	// be advanced.
+	StatesDropped int64 `json:"states_dropped"`
+}
+
+// rowUpdateCounters accumulates RowUpdateStats under its own lock.
+type rowUpdateCounters struct {
+	mu sync.Mutex
+	s  RowUpdateStats
+}
+
+func (c *rowUpdateCounters) record(rows, refreshed, dropped int, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Requests++
+	if failed {
+		c.s.Errors++
+		return
+	}
+	c.s.Rows += int64(rows)
+	c.s.StatesRefreshed += int64(refreshed)
+	c.s.StatesDropped += int64(dropped)
+}
+
+func (c *rowUpdateCounters) snapshot() RowUpdateStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}
+
+// scanDense derives the catalog flags of a dense matrix in one pass.
+func scanDense(d *intmat.Dense) (nnz int, binary, nonNeg bool) {
+	binary, nonNeg = true, true
+	for i := 0; i < d.Rows(); i++ {
+		for _, v := range d.Row(i) {
+			if v == 0 {
+				continue
+			}
+			nnz++
+			if v != 1 {
+				binary = false
+			}
+			if v < 0 {
+				nonNeg = false
+			}
+		}
+	}
+	return nnz, binary, nonNeg
+}
+
+// UpdateRows applies a batch of sparse row patches to a served matrix:
+// the dense form is cloned and patched, the registry entry replaced
+// under the same upload generation with a bumped sub-version, and
+// every cached Bob state revalidated in place by the core incremental
+// layer. The whole batch is atomic — a validation failure on any patch
+// applies nothing. Updates are serialized per engine; a concurrent
+// full replacement of the name wins with ErrConflict.
+func (e *Engine) UpdateRows(name string, req UpdateRequest) (UpdateReply, error) {
+	select {
+	case <-e.closed:
+		return UpdateReply{}, ErrClosed
+	default:
+	}
+	rep, err := e.updateRows(name, req)
+	if err != nil {
+		e.rowUpd.record(0, 0, 0, true)
+		return UpdateReply{}, err
+	}
+	e.rowUpd.record(rep.RowsApplied, rep.CacheRefreshed, rep.CacheDropped, false)
+	return rep, nil
+}
+
+func (e *Engine) updateRows(name string, req UpdateRequest) (UpdateReply, error) {
+	ups, err := req.Normalized()
+	if err != nil {
+		return UpdateReply{}, err
+	}
+	e.updMu.Lock()
+	defer e.updMu.Unlock()
+	sm, ok := e.reg.get(name)
+	if !ok {
+		return UpdateReply{}, fmt.Errorf("%w: %q", ErrMatrixNotFound, name)
+	}
+	rows := make([]int, 0, len(ups))
+	for _, u := range ups {
+		if u.Row < 0 || u.Row >= sm.info.Rows {
+			return UpdateReply{}, fmt.Errorf("%w: row %d outside %d-row matrix", ErrBadRequest, u.Row, sm.info.Rows)
+		}
+		cols := make(map[int64]bool, len(u.Entries))
+		for _, ent := range u.Entries {
+			j := ent[0]
+			if j < 0 || j >= int64(sm.info.Cols) {
+				return UpdateReply{}, fmt.Errorf("%w: entry column %d outside %d-column matrix", ErrBadRequest, j, sm.info.Cols)
+			}
+			if cols[j] {
+				return UpdateReply{}, fmt.Errorf("%w: duplicate column %d in row %d update", ErrBadRequest, j, u.Row)
+			}
+			cols[j] = true
+		}
+		rows = append(rows, u.Row)
+	}
+
+	dense := sm.dense.Clone()
+	for _, u := range ups {
+		row := dense.Row(u.Row)
+		if !req.Delta {
+			clear(row)
+		}
+		for _, ent := range u.Entries {
+			if req.Delta {
+				row[ent[0]] += ent[1]
+			} else {
+				row[ent[0]] = ent[1]
+			}
+		}
+	}
+	nnz, binary, nonNeg := scanDense(dense)
+	newSM := &servedMatrix{
+		info: MatrixInfo{
+			Name:     sm.info.Name,
+			Rows:     sm.info.Rows,
+			Cols:     sm.info.Cols,
+			NNZ:      nnz,
+			Binary:   binary,
+			NonNeg:   nonNeg,
+			Uploaded: sm.info.Uploaded,
+		},
+		gen:   sm.gen,
+		sub:   sm.sub + 1,
+		dense: dense,
+	}
+	if binary {
+		if sm.bits != nil {
+			// The bit form was valid before the update: patch only the
+			// touched rows.
+			bits := sm.bits.Clone()
+			for _, k := range rows {
+				for j, v := range dense.Row(k) {
+					bits.Set(k, j, v != 0)
+				}
+			}
+			newSM.bits = bits
+		} else {
+			newSM.bits = toBool(dense)
+		}
+	}
+	if !e.reg.replaceIf(name, sm, newSM) {
+		// A PutMatrix (or delete) raced in: its wholesale replacement is
+		// authoritative, and this update never becomes visible.
+		return UpdateReply{}, fmt.Errorf("%w: %q", ErrConflict, name)
+	}
+	var refreshed, dropped int
+	if e.cache != nil {
+		refreshed, dropped = e.cache.refreshMatrix(name, sm.gen, sm.sub, newSM.sub,
+			func(st bobState) (bobState, bool) {
+				return advanceState(st, newSM, rows)
+			})
+	}
+	return UpdateReply{
+		MatrixInfo:     newSM.info,
+		Sub:            newSM.sub,
+		RowsApplied:    len(rows),
+		CacheRefreshed: refreshed,
+		CacheDropped:   dropped,
+	}, nil
+}
+
+// advanceState incrementally advances one cached Bob state to the
+// updated matrix, recomputing only the touched rows. A state that
+// cannot be advanced — the update invalidated its kind's input
+// contract (signedness for exact/l1sample, binarity for the ℓ∞ kinds)
+// — reports false and is dropped from the cache; the next query of
+// that kind rebuilds (and surfaces the contract error) exactly as a
+// cold cache would.
+func advanceState(st bobState, sm *servedMatrix, rows []int) (bobState, bool) {
+	switch v := st.(type) {
+	case *lpStates:
+		nb, err := v.bob.UpdateRows(sm.dense, rows)
+		if err != nil {
+			return nil, false
+		}
+		return &lpStates{bob: nb, alice: v.alice}, true
+	case *core.BobL0SampleState:
+		nb, err := v.UpdateRows(sm.dense, rows)
+		return nb, err == nil
+	case *core.BobExactL1State:
+		nb, err := v.UpdateRows(sm.dense, rows)
+		return nb, err == nil
+	case *core.BobL1SampleState:
+		nb, err := v.UpdateRows(sm.dense, rows)
+		return nb, err == nil
+	case *core.BobLinfState:
+		if sm.bits == nil {
+			return nil, false
+		}
+		nb, err := v.UpdateRows(sm.bits, rows)
+		return nb, err == nil
+	case *core.BobLinfKappaState:
+		if sm.bits == nil {
+			return nil, false
+		}
+		nb, err := v.UpdateRows(sm.bits, rows)
+		return nb, err == nil
+	case *core.BobHHState:
+		nb, err := v.UpdateRows(sm.dense, rows)
+		return nb, err == nil
+	default:
+		return nil, false
+	}
+}

@@ -213,6 +213,11 @@ type Engine struct {
 	upSeq       atomic.Uint64             // upload-token sequence
 	upStats     uploadCounters
 	stagedElems int64 // Σ rows×cols across e.uploads, vs MaxStagedElems
+
+	// updMu serializes row updates (UpdateRows): sub-version assignment
+	// and cache revalidation must observe a stable predecessor entry.
+	updMu  sync.Mutex
+	rowUpd rowUpdateCounters
 }
 
 // NewEngine returns a ready engine.
@@ -316,6 +321,7 @@ func (e *Engine) Stats() Stats {
 	}
 	s.Shard = shardStatsSnapshot(e.cfg.Shards)
 	s.Uploads = e.uploadStats()
+	s.RowUpdates = e.rowUpd.snapshot()
 	return s
 }
 
@@ -522,7 +528,7 @@ func (e *Engine) runJob(ctx context.Context, req Request) (*Result, error) {
 func mapProtocolError(err error) error {
 	for _, bad := range []error{
 		core.ErrBadP, core.ErrBadEps, core.ErrBadKappa, core.ErrBadPhi,
-		core.ErrNeedNonNegative, core.ErrDimensionMismatch,
+		core.ErrNeedNonNegative, core.ErrDimensionMismatch, core.ErrUpdateShape,
 	} {
 		if errors.Is(err, bad) {
 			return ErrBadRequest
@@ -577,7 +583,7 @@ func (e *Engine) bobState(sm *servedMatrix, kind, fp string, epoch uint64, build
 	if e.cache == nil {
 		return build()
 	}
-	key := cacheKey{matrix: sm.info.Name, gen: sm.gen, kind: kind, fp: fp, epoch: epoch}
+	key := cacheKey{matrix: sm.info.Name, gen: sm.gen, sub: sm.sub, kind: kind, fp: fp, epoch: epoch}
 	if st, ok := e.cache.tickAndGet(key); ok {
 		return st, nil
 	}

@@ -47,6 +47,8 @@ type Stats struct {
 	Shard ShardStats `json:"shard"`
 	// Uploads holds the chunked-upload lifecycle counters.
 	Uploads UploadStats `json:"uploads"`
+	// RowUpdates holds the dynamic row-update counters.
+	RowUpdates RowUpdateStats `json:"row_updates"`
 	// LatencyP50 is the median protocol latency over the recent window.
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	// LatencyP90 is the 90th-percentile latency over the recent window.
