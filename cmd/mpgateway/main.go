@@ -16,6 +16,7 @@
 //	GET  /admin/backends   pool listing with health and counters
 //	POST /admin/backends   {"op":"add"|"drain"|"remove","addr":"http://…"}
 //	GET  /stats            gateway + per-backend counters (placements, failovers, retries, latencies)
+//	GET  /metrics          Prometheus text exposition of the fleet telemetry (mpgw_* families)
 //
 // Kill a backend mid-load and the gateway fails queries over to the
 // surviving replicas; restart it and the health prober re-seeds it

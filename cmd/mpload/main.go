@@ -43,6 +43,36 @@
 // replicated all-or-nothing propagation:
 //
 //	mpload -addr http://127.0.0.1:8080 -mix lp=8,exact=2,update=1 -duration 10s
+//
+// # Open-loop mode and the capacity model
+//
+// With -rps > 0 the generator switches from closed-loop to open-loop:
+// arrivals are scheduled at the target rate (-arrivals uniform spacing
+// or a poisson process) independently of how fast answers come back,
+// each request runs on its own goroutine (bounded by -max-inflight),
+// and latency is measured from the scheduled arrival rather than the
+// dispatch — so a stalled server accrues queueing delay in the
+// percentiles instead of silently slowing the generator down
+// (coordinated omission). Each step drives -warmup of discarded
+// traffic and then -measure of tallied traffic; requests are bounded
+// by -timeout, arrivals past the inflight cap are accounted as
+// timeouts, and dispatches that slip more than 2ms past their schedule
+// are counted as late (a generator-saturation diagnostic).
+//
+// With -rps-sweep "50,100,200,400" the generator runs one open-loop
+// step per target, fits the throughput-vs-offered-load curve with the
+// Universal Scalability Law (internal/loadcurve), reports the
+// predicted capacity knee, and writes the sweep and fit to
+// -loadcurve-out (BENCH_loadcurve.json by default):
+//
+//	mpload -addr http://127.0.0.1:8080 -mix lp=1 -rps-sweep 25,50,100,200 -measure 10s
+//
+// Open-loop runs exit zero even when requests fail with 429s or
+// timeouts — finding the overload point is the purpose — and exit
+// non-zero only when no request succeeds at all. Requests are driven
+// singly (-batch does not apply). In every mode a progress line with
+// the last interval's counts and percentiles is logged every
+// -report-interval (default 20s).
 package main
 
 import (
@@ -114,6 +144,11 @@ type kindTally struct {
 type tallies struct {
 	mu      sync.Mutex
 	perKind map[string]*kindTally
+	// ivReqs/ivErrs/ivLats accumulate since the last reporter tick —
+	// the in-run progress lines read and reset them.
+	ivReqs int64
+	ivErrs int64
+	ivLats []time.Duration
 }
 
 func (t *tallies) record(kind string, lat time.Duration, bits int64, rounds int, err error) {
@@ -125,13 +160,58 @@ func (t *tallies) record(kind string, lat time.Duration, bits int64, rounds int,
 		t.perKind[kind] = kt
 	}
 	kt.requests++
+	t.ivReqs++
 	if err != nil {
 		kt.errors++
+		t.ivErrs++
 		return
 	}
 	kt.bits += bits
 	kt.rounds += int64(rounds)
 	kt.lats = append(kt.lats, lat)
+	t.ivLats = append(t.ivLats, lat)
+}
+
+// intervalTake drains the since-last-tick accumulator.
+func (t *tallies) intervalTake() (reqs, errs int64, lats []time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	reqs, errs, lats = t.ivReqs, t.ivErrs, t.ivLats
+	t.ivReqs, t.ivErrs, t.ivLats = 0, 0, nil
+	return reqs, errs, lats
+}
+
+// startReporter logs a progress line with the last interval's batch
+// percentiles every period until stop closes. Intervals with no
+// completed requests log a stall note instead of a zero row.
+func startReporter(t *tallies, period time.Duration, stop <-chan struct{}) {
+	if period <= 0 {
+		return
+	}
+	start := time.Now()
+	go func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			reqs, errs, lats := t.intervalTake()
+			since := time.Since(start).Round(time.Second)
+			if reqs == 0 {
+				log.Printf("[t+%v] no requests completed this interval", since)
+				continue
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			log.Printf("[t+%v] %d reqs (%d errs), %.1f req/s, p50 %v p90 %v p99 %v",
+				since, reqs, errs, float64(reqs)/period.Seconds(),
+				percentile(lats, 0.50).Round(time.Microsecond),
+				percentile(lats, 0.90).Round(time.Microsecond),
+				percentile(lats, 0.99).Round(time.Microsecond))
+		}
+	}()
 }
 
 // percentile is service.Percentile: the nearest-rank quantile, shared
@@ -160,10 +240,26 @@ func main() {
 	chunkRows := flag.Int("chunk-rows", 0, "upload the served matrix through POST /matrices/{name}/chunks with this many rows per chunk (0 = single-body PUT)")
 	gatewayMode := flag.Bool("gateway", false, "target is an mpgateway fleet front: print the gateway's per-backend and failover stats after the run")
 	updateRows := flag.Int("update-rows", 1, "rows replaced per \"update\" pick in the mix (PATCH /matrices/{name}/rows batch size)")
+	rps := flag.Float64("rps", 0, "open-loop target arrival rate (0 = closed loop); latencies are measured from the scheduled arrival")
+	rpsSweep := flag.String("rps-sweep", "", "comma-separated open-loop target rates to sweep (e.g. 25,50,100,200); fits a USL capacity model and implies open loop")
+	arrivals := flag.String("arrivals", "uniform", "open-loop arrival process: uniform or poisson")
+	warmup := flag.Duration("warmup", 2*time.Second, "open-loop warmup per step (driven but not tallied)")
+	measure := flag.Duration("measure", 10*time.Second, "open-loop measure phase per step")
+	timeout := flag.Duration("timeout", 5*time.Second, "open-loop per-request deadline; arrivals shed at the inflight cap count as timeouts")
+	maxInflight := flag.Int("max-inflight", 256, "open-loop cap on concurrent in-flight requests")
+	loadcurveOut := flag.String("loadcurve-out", "BENCH_loadcurve.json", "where -rps-sweep writes its points and USL fit (empty = don't write)")
+	reportInterval := flag.Duration("report-interval", 20*time.Second, "period of in-run progress lines with batch percentiles (0 = off)")
 	flag.Parse()
 
 	if *batch < 1 {
 		log.Fatalf("-batch must be ≥ 1")
+	}
+	openLoop := *rpsSweep != "" || *rps > 0
+	if *arrivals != "uniform" && *arrivals != "poisson" {
+		log.Fatalf("-arrivals must be uniform or poisson, got %q", *arrivals)
+	}
+	if openLoop && *maxInflight < 1 {
+		log.Fatalf("-max-inflight must be ≥ 1")
 	}
 
 	mix, mixTotal, err := parseMix(*mixFlag)
@@ -202,7 +298,7 @@ func main() {
 
 	// Optional aggregate pacing: a token per admitted request.
 	var tokens chan struct{}
-	if *qps > 0 {
+	if *qps > 0 && !openLoop {
 		interval := time.Duration(float64(time.Second) / *qps)
 		if interval <= 0 {
 			log.Fatalf("-qps %v too high (sub-nanosecond interval); use 0 for closed loop", *qps)
@@ -224,9 +320,6 @@ func main() {
 	deadline := time.Now().Add(*duration)
 	var firstErr error
 	var errOnce sync.Once
-
-	log.Printf("driving %d workers for %v (mix %s, qps %s)", *workers, *duration, *mixFlag,
-		map[bool]string{true: fmt.Sprintf("%.0f", *qps), false: "closed-loop"}[*qps > 0])
 
 	pickKind := func(r *rng.RNG) string {
 		pick := r.Intn(mixTotal)
@@ -289,6 +382,60 @@ func main() {
 		}
 		return req
 	}
+
+	if openLoop {
+		// prepare runs on the scheduler goroutine (single rng), the
+		// returned closure on its own goroutine. Every completion also
+		// lands in the shared tally so the periodic reporter covers
+		// open-loop runs too.
+		prepare := func(r *rng.RNG) func(context.Context) error {
+			kind := pickKind(r)
+			if kind == "update" {
+				upd := makeUpdate(r)
+				return func(cctx context.Context) error {
+					start := time.Now()
+					_, err := client.UpdateRows(cctx, *matrix, upd)
+					tally.record("update", time.Since(start), 0, 0, err)
+					return err
+				}
+			}
+			req := makeReq(r, kind)
+			return func(cctx context.Context) error {
+				start := time.Now()
+				res, err := client.Estimate(cctx, req)
+				if err != nil {
+					tally.record(req.Kind, time.Since(start), 0, 0, err)
+					return err
+				}
+				tally.record(req.Kind, time.Since(start), res.Bits, res.Rounds, nil)
+				return nil
+			}
+		}
+		stop := make(chan struct{})
+		startReporter(tally, *reportInterval, stop)
+		runSweep(ctx, sweepCfg{
+			addr:         *addr,
+			mix:          *mixFlag,
+			rps:          *rps,
+			sweep:        *rpsSweep,
+			arrivals:     *arrivals,
+			warmup:       *warmup,
+			measure:      *measure,
+			timeout:      *timeout,
+			maxInflight:  *maxInflight,
+			seed:         *seed,
+			loadcurveOut: *loadcurveOut,
+			gatewayMode:  *gatewayMode,
+			prepare:      prepare,
+		})
+		close(stop)
+		return
+	}
+
+	log.Printf("driving %d workers for %v (mix %s, qps %s)", *workers, *duration, *mixFlag,
+		map[bool]string{true: fmt.Sprintf("%.0f", *qps), false: "closed-loop"}[*qps > 0])
+	reporterStop := make(chan struct{})
+	startReporter(tally, *reportInterval, reporterStop)
 
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
@@ -364,6 +511,7 @@ func main() {
 		}(w)
 	}
 	wg.Wait()
+	close(reporterStop)
 
 	printSummary(tally, *duration)
 	if *gatewayMode {

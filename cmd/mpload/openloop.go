@@ -1,0 +1,314 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/loadcurve"
+	"repro/internal/rng"
+	"repro/service"
+)
+
+// lateSlack is how far past its scheduled arrival a dispatch may run
+// before it is counted as late. Generous against scheduler jitter,
+// tight against real generator overrun.
+const lateSlack = 2 * time.Millisecond
+
+// errShed marks an arrival dropped at the client-side inflight cap.
+// It is accounted as a timeout at the full deadline: under coordinated
+// omission rules the request "waited" at least that long unserved, and
+// silently skipping it would make an overloaded server look fast.
+var errShed = errors.New("mpload: client inflight cap reached")
+
+// openLoopCfg parameterizes one constant-rate open-loop step.
+type openLoopCfg struct {
+	rps         float64
+	arrivals    string // "uniform" or "poisson"
+	warmup      time.Duration
+	measure     time.Duration
+	timeout     time.Duration
+	maxInflight int
+	seed        uint64
+	// prepare builds one request closure. It runs on the scheduler
+	// goroutine (so it may use the scheduler's rng); the returned call
+	// runs on its own goroutine and must be self-contained.
+	prepare func(r *rng.RNG) func(ctx context.Context) error
+}
+
+// stepTally accumulates one open-loop step's measure-phase outcomes.
+type stepTally struct {
+	mu       sync.Mutex
+	ok       int64
+	errs     int64
+	rejected int64
+	timeouts int64
+	lats     []time.Duration // successful completions, scheduled-arrival based
+}
+
+func (s *stepTally) record(lat time.Duration, err error) {
+	rejected, timedOut := classifyErr(err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.ok++
+		s.lats = append(s.lats, lat)
+		return
+	}
+	s.errs++
+	if rejected {
+		s.rejected++
+	}
+	if timedOut {
+		s.timeouts++
+	}
+}
+
+// classifyErr sorts a request error into the open-loop accounting
+// buckets: a 429 is the server shedding load (expected at and past the
+// knee), a deadline error — or a client-side shed — is a timeout.
+func classifyErr(err error) (rejected, timedOut bool) {
+	if err == nil {
+		return false, false
+	}
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == 429, false
+	}
+	if errors.Is(err, errShed) || errors.Is(err, context.DeadlineExceeded) {
+		return false, true
+	}
+	var netErr interface{ Timeout() bool }
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return false, true
+	}
+	return false, false
+}
+
+// runOpenLoopStep drives one constant-rate open-loop step: arrivals are
+// scheduled ahead of time (uniform spacing or a Poisson process), each
+// dispatches on its own goroutine bounded by the inflight cap, and
+// latency is measured from the scheduled arrival — not the dispatch —
+// so queueing delay inside the generator counts against the server's
+// percentiles instead of being coordinated-omitted away.
+//
+// Only arrivals scheduled inside the measure window (after warmup) are
+// tallied; warmup traffic is driven identically and discarded.
+func runOpenLoopStep(ctx context.Context, cfg openLoopCfg) loadcurve.Point {
+	interval := time.Duration(float64(time.Second) / cfg.rps)
+	r := rng.New(cfg.seed).Derive("openloop")
+	sem := make(chan struct{}, cfg.maxInflight)
+	tally := &stepTally{}
+	var offered, late int64
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	measStart := start.Add(cfg.warmup)
+	measEnd := measStart.Add(cfg.measure)
+	next := start
+	for next.Before(measEnd) && ctx.Err() == nil {
+		time.Sleep(time.Until(next))
+		sched := next
+		if cfg.arrivals == "poisson" {
+			// Exponential inter-arrival: −ln(U)/λ, clamped against a
+			// pathological U≈0 draw stalling the generator.
+			u := r.Float64()
+			if u < 1e-12 {
+				u = 1e-12
+			}
+			gap := time.Duration(-math.Log(u) * float64(interval))
+			if gap > 10*time.Second {
+				gap = 10 * time.Second
+			}
+			next = next.Add(gap)
+		} else {
+			next = next.Add(interval)
+		}
+		inMeasure := !sched.Before(measStart)
+		if inMeasure {
+			offered++
+			if time.Since(sched) > lateSlack {
+				late++
+			}
+		}
+		call := cfg.prepare(r)
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				cctx, cancel := context.WithTimeout(ctx, cfg.timeout)
+				err := call(cctx)
+				cancel()
+				if inMeasure {
+					tally.record(time.Since(sched), err)
+				}
+			}()
+		default:
+			if inMeasure {
+				tally.record(cfg.timeout, errShed)
+			}
+		}
+	}
+	wg.Wait()
+
+	tally.mu.Lock()
+	defer tally.mu.Unlock()
+	sort.Slice(tally.lats, func(i, j int) bool { return tally.lats[i] < tally.lats[j] })
+	pt := loadcurve.Point{
+		TargetRPS:      cfg.rps,
+		OfferedRPS:     float64(offered) / cfg.measure.Seconds(),
+		ThroughputRPS:  float64(tally.ok) / cfg.measure.Seconds(),
+		Rejected:       tally.rejected,
+		Timeouts:       tally.timeouts,
+		LateDispatches: late,
+		LatencyP50:     percentile(tally.lats, 0.50),
+		LatencyP90:     percentile(tally.lats, 0.90),
+		LatencyP99:     percentile(tally.lats, 0.99),
+	}
+	if total := tally.ok + tally.errs; total > 0 {
+		pt.ErrorRate = float64(tally.errs) / float64(total)
+	}
+	return pt
+}
+
+// sweepCfg parameterizes an open-loop run: a single -rps step or a
+// full -rps-sweep capacity sweep.
+type sweepCfg struct {
+	addr         string
+	mix          string
+	rps          float64
+	sweep        string // comma-separated target rates; empty = single step at rps
+	arrivals     string
+	warmup       time.Duration
+	measure      time.Duration
+	timeout      time.Duration
+	maxInflight  int
+	seed         uint64
+	loadcurveOut string
+	gatewayMode  bool
+	prepare      func(r *rng.RNG) func(ctx context.Context) error
+}
+
+// parseRPSList parses "25,50,100" into ascending target rates.
+func parseRPSList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty rate list")
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
+// runSweep drives the open-loop steps, fits the capacity model over
+// them, and writes BENCH_loadcurve.json. Request failures (429s,
+// timeouts) are expected at and past the knee and never fail the run;
+// only a run where nothing succeeded at all exits non-zero.
+func runSweep(ctx context.Context, cfg sweepCfg) {
+	targets := []float64{cfg.rps}
+	if cfg.sweep != "" {
+		var err error
+		targets, err = parseRPSList(cfg.sweep)
+		if err != nil {
+			log.Fatalf("-rps-sweep: %v", err)
+		}
+	}
+	log.Printf("open loop: %d step(s) at %v rps, %s arrivals, warmup %v + measure %v per step, inflight cap %d",
+		len(targets), targets, cfg.arrivals, cfg.warmup, cfg.measure, cfg.maxInflight)
+
+	points := make([]loadcurve.Point, 0, len(targets))
+	anyOK := false
+	for i, target := range targets {
+		pt := runOpenLoopStep(ctx, openLoopCfg{
+			rps:         target,
+			arrivals:    cfg.arrivals,
+			warmup:      cfg.warmup,
+			measure:     cfg.measure,
+			timeout:     cfg.timeout,
+			maxInflight: cfg.maxInflight,
+			// Distinct seeds per step keep the workload draws
+			// independent while the whole sweep stays reproducible.
+			seed:    cfg.seed + uint64(i),
+			prepare: cfg.prepare,
+		})
+		logPoint(pt)
+		points = append(points, pt)
+		if pt.ThroughputRPS > 0 {
+			anyOK = true
+		}
+	}
+
+	rep := loadcurve.Report{
+		Schema:         loadcurve.SchemaVersion,
+		Target:         cfg.addr,
+		Arrivals:       cfg.arrivals,
+		Kind:           cfg.mix,
+		WarmupSeconds:  cfg.warmup.Seconds(),
+		MeasureSeconds: cfg.measure.Seconds(),
+		Points:         points,
+	}
+	fit, err := loadcurve.FitPoints(points)
+	if err != nil {
+		rep.FitError = err.Error()
+		if len(targets) > 1 {
+			log.Printf("capacity fit skipped: %v", err)
+		}
+	} else {
+		rep.Fit = fit
+		if fit.HasKnee {
+			log.Printf("USL fit: γ=%.1f σ=%.3f κ=%.2g (R²=%.3f); predicted knee ≈ %.0f rps offered, ≈ %.0f rps served at peak",
+				fit.Gamma, fit.Sigma, fit.Kappa, fit.R2, fit.KneeRPS, fit.PeakThroughputRPS)
+		} else {
+			log.Printf("USL fit: γ=%.1f σ=%.3f κ=%.2g (R²=%.3f); no knee within 10× the observed load range (peak observed-model throughput %.0f rps)",
+				fit.Gamma, fit.Sigma, fit.Kappa, fit.R2, fit.PeakThroughputRPS)
+		}
+	}
+	if cfg.loadcurveOut != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal loadcurve: %v", err)
+		}
+		if err := os.WriteFile(cfg.loadcurveOut, append(raw, '\n'), 0o644); err != nil {
+			log.Fatalf("write %s: %v", cfg.loadcurveOut, err)
+		}
+		log.Printf("wrote %s (%d points)", cfg.loadcurveOut, len(points))
+	}
+	if cfg.gatewayMode {
+		printGatewayStats(ctx, cfg.addr)
+	}
+	if !anyOK {
+		log.Printf("no request succeeded in any step")
+		os.Exit(1)
+	}
+}
+
+// logPoint prints one sweep step's outcome.
+func logPoint(pt loadcurve.Point) {
+	log.Printf("rps %.0f: offered %.1f/s, served %.1f/s, err %.1f%% (429s %d, timeouts %d, late %d), p50 %v p90 %v p99 %v",
+		pt.TargetRPS, pt.OfferedRPS, pt.ThroughputRPS, 100*pt.ErrorRate,
+		pt.Rejected, pt.Timeouts, pt.LateDispatches,
+		pt.LatencyP50.Round(time.Microsecond),
+		pt.LatencyP90.Round(time.Microsecond),
+		pt.LatencyP99.Round(time.Microsecond))
+}

@@ -11,6 +11,7 @@
 //	POST   /estimate        {"matrix":"name","kind":"lp","p":1,"eps":0.25,"a":{...}}
 //	GET    /matrices        served matrices
 //	GET    /stats           aggregate serving statistics
+//	GET    /metrics         Prometheus text exposition of the same telemetry
 //	DELETE /matrix/{name}
 //	GET    /healthz
 //

@@ -285,6 +285,7 @@ func (g *Gateway) AddBackend(ctx context.Context, addr string) (RebalanceReport,
 	b, exists := g.backends[addr]
 	if !exists {
 		b = newBackend(addr, g.cfg.HTTPClient)
+		b.dur = g.met.backendDur.With(addr)
 		g.backends[addr] = b
 	}
 	g.mu.Unlock()

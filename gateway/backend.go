@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/service"
 )
 
@@ -19,6 +20,9 @@ const backendLatencyWindow = 1024
 type backend struct {
 	id     string // normalized base URL; the pool key and admin handle
 	client *service.Client
+	// dur is the backend's pre-resolved request-duration histogram
+	// handle (nil only in tests constructing backends directly).
+	dur *metrics.Histogram
 
 	// inflight counts requests currently outstanding against the
 	// backend — the least-busy routing signal. Atomic so the hot
@@ -55,17 +59,22 @@ func newBackend(id string, httpc *http.Client) *backend {
 	return &backend{id: id, client: c, healthy: true}
 }
 
-// recordResult folds one request outcome into the backend's counters.
+// recordResult folds one request outcome into the backend's counters
+// and, for successes, the exported latency histogram.
 func (b *backend) recordResult(lat time.Duration, failed bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.requests++
 	if failed {
 		b.errors++
+		b.mu.Unlock()
 		return
 	}
 	b.ring[b.ringN%backendLatencyWindow] = lat
 	b.ringN++
+	b.mu.Unlock()
+	if b.dur != nil {
+		b.dur.Observe(lat.Seconds())
+	}
 }
 
 // noteFailover records that a request failed over away from this

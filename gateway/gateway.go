@@ -138,6 +138,8 @@ type Gateway struct {
 	updates       atomic.Int64
 	updateReverts atomic.Int64
 
+	met *gatewayMetrics
+
 	start     time.Time
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -161,11 +163,14 @@ func New(cfg Config) *Gateway {
 		closed:   make(chan struct{}),
 	}
 	g.baseCtx, g.cancelBase = context.WithCancel(context.Background())
+	g.met = newGatewayMetrics(g)
 	for _, addr := range cfg.Backends {
 		if addr == "" {
 			continue
 		}
-		g.backends[addr] = newBackend(addr, cfg.HTTPClient)
+		b := newBackend(addr, cfg.HTTPClient)
+		b.dur = g.met.backendDur.With(addr)
+		g.backends[addr] = b
 	}
 	g.probeWG.Add(1)
 	go g.probeLoop()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/metrics"
 	"repro/service"
 )
 
@@ -20,6 +21,7 @@ import (
 //	POST   /estimate                route to the least-busy healthy replica, failover on error
 //	POST   /estimate/batch          scatter sub-batches across replicas, gather in order
 //	GET    /stats                   gateway + per-backend counters
+//	GET    /metrics                 Prometheus text-format exposition
 //	GET    /healthz                 gateway liveness
 //	GET    /admin/backends          list the pool with health and counters
 //	POST   /admin/backends          {"op":"add"|"drain"|"remove","addr":…} with rebalance
@@ -131,6 +133,7 @@ func NewHandler(g *Gateway) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		service.WriteJSON(w, http.StatusOK, g.Stats())
 	})
+	mux.Handle("GET /metrics", metrics.Handler(g.Metrics()))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		service.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

@@ -1,0 +1,282 @@
+// Package loadcurve models throughput-vs-offered-load sweeps with the
+// Universal Scalability Law and locates the capacity knee.
+//
+// The USL (Gunther) models delivered throughput at offered load N as
+//
+//	X(N) = γ·N / (1 + σ·(N−1) + κ·N·(N−1))
+//
+// with γ the unloaded throughput per unit load, σ ∈ [0,1] the
+// contention (serialization) fraction, and κ ≥ 0 the crosstalk
+// (coherency) penalty. With κ > 0 the curve peaks at N* = √((1−σ)/κ)
+// and retrogrades beyond it — N* is the predicted capacity knee.
+//
+// Fitting is deterministic: a coarse grid over (σ, κ) with the
+// closed-form least-squares γ at each grid point (γ enters the model
+// linearly, so for fixed σ and κ the optimal γ is Σ X·f / Σ f² with
+// f(N) the load factor), followed by rounds of grid refinement around
+// the incumbent. No randomness, no learning-rate tuning, and the
+// result is reproducible bit for bit — this feeds a CI gate
+// (scripts/benchguard), where a flaky fit means a flaky build.
+package loadcurve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_loadcurve.json layout; bump on
+// incompatible changes so baseline comparisons fail loudly instead of
+// misreading.
+const SchemaVersion = 1
+
+// Point is one step of a load sweep: what was asked for, what actually
+// arrived, and what came back.
+type Point struct {
+	// TargetRPS is the arrival rate the generator aimed for.
+	TargetRPS float64 `json:"target_rps"`
+	// OfferedRPS is the arrival rate actually achieved (scheduled
+	// arrivals that dispatched, per measured second). Under generator
+	// saturation it falls below TargetRPS.
+	OfferedRPS float64 `json:"offered_rps"`
+	// ThroughputRPS is the rate of successful completions.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// ErrorRate is failed completions (timeouts included) over total.
+	ErrorRate float64 `json:"error_rate"`
+	// Rejected counts 429 sheds during the measure phase.
+	Rejected int64 `json:"rejected"`
+	// Timeouts counts requests that exceeded the per-request deadline.
+	Timeouts int64 `json:"timeouts"`
+	// LateDispatches counts scheduled arrivals that dispatched late
+	// (generator overrun) — nonzero means OfferedRPS is trustworthy
+	// only because latency is measured from the scheduled arrival.
+	LateDispatches int64 `json:"late_dispatches"`
+	// LatencyP50/P90/P99 are measured from each request's scheduled
+	// arrival time (coordinated-omission-corrected).
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP90 time.Duration `json:"latency_p90_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+}
+
+// Fit is a fitted USL model over a sweep.
+type Fit struct {
+	// Gamma is γ: unloaded throughput per unit of normalized load.
+	Gamma float64 `json:"gamma"`
+	// Sigma is σ: the contention (serialization) fraction.
+	Sigma float64 `json:"sigma"`
+	// Kappa is κ: the crosstalk (coherency) penalty.
+	Kappa float64 `json:"kappa"`
+	// LoadUnitRPS is the offered-RPS value of one normalized load unit
+	// (the sweep's smallest offered rate); multiply normalized loads by
+	// it to return to RPS.
+	LoadUnitRPS float64 `json:"load_unit_rps"`
+	// HasKnee reports whether the fitted κ is large enough to place a
+	// peak inside reachable load (κ of exactly 0 never peaks).
+	HasKnee bool `json:"has_knee"`
+	// KneeLoad is N* = √((1−σ)/κ) in normalized load units (0 when
+	// HasKnee is false).
+	KneeLoad float64 `json:"knee_load"`
+	// KneeRPS is the knee in offered-RPS units: KneeLoad·LoadUnitRPS.
+	KneeRPS float64 `json:"knee_rps"`
+	// PeakThroughputRPS is the model's delivered throughput at the knee
+	// (at the maximum observed load when HasKnee is false).
+	PeakThroughputRPS float64 `json:"peak_throughput_rps"`
+	// R2 is the coefficient of determination of the fit.
+	R2 float64 `json:"r2"`
+}
+
+// Report is the BENCH_loadcurve.json document one sweep emits.
+type Report struct {
+	// Schema is SchemaVersion at write time.
+	Schema int `json:"schema"`
+	// Target is the swept endpoint ("service" or "gateway" base URL).
+	Target string `json:"target"`
+	// Arrivals is the arrival process ("uniform" or "poisson").
+	Arrivals string `json:"arrivals"`
+	// Kind is the request mix description the sweep drove.
+	Kind string `json:"kind,omitempty"`
+	// WarmupSeconds and MeasureSeconds echo the per-step phase lengths.
+	WarmupSeconds  float64 `json:"warmup_seconds"`
+	MeasureSeconds float64 `json:"measure_seconds"`
+	// Points are the sweep steps in ascending target order.
+	Points []Point `json:"points"`
+	// Fit is the USL model over the points; nil when the sweep was too
+	// short to fit.
+	Fit *Fit `json:"fit,omitempty"`
+	// FitError records why Fit is nil (empty otherwise).
+	FitError string `json:"fit_error,omitempty"`
+}
+
+// uslX evaluates the model at normalized load n.
+func uslX(gamma, sigma, kappa, n float64) float64 {
+	return gamma * n / (1 + sigma*(n-1) + kappa*n*(n-1))
+}
+
+// gammaFor returns the least-squares γ for fixed (σ, κ): the model is
+// linear in γ, so γ* = Σ X·f / Σ f² with f the load factor, plus the
+// residual sum of squares at that γ.
+func gammaFor(loads, xs []float64, sigma, kappa float64) (gamma, sse float64) {
+	var num, den float64
+	for i, n := range loads {
+		f := n / (1 + sigma*(n-1) + kappa*n*(n-1))
+		num += xs[i] * f
+		den += f * f
+	}
+	if den == 0 {
+		return 0, math.Inf(1)
+	}
+	gamma = num / den
+	for i, n := range loads {
+		d := xs[i] - uslX(gamma, sigma, kappa, n)
+		sse += d * d
+	}
+	return gamma, sse
+}
+
+// kneeNegligible is the κ below which the fitted peak sits so far past
+// the observed range that reporting a knee would be extrapolation
+// noise: the peak must fall within 10× the largest observed load.
+func kneeNegligible(sigma, kappa, maxLoad float64) bool {
+	if kappa <= 0 {
+		return true
+	}
+	return math.Sqrt((1-sigma)/kappa) > 10*maxLoad
+}
+
+// FitUSL fits the USL to matched offered-load and throughput slices
+// (both in RPS; at least three distinct positive loads). Loads are
+// normalized by the smallest before fitting — LoadUnitRPS records the
+// scale — so σ and κ are comparable across sweeps of different ranges.
+func FitUSL(offeredRPS, throughputRPS []float64) (*Fit, error) {
+	if len(offeredRPS) != len(throughputRPS) {
+		return nil, fmt.Errorf("loadcurve: %d loads vs %d throughputs", len(offeredRPS), len(throughputRPS))
+	}
+	if len(offeredRPS) < 3 {
+		return nil, errors.New("loadcurve: need at least 3 sweep points to fit")
+	}
+	unit := math.Inf(1)
+	for _, l := range offeredRPS {
+		if l <= 0 {
+			return nil, fmt.Errorf("loadcurve: non-positive offered load %g", l)
+		}
+		if l < unit {
+			unit = l
+		}
+	}
+	loads := make([]float64, len(offeredRPS))
+	maxLoad := 0.0
+	distinct := make(map[float64]bool, len(offeredRPS))
+	for i, l := range offeredRPS {
+		loads[i] = l / unit
+		distinct[loads[i]] = true
+		if loads[i] > maxLoad {
+			maxLoad = loads[i]
+		}
+	}
+	if len(distinct) < 3 {
+		return nil, errors.New("loadcurve: need at least 3 distinct offered loads to fit")
+	}
+
+	// Coarse grid. σ spans its whole meaningful range; κ spans zero plus
+	// a log grid from far-below-visible to curve-dominating.
+	sigmas := gridLinear(0, 0.95, 40)
+	kappas := append([]float64{0}, gridLog(1e-7, 1, 50)...)
+	bestSigma, bestKappa := 0.0, 0.0
+	bestGamma, bestSSE := 0.0, math.Inf(1)
+	for _, s := range sigmas {
+		for _, k := range kappas {
+			if g, sse := gammaFor(loads, throughputRPS, s, k); sse < bestSSE {
+				bestSigma, bestKappa, bestGamma, bestSSE = s, k, g, sse
+			}
+		}
+	}
+	// Refine: shrink a local grid around the incumbent. Five rounds of
+	// 5× shrinkage takes the σ step from ~0.024 to ~10⁻⁵.
+	sStep := 0.95 / 39
+	kFactor := 2.0
+	for round := 0; round < 5; round++ {
+		sLo, sHi := math.Max(0, bestSigma-sStep), math.Min(1, bestSigma+sStep)
+		var kCands []float64
+		if bestKappa == 0 {
+			kCands = append([]float64{0}, gridLog(1e-9, 1e-6, 8)...)
+		} else {
+			kCands = gridLog(bestKappa/kFactor, bestKappa*kFactor, 12)
+		}
+		for _, s := range gridLinear(sLo, sHi, 12) {
+			for _, k := range kCands {
+				if g, sse := gammaFor(loads, throughputRPS, s, k); sse < bestSSE {
+					bestSigma, bestKappa, bestGamma, bestSSE = s, k, g, sse
+				}
+			}
+		}
+		sStep /= 5
+		kFactor = math.Pow(kFactor, 0.6)
+	}
+
+	var mean, sstot float64
+	for _, x := range throughputRPS {
+		mean += x
+	}
+	mean /= float64(len(throughputRPS))
+	for _, x := range throughputRPS {
+		sstot += (x - mean) * (x - mean)
+	}
+	fit := &Fit{
+		Gamma:       bestGamma,
+		Sigma:       bestSigma,
+		Kappa:       bestKappa,
+		LoadUnitRPS: unit,
+		R2:          1,
+	}
+	if sstot > 0 {
+		fit.R2 = 1 - bestSSE/sstot
+	}
+	if !kneeNegligible(bestSigma, bestKappa, maxLoad) {
+		fit.HasKnee = true
+		fit.KneeLoad = math.Sqrt((1 - bestSigma) / bestKappa)
+		fit.KneeRPS = fit.KneeLoad * unit
+		fit.PeakThroughputRPS = uslX(bestGamma, bestSigma, bestKappa, fit.KneeLoad)
+	} else {
+		fit.PeakThroughputRPS = uslX(bestGamma, bestSigma, bestKappa, maxLoad)
+	}
+	return fit, nil
+}
+
+// FitPoints fits the USL over a sweep's points, skipping points whose
+// offered rate collapsed to zero.
+func FitPoints(points []Point) (*Fit, error) {
+	var loads, xs []float64
+	for _, p := range points {
+		if p.OfferedRPS > 0 {
+			loads = append(loads, p.OfferedRPS)
+			xs = append(xs, p.ThroughputRPS)
+		}
+	}
+	return FitUSL(loads, xs)
+}
+
+// gridLinear returns n evenly spaced values over [lo, hi].
+func gridLinear(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// gridLog returns n log-spaced values over [lo, hi], lo > 0.
+func gridLog(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return []float64{lo}
+	}
+	llo, lhi := math.Log(lo), math.Log(hi)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}

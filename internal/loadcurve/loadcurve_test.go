@@ -1,0 +1,211 @@
+package loadcurve
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// synth evaluates the USL at the given loads (in RPS, normalized by
+// the smallest internally, matching FitUSL's convention).
+func synth(gamma, sigma, kappa float64, loads []float64) []float64 {
+	unit := loads[0]
+	for _, l := range loads {
+		if l < unit {
+			unit = l
+		}
+	}
+	out := make([]float64, len(loads))
+	for i, l := range loads {
+		out[i] = uslX(gamma, sigma, kappa, l/unit)
+	}
+	return out
+}
+
+// TestFitRecoversKnownModel generates a clean USL curve and asserts the
+// fit recovers the parameters and the analytic knee.
+func TestFitRecoversKnownModel(t *testing.T) {
+	const gamma, sigma, kappa = 120, 0.08, 0.002
+	loads := []float64{10, 20, 40, 80, 160, 320, 640, 1280}
+	xs := synth(gamma, sigma, kappa, loads)
+	fit, err := FitUSL(loads, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Sigma-sigma) > 0.02 {
+		t.Errorf("sigma = %v, want ~%v", fit.Sigma, sigma)
+	}
+	if fit.Kappa < kappa/2 || fit.Kappa > kappa*2 {
+		t.Errorf("kappa = %v, want ~%v", fit.Kappa, kappa)
+	}
+	if math.Abs(fit.Gamma-gamma)/gamma > 0.05 {
+		t.Errorf("gamma = %v, want ~%v", fit.Gamma, gamma)
+	}
+	if !fit.HasKnee {
+		t.Fatal("no knee found on a retrograde curve")
+	}
+	wantKnee := math.Sqrt((1 - sigma) / kappa) // ≈ 21.4 load units
+	if math.Abs(fit.KneeLoad-wantKnee)/wantKnee > 0.15 {
+		t.Errorf("knee load = %v, want ~%v", fit.KneeLoad, wantKnee)
+	}
+	if want := wantKnee * 10; math.Abs(fit.KneeRPS-want)/want > 0.15 {
+		t.Errorf("knee rps = %v, want ~%v", fit.KneeRPS, want)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R2 = %v on noiseless data", fit.R2)
+	}
+}
+
+// TestFitNoisy asserts the fit tolerates measurement noise without
+// losing the knee. The perturbation is deterministic.
+func TestFitNoisy(t *testing.T) {
+	const gamma, sigma, kappa = 200, 0.05, 0.001
+	loads := []float64{5, 10, 20, 40, 80, 160, 320, 640}
+	xs := synth(gamma, sigma, kappa, loads)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] *= 1.03
+		} else {
+			xs[i] *= 0.97
+		}
+	}
+	fit, err := FitUSL(loads, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fit.HasKnee {
+		t.Fatal("no knee found on noisy retrograde curve")
+	}
+	wantKnee := math.Sqrt((1-sigma)/kappa) * 5 // in RPS
+	if math.Abs(fit.KneeRPS-wantKnee)/wantKnee > 0.35 {
+		t.Errorf("knee rps = %v, want ~%v", fit.KneeRPS, wantKnee)
+	}
+	if fit.R2 < 0.98 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+// TestFitLinearScaling pins the no-knee path: perfectly linear scaling
+// must not invent a capacity ceiling.
+func TestFitLinearScaling(t *testing.T) {
+	loads := []float64{10, 20, 40, 80}
+	xs := make([]float64, len(loads))
+	for i, l := range loads {
+		xs[i] = 3 * l
+	}
+	fit, err := FitUSL(loads, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.HasKnee {
+		t.Errorf("linear scaling fitted a knee at %v rps (sigma=%v kappa=%v)", fit.KneeRPS, fit.Sigma, fit.Kappa)
+	}
+	if fit.PeakThroughputRPS < 200 {
+		t.Errorf("peak throughput = %v, want ~240 at max load", fit.PeakThroughputRPS)
+	}
+}
+
+// TestFitSaturation covers the common real shape: throughput rises then
+// flattens hard (contention-dominated, no retrograde). A knee may or
+// may not be reported, but σ must be substantial and the model must
+// track the plateau.
+func TestFitSaturation(t *testing.T) {
+	loads := []float64{1, 2, 4, 8, 16, 32}
+	xs := []float64{100, 180, 290, 390, 440, 460}
+	fit, err := FitUSL(loads, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Sigma < 0.02 {
+		t.Errorf("sigma = %v on a contention-dominated curve", fit.Sigma)
+	}
+	if fit.R2 < 0.98 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+// TestFitErrors pins the validation contract.
+func TestFitErrors(t *testing.T) {
+	if _, err := FitUSL([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("two points fitted")
+	}
+	if _, err := FitUSL([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Error("mismatched slices fitted")
+	}
+	if _, err := FitUSL([]float64{0, 1, 2}, []float64{0, 1, 2}); err == nil {
+		t.Error("zero load fitted")
+	}
+	if _, err := FitUSL([]float64{5, 5, 5}, []float64{1, 1, 1}); err == nil {
+		t.Error("three identical loads fitted")
+	}
+}
+
+// TestFitDeterministic asserts bit-for-bit reproducibility — the CI
+// gate depends on it.
+func TestFitDeterministic(t *testing.T) {
+	loads := []float64{10, 30, 90, 270, 810}
+	xs := []float64{95, 260, 540, 700, 560}
+	a, err := FitUSL(loads, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitUSL(loads, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("fit not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestFitPointsSkipsDeadSteps asserts FitPoints drops zero-offered
+// steps instead of failing the whole fit.
+func TestFitPointsSkipsDeadSteps(t *testing.T) {
+	pts := []Point{
+		{OfferedRPS: 0, ThroughputRPS: 0},
+		{OfferedRPS: 10, ThroughputRPS: 30},
+		{OfferedRPS: 20, ThroughputRPS: 55},
+		{OfferedRPS: 40, ThroughputRPS: 90},
+	}
+	if _, err := FitPoints(pts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReportRoundTrip pins the BENCH_loadcurve.json schema: a report
+// survives a JSON round trip and carries the schema version.
+func TestReportRoundTrip(t *testing.T) {
+	fit, err := FitUSL([]float64{10, 20, 40, 80}, []float64{90, 160, 250, 280})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report{
+		Schema:         SchemaVersion,
+		Target:         "http://127.0.0.1:8080",
+		Arrivals:       "poisson",
+		Kind:           "lp",
+		WarmupSeconds:  2,
+		MeasureSeconds: 10,
+		Points: []Point{{
+			TargetRPS: 10, OfferedRPS: 9.8, ThroughputRPS: 9.7,
+			ErrorRate: 0.01, Timeouts: 1, LateDispatches: 2,
+			LatencyP50: 3 * time.Millisecond, LatencyP99: 20 * time.Millisecond,
+		}},
+		Fit: fit,
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaVersion || back.Fit == nil || *back.Fit != *fit {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if back.Points[0].LatencyP50 != 3*time.Millisecond {
+		t.Errorf("latency field lost: %+v", back.Points[0])
+	}
+}

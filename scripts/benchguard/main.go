@@ -14,6 +14,22 @@
 // noise — crosses the 2× line. A guarded benchmark missing from the
 // input is also a failure, so a renamed benchmark cannot silently
 // disable its guard.
+//
+// It also gates the open-loop capacity model: with -loadcurve pointing
+// at a BENCH_loadcurve.json (emitted by mpload -rps-sweep) and
+// -loadcurve-baseline at the checked-in reference, the guard fails
+// when the fitted USL knee — or the fitted peak model throughput —
+// regresses by more than -knee-max-regress versus the baseline:
+//
+//	go run ./scripts/benchguard -loadcurve BENCH_loadcurve.json \
+//	    -loadcurve-baseline ci/loadcurve_baseline.json
+//
+// A sweep whose fit finds no knee inside the observed range passes the
+// knee half of the gate (capacity is at least what the sweep reached;
+// a contention-saturated but non-retrograde curve fits κ≈0 and has no
+// knee) — the peak-throughput half still bites there. A sweep whose
+// fit failed outright fails the gate. -in may be omitted when only the
+// loadcurve gate runs.
 package main
 
 import (
@@ -25,6 +41,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"repro/internal/loadcurve"
 )
 
 // benchLine matches one result line of go test -bench output, e.g.
@@ -54,6 +72,39 @@ type Report struct {
 	Results []Result `json:"results"`
 	// Guarded records the guard verdict per baselined benchmark.
 	Guarded []GuardVerdict `json:"guarded"`
+	// Loadcurve records the capacity-knee gate verdict when it ran.
+	Loadcurve *KneeVerdict `json:"loadcurve,omitempty"`
+}
+
+// KneeBaseline is the checked-in capacity reference
+// (ci/loadcurve_baseline.json): the fitted USL knee and peak model
+// throughput of a healthy build on the CI runner class, in RPS. Either
+// field may be zero to skip that half of the gate — a saturating (but
+// non-retrograde) serve path fits κ≈0 and reports no knee, so peak_rps
+// is the check that still bites there.
+type KneeBaseline struct {
+	KneeRPS float64 `json:"knee_rps"`
+	PeakRPS float64 `json:"peak_rps"`
+}
+
+// KneeVerdict is the capacity-gate outcome.
+type KneeVerdict struct {
+	// KneeRPS is the sweep's fitted knee (0 when HasKnee is false).
+	KneeRPS float64 `json:"knee_rps"`
+	// HasKnee mirrors the fit: false means no peak inside the swept
+	// range, which passes the knee half of the gate (capacity is at
+	// least what the sweep reached).
+	HasKnee bool `json:"has_knee"`
+	// PeakRPS is the sweep's peak model throughput.
+	PeakRPS float64 `json:"peak_rps"`
+	// BaselineRPS is the checked-in reference knee.
+	BaselineRPS float64 `json:"baseline_knee_rps"`
+	// BaselinePeakRPS is the checked-in reference peak throughput.
+	BaselinePeakRPS float64 `json:"baseline_peak_rps,omitempty"`
+	// Ratio is BaselineRPS / KneeRPS (how many times the knee shrank).
+	Ratio float64 `json:"ratio"`
+	Pass  bool    `json:"pass"`
+	Note  string  `json:"note,omitempty"`
 }
 
 // GuardVerdict is one guarded benchmark's comparison outcome.
@@ -66,32 +117,57 @@ type GuardVerdict struct {
 }
 
 func main() {
-	in := flag.String("in", "", "go test -bench output to parse (required)")
+	in := flag.String("in", "", "go test -bench output to parse (required unless only -loadcurve runs)")
 	out := flag.String("out", "BENCH_ci.json", "JSON summary artifact to write")
 	baselinePath := flag.String("baseline", "", "checked-in baseline JSON; empty skips the guard")
 	maxRatio := flag.Float64("max-ratio", 2, "fail when ns/op exceeds this multiple of the baseline")
+	loadcurvePath := flag.String("loadcurve", "", "BENCH_loadcurve.json from mpload -rps-sweep; empty skips the capacity gate")
+	loadcurveBase := flag.String("loadcurve-baseline", "", "checked-in capacity baseline (knee_rps / peak_rps); required with -loadcurve")
+	kneeMaxRegress := flag.Float64("knee-max-regress", 2, "fail when the fitted knee or peak throughput shrinks by more than this factor vs the baseline")
 	flag.Parse()
 
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -in is required")
+	if *in == "" && *loadcurvePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -in or -loadcurve is required")
 		os.Exit(2)
 	}
-	results, err := parseBench(*in)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-		os.Exit(2)
+	var report Report
+	if *in != "" {
+		results, err := parseBench(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		report.Results = results
 	}
-	report := Report{Results: results}
 
 	failed := false
+	if *loadcurvePath != "" {
+		verdict, err := gateLoadcurve(*loadcurvePath, *loadcurveBase, *kneeMaxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		report.Loadcurve = verdict
+		status := "ok"
+		if !verdict.Pass {
+			status = "REGRESSION"
+			failed = true
+		}
+		knee := "none in range"
+		if verdict.HasKnee {
+			knee = fmt.Sprintf("%.0f rps", verdict.KneeRPS)
+		}
+		fmt.Printf("benchguard: capacity knee %s (baseline %.0f rps)  peak %.0f rps (baseline %.0f)  %s  %s\n",
+			knee, verdict.BaselineRPS, verdict.PeakRPS, verdict.BaselinePeakRPS, status, verdict.Note)
+	}
 	if *baselinePath != "" {
 		base, err := loadBaseline(*baselinePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 			os.Exit(2)
 		}
-		byName := make(map[string]Result, len(results))
-		for _, r := range results {
+		byName := make(map[string]Result, len(report.Results))
+		for _, r := range report.Results {
 			byName[r.Name] = r
 		}
 		for name, baseNs := range base.NsPerOp {
@@ -135,6 +211,72 @@ func main() {
 	}
 	fmt.Printf("benchguard: %d results parsed, %d guarded, wrote %s\n",
 		len(report.Results), len(report.Guarded), *out)
+}
+
+// gateLoadcurve compares a sweep's fitted knee against the checked-in
+// capacity baseline.
+func gateLoadcurve(curvePath, basePath string, maxRegress float64) (*KneeVerdict, error) {
+	if basePath == "" {
+		return nil, fmt.Errorf("-loadcurve-baseline is required with -loadcurve")
+	}
+	rawCurve, err := os.ReadFile(curvePath)
+	if err != nil {
+		return nil, err
+	}
+	var rep loadcurve.Report
+	if err := json.Unmarshal(rawCurve, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", curvePath, err)
+	}
+	if rep.Schema != loadcurve.SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, want %d", curvePath, rep.Schema, loadcurve.SchemaVersion)
+	}
+	rawBase, err := os.ReadFile(basePath)
+	if err != nil {
+		return nil, err
+	}
+	var base KneeBaseline
+	if err := json.Unmarshal(rawBase, &base); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", basePath, err)
+	}
+	if base.KneeRPS <= 0 && base.PeakRPS <= 0 {
+		return nil, fmt.Errorf("%s: knee_rps or peak_rps must be positive", basePath)
+	}
+	if rep.Fit == nil {
+		// The sweep ran but could not be modeled — a broken sweep must
+		// not pass silently.
+		return &KneeVerdict{BaselineRPS: base.KneeRPS, BaselinePeakRPS: base.PeakRPS,
+			Pass: false, Note: fmt.Sprintf("sweep has no fit: %s", rep.FitError)}, nil
+	}
+	v := &KneeVerdict{
+		KneeRPS:         rep.Fit.KneeRPS,
+		HasKnee:         rep.Fit.HasKnee,
+		PeakRPS:         rep.Fit.PeakThroughputRPS,
+		BaselineRPS:     base.KneeRPS,
+		BaselinePeakRPS: base.PeakRPS,
+		Pass:            true,
+	}
+	var notes []string
+	if base.KneeRPS > 0 {
+		if !rep.Fit.HasKnee {
+			// No peak inside (10× of) the swept range: capacity is at
+			// least what the sweep reached, which cannot be a
+			// >maxRegress collapse of the knee.
+			notes = append(notes, "no knee within swept range")
+		} else {
+			v.Ratio = base.KneeRPS / rep.Fit.KneeRPS
+			if rep.Fit.KneeRPS*maxRegress < base.KneeRPS {
+				v.Pass = false
+				notes = append(notes, fmt.Sprintf("knee shrank %.1f× (limit %.1f×)", v.Ratio, maxRegress))
+			}
+		}
+	}
+	if base.PeakRPS > 0 && v.PeakRPS*maxRegress < base.PeakRPS {
+		v.Pass = false
+		notes = append(notes, fmt.Sprintf("peak throughput shrank %.1f× (limit %.1f×)",
+			base.PeakRPS/v.PeakRPS, maxRegress))
+	}
+	v.Note = strings.Join(notes, "; ")
+	return v, nil
 }
 
 func parseBench(path string) ([]Result, error) {

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/metrics"
 )
 
 // maxBodyBytes bounds request bodies (a 512×512 dense upload is ~6 MB
@@ -22,6 +24,7 @@ var maxBodyBytes int64 = 256 << 20
 //	POST   /estimate                run one estimation query
 //	POST   /estimate/batch          run many queries against one admission slot
 //	GET    /stats                   aggregate serving statistics
+//	GET    /metrics                 Prometheus text-format exposition
 //	GET    /healthz                 liveness
 //
 // The chunks endpoint is the streaming ingestion path: each request is
@@ -136,6 +139,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, e.Stats())
 	})
+	mux.Handle("GET /metrics", metrics.Handler(e.Metrics()))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

@@ -202,6 +202,7 @@ type Engine struct {
 	reg     *registry
 	cache   *sketchCache // nil when Config.DisableCache
 	stats   *collector
+	met     *engineMetrics
 	workers chan struct{} // worker slots
 	queue   chan struct{} // bounded admission queue
 	seedSeq chan uint64
@@ -236,6 +237,7 @@ func NewEngine(cfg Config) *Engine {
 	if !cfg.DisableCache {
 		e.cache = newSketchCache(cfg.CacheCapacity, cfg.SeedRotateEvery)
 	}
+	e.met = newEngineMetrics(e)
 	e.seedSeq <- cfg.BaseSeed
 	return e
 }
@@ -352,6 +354,20 @@ func (e *Engine) admit(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// admitTimed wraps admit and records the slot wait for admissions that
+// succeed. Rejected or cancelled admissions record nothing: their wait
+// is bounded by the caller, not the queue, and would skew the window.
+func (e *Engine) admitTimed(ctx context.Context) (release func(), err error) {
+	start := time.Now()
+	release, err = e.admit(ctx)
+	if err == nil {
+		wait := time.Since(start)
+		e.stats.recordQueueWait(wait)
+		e.met.queueWait.Observe(wait.Seconds())
+	}
+	return release, err
+}
+
 // Estimate answers one query: it admits the job through the bounded
 // pool, runs the requested protocol between Alice (the request's
 // matrix) and Bob (the served matrix) over a fresh transport, and
@@ -370,7 +386,7 @@ func (e *Engine) Estimate(ctx context.Context, req Request) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	release, err := e.admit(ctx)
+	release, err := e.admitTimed(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -400,7 +416,7 @@ func (e *Engine) EstimateBatch(ctx context.Context, reqs []Request) ([]BatchItem
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	release, err := e.admit(ctx)
+	release, err := e.admitTimed(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -506,6 +522,7 @@ func (e *Engine) runJob(ctx context.Context, req Request) (*Result, error) {
 	stats := bob.T.Stats()
 
 	e.stats.record(req.Kind, stats.TotalBits(), stats.Rounds, elapsed, runErr != nil || ctx.Err() != nil)
+	e.met.observeRun(req.Kind, elapsed)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -55,6 +55,16 @@ type Stats struct {
 	LatencyP90 time.Duration `json:"latency_p90_ns"`
 	// LatencyP99 is the 99th-percentile latency over the recent window.
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
+	// QueueWaitP50 is the median admission-slot wait over the recent
+	// window — time between an Estimate/EstimateBatch call entering
+	// admission and a worker slot being granted, reported separately
+	// from the protocol latencies above so queueing delay (saturation)
+	// is visible apart from service time.
+	QueueWaitP50 time.Duration `json:"queue_wait_p50_ns"`
+	// QueueWaitP90 is the 90th-percentile admission wait.
+	QueueWaitP90 time.Duration `json:"queue_wait_p90_ns"`
+	// QueueWaitP99 is the 99th-percentile admission wait.
+	QueueWaitP99 time.Duration `json:"queue_wait_p99_ns"`
 	// Uptime is how long the engine has been serving.
 	Uptime time.Duration `json:"uptime_ns"`
 }
@@ -72,6 +82,8 @@ type collector struct {
 	perKind   map[string]*KindStats
 	ring      [latencyWindow]time.Duration
 	ringN     int // total latencies ever recorded
+	waitRing  [latencyWindow]time.Duration
+	waitRingN int // total queue waits ever recorded
 }
 
 func newCollector() *collector {
@@ -113,6 +125,16 @@ func (c *collector) bump(kind string, bits int64, rounds int, failed bool) {
 	}
 }
 
+// recordQueueWait records how long one admission waited for a worker
+// slot. Kept in its own ring: queue waits and service times have very
+// different distributions and mixing them would hide saturation.
+func (c *collector) recordQueueWait(wait time.Duration) {
+	c.mu.Lock()
+	c.waitRing[c.waitRingN%latencyWindow] = wait
+	c.waitRingN++
+	c.mu.Unlock()
+}
+
 func (c *collector) reject() {
 	c.mu.Lock()
 	c.rejected++
@@ -125,11 +147,17 @@ func (c *collector) evict(n int) {
 	c.mu.Unlock()
 }
 
-// snapshot returns a consistent copy with latency percentiles over the
-// recent window.
-func (c *collector) snapshot(matrices int) Stats {
+// countersSnapshot returns a consistent copy of the monotone counters
+// without touching the latency rings — no sorting, so it is cheap
+// enough for the /metrics func-backed families to call at scrape time.
+func (c *collector) countersSnapshot(matrices int) Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.countersLocked(matrices)
+}
+
+// countersLocked builds the counter part of a Stats. Callers hold c.mu.
+func (c *collector) countersLocked(matrices int) Stats {
 	s := Stats{
 		Requests:  c.requests,
 		Errors:    c.errors,
@@ -143,19 +171,33 @@ func (c *collector) snapshot(matrices int) Stats {
 	for k, v := range c.perKind {
 		s.PerKind[k] = *v
 	}
-	n := c.ringN
+	return s
+}
+
+// snapshot returns a consistent copy with latency and queue-wait
+// percentiles over the recent windows.
+func (c *collector) snapshot(matrices int) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.countersLocked(matrices)
+	s.LatencyP50, s.LatencyP90, s.LatencyP99 = ringPercentiles(&c.ring, c.ringN)
+	s.QueueWaitP50, s.QueueWaitP90, s.QueueWaitP99 = ringPercentiles(&c.waitRing, c.waitRingN)
+	return s
+}
+
+// ringPercentiles reads the P50/P90/P99 of a latency ring holding
+// min(n, latencyWindow) valid entries.
+func ringPercentiles(ring *[latencyWindow]time.Duration, n int) (p50, p90, p99 time.Duration) {
 	if n > latencyWindow {
 		n = latencyWindow
 	}
-	if n > 0 {
-		lats := make([]time.Duration, n)
-		copy(lats, c.ring[:n])
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		s.LatencyP50 = Percentile(lats, 0.50)
-		s.LatencyP90 = Percentile(lats, 0.90)
-		s.LatencyP99 = Percentile(lats, 0.99)
+	if n == 0 {
+		return 0, 0, 0
 	}
-	return s
+	lats := make([]time.Duration, n)
+	copy(lats, ring[:n])
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return Percentile(lats, 0.50), Percentile(lats, 0.90), Percentile(lats, 0.99)
 }
 
 // ShardStats describes the row-shard parallel serve path: the engine's
