@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildMpvet compiles the mpvet binary into a temp dir and returns its
+// path.
+func buildMpvet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mpvet")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/mpvet")
+	cmd.Env = append(os.Environ(), "GOTOOLCHAIN=local")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building mpvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module for go vet to analyze.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// govet runs `go vet -vettool=bin ./...` inside dir.
+func govet(t *testing.T, bin, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOTOOLCHAIN=local", "GOWORK=off", "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestVettoolFlagsSeededViolations drives the real unitchecker path end
+// to end: go vet -vettool on a module seeded with one violation per
+// contract must fail and name each analyzer's finding.
+func TestVettoolFlagsSeededViolations(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	bin := buildMpvet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.23\n",
+		// mpdeterminism: unsorted map-range append in a protocol package.
+		"internal/core/core.go": `package core
+
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+`,
+		// mphotpath: allocation in an annotated function.
+		"hot/hot.go": `package hot
+
+//mp:hotpath
+func Observe() []byte {
+	return make([]byte, 8)
+}
+`,
+	})
+	out, err := govet(t, bin, dir)
+	if err == nil {
+		t.Fatalf("go vet passed on a module seeded with violations; output:\n%s", out)
+	}
+	for _, wantFrag := range []string{"map iteration order", "builtin make allocates"} {
+		if !strings.Contains(out, wantFrag) {
+			t.Errorf("go vet output missing %q:\n%s", wantFrag, out)
+		}
+	}
+}
+
+// TestVettoolPassesCleanModule is the flip side: a module honoring the
+// contracts vets clean through the same driver.
+func TestVettoolPassesCleanModule(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	bin := buildMpvet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.23\n",
+		"internal/core/core.go": `package core
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+`,
+	})
+	out, err := govet(t, bin, dir)
+	if err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}

@@ -316,7 +316,7 @@ func (g *Gateway) PutMatrix(ctx context.Context, name string, m service.Matrix) 
 	// Shared with other placements, exclusive against admin topology
 	// changes: the target set picked here stays in the pool until the
 	// table entry is installed.
-	g.topoMu.RLock()
+	g.topoMu.RLock() //mp:lockio-ok audited: shared topology pin held across replica legs so admin changes cannot race a placement install
 	defer g.topoMu.RUnlock()
 	targets := g.placementTargets(name)
 	if len(targets) == 0 {

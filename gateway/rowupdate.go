@@ -117,7 +117,7 @@ func (g *Gateway) UpdateRows(ctx context.Context, name string, req service.Updat
 	if err != nil {
 		return service.UpdateReply{}, err
 	}
-	g.updMu.Lock()
+	g.updMu.Lock() //mp:lockio-ok audited: updMu is the coarse serialization of updates against heal passes; holding it across the legs is the design (see field doc)
 	defer g.updMu.Unlock()
 	pm, reps, err := g.replicaSnapshot(name)
 	if err != nil {

@@ -55,7 +55,7 @@ func (g *Gateway) gcUploadsLocked(now time.Time) {
 // abortLegs discards the upload's staged state on every backend,
 // best-effort (the backends' own TTL GC is the backstop).
 func (up *fanoutUpload) abortLegs() {
-	up.legMu.Lock()
+	up.legMu.Lock() //mp:lockio-ok audited: per-upload leg serialization; abortLegs runs detached (never under g.mu) and the legs must not interleave with a racing append/commit
 	defer up.legMu.Unlock()
 	for _, leg := range up.legs {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -141,7 +141,7 @@ func (g *Gateway) AppendChunk(ctx context.Context, name, token string, rowStart,
 	if err != nil {
 		return service.UploadInfo{}, err
 	}
-	up.legMu.Lock()
+	up.legMu.Lock() //mp:lockio-ok audited: chunks must ship to every leg in one serialized step or replicas diverge (see method doc)
 	defer up.legMu.Unlock()
 	legBackends := make([]*backend, len(up.legs))
 	for i, leg := range up.legs {
@@ -194,9 +194,9 @@ func (g *Gateway) CommitUpload(ctx context.Context, name, token string) (Placeme
 	// changes while the commit installs (see topoMu). The legs were
 	// targeted at begin time, so backends removed since then are
 	// reconciled below.
-	g.topoMu.RLock()
+	g.topoMu.RLock() //mp:lockio-ok audited: shared topology pin held across the commit legs so admin changes cannot race the install (see comment above)
 	defer g.topoMu.RUnlock()
-	up.legMu.Lock()
+	up.legMu.Lock() //mp:lockio-ok audited: the all-or-nothing commit must not interleave with a racing append/abort on the same legs
 	defer up.legMu.Unlock()
 	g.dropUpload(up)
 	legBackends := make([]*backend, len(up.legs))
@@ -265,7 +265,7 @@ func (g *Gateway) AbortUpload(ctx context.Context, name, token string) error {
 		return err
 	}
 	g.dropUpload(up)
-	up.legMu.Lock()
+	up.legMu.Lock() //mp:lockio-ok audited: per-upload leg serialization, same contract as abortLegs
 	defer up.legMu.Unlock()
 	for _, leg := range up.legs {
 		_ = leg.b.client.AbortUpload(ctx, up.name, leg.token)

@@ -3,3 +3,7 @@ module repro
 go 1.23.0
 
 toolchain go1.24.0
+
+require golang.org/x/tools v0.28.1
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,291 @@
+// Package analysistest runs a go/analysis analyzer over GOPATH-style
+// fixture packages and checks its diagnostics against // want
+// expectations, mirroring the golang.org/x/tools/go/analysis/analysistest
+// API surface the repository's analyzer tests need.
+//
+// It exists because the module vendors the Go toolchain's own copy of
+// golang.org/x/tools (third_party/golang.org/x/tools), which ships the
+// analysis framework and unitchecker driver but not the analysistest
+// package. The harness loads fixtures from dir/src/<pkg>/*.go, resolves
+// fixture-local imports (a fixture may stub net/http under
+// dir/src/net/http) before falling back to compiling real standard
+// library packages from source, and matches each diagnostic against the
+// // want "regexp" comments on its line:
+//
+//	json.NewDecoder(r.Body) // want `raw json\.NewDecoder`
+//
+// Multiple expectations on one line each match one diagnostic. A
+// diagnostic with no matching expectation, or an expectation no
+// diagnostic matched, fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, the root that Run's fixture packages resolve under.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package dir/src/<pkg>, runs a (and its
+// Requires closure) over it, and reports any mismatch between the
+// diagnostics and the fixtures' // want expectations as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := newLoader(dir)
+	for _, pkg := range pkgs {
+		lp, err := ld.load(pkg)
+		if err != nil {
+			t.Errorf("loading fixture package %s: %v", pkg, err)
+			continue
+		}
+		diags, err := runAnalyzer(a, ld.fset, lp, map[*analysis.Analyzer]any{})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		checkWants(t, ld.fset, lp.files, diags)
+	}
+}
+
+// loadedPkg is one type-checked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture packages by import path with a
+// fixture-local-first, standard-library-source fallback import chain.
+type loader struct {
+	dir   string
+	fset  *token.FileSet
+	cache map[string]*loadedPkg
+	std   types.Importer
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		dir:   dir,
+		fset:  fset,
+		cache: make(map[string]*loadedPkg),
+		std:   importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer over the fixture-first chain.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if lp, err := ld.load(path); err == nil {
+		return lp.pkg, nil
+	} else if _, statErr := os.Stat(filepath.Join(ld.dir, "src", path)); statErr == nil {
+		return nil, err // the fixture exists but is broken: surface that
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at dir/src/path.
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := ld.cache[path]; ok {
+		return lp, nil
+	}
+	pkgDir := filepath.Join(ld.dir, "src", path)
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", pkgDir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(pkgDir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: ld, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	ld.cache[path] = lp
+	return lp, nil
+}
+
+// runAnalyzer executes a's Requires closure, then a itself, collecting
+// a's diagnostics.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, lp *loadedPkg, results map[*analysis.Analyzer]any) ([]analysis.Diagnostic, error) {
+	for _, req := range a.Requires {
+		if _, done := results[req]; done {
+			continue
+		}
+		if _, err := runAnalyzer(req, fset, lp, results); err != nil {
+			return nil, fmt.Errorf("prerequisite %s: %v", req.Name, err)
+		}
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:          a,
+		Fset:              fset,
+		Files:             lp.files,
+		Pkg:               lp.pkg,
+		TypesInfo:         lp.info,
+		TypesSizes:        types.SizesFor("gc", runtime.GOARCH),
+		Report:            func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ResultOf:          results,
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	results[a] = res
+	return diags, nil
+}
+
+// expectation is one // want regexp on a fixture line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// checkWants matches diags against the fixtures' // want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWantPatterns(m[1])
+				if err != nil {
+					t.Errorf("%s:%d: bad want syntax: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				for _, re := range res {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWantPatterns splits a want payload into its quoted regexps:
+// sequences of "double-quoted" (Go unquoting) or `backquoted` strings.
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var raw string
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			u, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			raw, s = u, s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			raw, s = s[1:end+1], s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+// Package determinism defines the mpdeterminism analyzer: protocol
+// packages must not introduce run-to-run nondeterminism that could
+// reach a transcript.
+//
+// The paper's estimators are pinned by byte-identical transcript parity
+// tests (sequential vs sharded execution, in-process vs TCP transport),
+// so the protocol packages — core, sketch, comm — must be deterministic
+// functions of (inputs, seed). Three classes of accidental
+// nondeterminism are flagged:
+//
+//   - iteration over a map whose element order can leak into an
+//     order-sensitive sink (a slice built across iterations, a channel
+//     send, an emit/encode call, or a floating-point accumulation whose
+//     rounding depends on summation order);
+//   - wall-clock reads (time.Now, time.Since, time.Until);
+//   - the global math/rand generators, whose stream is shared
+//     process-wide and therefore perturbed by unrelated callers. All
+//     randomness must flow from explicit seeded sources (internal/rng).
+//
+// A map range whose collected slice is afterwards passed to a sort.* or
+// slices.Sort* call in the same function is not flagged: sorting
+// restores a canonical order. Audited exceptions carry the
+// //mp:nondeterministic-ok waiver on or directly above the flagged
+// line.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/directives"
+	"repro/internal/analysis/mputil"
+)
+
+// Analyzer is the mpdeterminism go/analysis pass. It inspects only the
+// protocol packages (core, sketch, comm) and skips test files.
+var Analyzer = &analysis.Analyzer{
+	Name: "mpdeterminism",
+	Doc: "flag map-iteration order, wall-clock reads, and global math/rand use " +
+		"in the protocol packages (core, sketch, comm), where any nondeterminism " +
+		"can break byte-identical transcript reproducibility",
+	Run: run,
+}
+
+// timeFuncs are the wall-clock reads flagged in protocol code.
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand functions that build an explicit,
+// locally seeded generator; they are allowed — only the package-level
+// global-generator functions are flagged.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !mputil.PackageNamed(pass, "core", "sketch", "comm") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if mputil.IsTestFile(pass, f) {
+			continue
+		}
+		dirs := directives.ParseFile(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, dirs, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, dirs, n.Body)
+				}
+			case *ast.FuncLit:
+				// Function literals at package level (var initializers)
+				// are not inside any FuncDecl; cover them too. Nested
+				// literals are re-visited, which is harmless: findings
+				// are deduplicated by position.
+				if enclosingFuncDecl(pass, n) == nil {
+					checkMapRanges(pass, dirs, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// enclosingFuncDecl reports whether lit is lexically inside some
+// function declaration of its file.
+func enclosingFuncDecl(pass *analysis.Pass, lit *ast.FuncLit) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		if f.Pos() <= lit.Pos() && lit.Pos() < f.End() {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= lit.Pos() && lit.Pos() < fd.End() {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkCall flags wall-clock reads and global math/rand use.
+func checkCall(pass *analysis.Pass, dirs *directives.Map, call *ast.CallExpr) {
+	fn := mputil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return // methods (e.g. on a local *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if timeFuncs[fn.Name()] && !dirs.Waived(call.Pos(), directives.NondeterministicOK) {
+			pass.Reportf(call.Pos(), "wall-clock read time.%s in protocol code: transcripts must be "+
+				"deterministic functions of (inputs, seed); derive timing outside the protocol "+
+				"packages or annotate //mp:nondeterministic-ok with the audit reason", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] && !dirs.Waived(call.Pos(), directives.NondeterministicOK) {
+			pass.Reportf(call.Pos(), "global math/rand generator (%s.%s) in protocol code: the shared "+
+				"stream is perturbed by unrelated callers; draw from an explicitly seeded source "+
+				"(internal/rng) or annotate //mp:nondeterministic-ok", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRanges flags map-range loops in body whose iteration order
+// can reach an order-sensitive sink.
+func checkMapRanges(pass *analysis.Pass, dirs *directives.Map, body *ast.BlockStmt) {
+	// sortedObjs collects objects passed to a sort call anywhere in the
+	// function: a slice built from a map range and then sorted has a
+	// canonical order, so its builder loop is not flagged.
+	sortedObjs := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := mputil.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := mputil.RootIdent(arg); id != nil {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					sortedObjs[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if dirs.Waived(rng.Pos(), directives.NondeterministicOK) {
+			return true
+		}
+		if reason := orderSink(pass, rng, sortedObjs); reason != "" {
+			pass.Reportf(rng.Pos(), "map iteration order reaches %s: collect and sort the keys first "+
+				"(or sort the result before it is used), or annotate //mp:nondeterministic-ok with "+
+				"the audit reason", reason)
+		}
+		return true
+	})
+}
+
+// orderSink scans a map-range body for a construct whose result depends
+// on iteration order, returning a human-readable description of the
+// first sink found (empty when the loop is order-insensitive).
+func orderSink(pass *analysis.Pass, rng *ast.RangeStmt, sortedObjs map[types.Object]bool) string {
+	info := pass.TypesInfo
+	var found string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = "a channel send"
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && mputil.IsBuiltinIdent(info, id) {
+				// Builtin append growing a slice across iterations. If
+				// the destination is sorted later in the function the
+				// order is canonicalized and the loop is fine.
+				if len(n.Args) > 0 {
+					if dst := mputil.RootIdent(n.Args[0]); dst != nil {
+						if obj := info.Uses[dst]; obj != nil && sortedObjs[obj] {
+							return true
+						}
+					}
+				}
+				found = "a slice built across iterations (append)"
+				return false
+			}
+			if fn := mputil.CalleeFunc(info, n); fn != nil && emitName(fn.Name()) {
+				found = "an emitting call (" + fn.Name() + ")"
+			}
+		case *ast.AssignStmt:
+			// Order-sensitive accumulations and positional writes.
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN || n.Tok == token.QUO_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if t := info.TypeOf(lhs); t != nil && mputil.IsFloat(t) {
+						found = "a floating-point accumulation (rounding depends on summation order)"
+						return false
+					}
+				}
+			}
+			if n.Tok == token.ASSIGN {
+				for _, lhs := range n.Lhs {
+					if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+						if t := info.TypeOf(ix.X); t != nil {
+							if _, isSlice := t.Underlying().(*types.Slice); isSlice && !indexIsRangeVar(info, ix.Index, rng) {
+								found = "a positional slice write (index not derived from the map key)"
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// emitName reports whether a called function's name marks transcript or
+// output emission.
+func emitName(name string) bool {
+	for _, p := range []string{"Write", "Encode", "Emit", "Send", "Push", "Append"} {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// indexIsRangeVar reports whether idx is exactly the range statement's
+// key variable: s[k] = v inside `for k, v := range m` writes to a slot
+// determined by the key, which is order-independent.
+func indexIsRangeVar(info *types.Info, idx ast.Expr, rng *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(idx).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	kobj := info.Defs[key]
+	return obj != nil && obj == kobj
+}

@@ -1,0 +1,40 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "core", "notproto")
+}
+
+// TestMapOrderChangesTranscript demonstrates at runtime the failure
+// mode the analyzer guards against: building a transcript by ranging
+// over a map yields different byte sequences across passes over the
+// same map, so a transcript emitted that way cannot be byte-identical
+// run to run. With 16 keys and 100 passes, the probability of Go's
+// randomized iteration producing one identical order every time is
+// (1/16!)^99 — zero for all practical purposes.
+func TestMapOrderChangesTranscript(t *testing.T) {
+	m := make(map[string]int, 16)
+	for i := 0; i < 16; i++ {
+		m[string(rune('a'+i))] = i
+	}
+	transcript := func() string {
+		var b []byte
+		for k := range m {
+			b = append(b, k...)
+		}
+		return string(b)
+	}
+	first := transcript()
+	for i := 0; i < 100; i++ {
+		if transcript() != first {
+			return // orders diverged: the map-built transcript is not reproducible
+		}
+	}
+	t.Fatalf("100 map-range passes produced the identical transcript %q; randomized iteration should have diverged", first)
+}

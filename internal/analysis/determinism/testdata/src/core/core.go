@@ -1,0 +1,99 @@
+// Package core exercises the mpdeterminism analyzer inside one of its
+// scoped protocol packages.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wall-clock reads are flagged in protocol code.
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall-clock read time\.Now`
+	return time.Since(start) // want `wall-clock read time\.Since`
+}
+
+// A waived wall-clock read is an audited exception.
+func wallClockWaived() {
+	_ = time.Now() //mp:nondeterministic-ok fixture: audited telemetry that never reaches a transcript
+}
+
+// The global math/rand stream is flagged; an explicitly seeded
+// generator is the sanctioned source.
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand generator \(rand\.Intn\)`
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(1)) // explicit constructor: allowed
+	return r.Intn(10)                // method on a local generator: allowed
+}
+
+// A slice built across map iterations inherits the map's random order.
+func keysUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `map iteration order reaches a slice built across iterations`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Sorting the collected slice canonicalizes the order: not flagged.
+func keysSorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// A channel send per iteration publishes the random order.
+func chanSend(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration order reaches a channel send`
+		ch <- k
+	}
+}
+
+// Floating-point rounding depends on summation order.
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order reaches a floating-point accumulation`
+		sum += v
+	}
+	return sum
+}
+
+// Integer accumulation is exact and associative: not flagged.
+func intAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A positional write through a loop counter depends on visit order.
+func positional(m map[int]string, out []string) {
+	i := 0
+	for _, v := range m { // want `map iteration order reaches a positional slice write`
+		out[i] = v
+		i++
+	}
+}
+
+// A slot determined by the map key is order-independent.
+func keyIndexed(m map[int]string, out []string) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// The waiver on the line above the range statement covers the loop.
+func waivedRange(m map[string]int, ch chan int) {
+	//mp:nondeterministic-ok fixture: the consumer is audited order-insensitive
+	for _, v := range m {
+		ch <- v
+	}
+}

@@ -1,0 +1,22 @@
+package core
+
+// Transcript is the fixture stand-in for the protocol transcript: an
+// append-only byte log whose exact contents the repository's parity
+// tests pin byte-for-byte (sequential vs sharded, in-process vs TCP).
+type Transcript struct{ buf []byte }
+
+// AppendEntry emits one entry into the transcript.
+func (t *Transcript) AppendEntry(key string, v int64) {
+	t.buf = append(t.buf, key...)
+}
+
+// emitCounts reproduces the bug class the analyzer exists for: ranging
+// over a map and emitting one transcript entry per key makes the
+// transcript bytes depend on Go's randomized map iteration order — two
+// identical runs of the same protocol produce different transcripts,
+// and byte-identical parity breaks.
+func emitCounts(t *Transcript, counts map[string]int64) {
+	for k, v := range counts { // want `map iteration order reaches an emitting call \(AppendEntry\)`
+		t.AppendEntry(k, v)
+	}
+}

@@ -1,0 +1,19 @@
+// Package rand is a minimal fixture stub of math/rand: the global
+// generator functions the analyzer flags plus the explicit-constructor
+// path it allows.
+package rand
+
+// Source is a stub seeded entropy source.
+type Source struct{}
+
+// Rand is a stub explicit generator.
+type Rand struct{}
+
+func Intn(n int) int                     { return 0 }
+func Float64() float64                   { return 0 }
+func Shuffle(n int, swap func(i, j int)) {}
+func NewSource(seed int64) *Source       { return &Source{} }
+func New(src *Source) *Rand              { return &Rand{} }
+
+func (r *Rand) Intn(n int) int   { return 0 }
+func (r *Rand) Float64() float64 { return 0 }

@@ -1,0 +1,16 @@
+// Package notproto is outside the protocol packages (core, sketch,
+// comm): the analyzer's scope check must leave it alone even though it
+// reads the wall clock and ranges over maps into slices.
+package notproto
+
+import "time"
+
+func clock() time.Time { return time.Now() } // out of scope: no finding
+
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m { // out of scope: no finding
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -1,0 +1,8 @@
+// Package sort is a minimal fixture stub of the standard library's
+// sort package, enough for the sorted-afterwards suppression fixtures.
+package sort
+
+func Ints(x []int)                                {}
+func Strings(x []string)                          {}
+func Slice(x any, less func(i, j int) bool)       {}
+func SliceStable(x any, less func(i, j int) bool) {}

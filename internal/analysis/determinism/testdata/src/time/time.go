@@ -1,0 +1,16 @@
+// Package time is a minimal fixture stub of the standard library's
+// time package: just enough surface for the determinism fixtures to
+// type-check without compiling the real package from source.
+package time
+
+// Time is a stub instant.
+type Time struct{}
+
+// Duration is a stub duration.
+type Duration int64
+
+func Now() Time             { return Time{} }
+func Since(t Time) Duration { return 0 }
+func Until(t Time) Duration { return 0 }
+
+func (t Time) Sub(u Time) Duration { return 0 }

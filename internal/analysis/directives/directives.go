@@ -1,0 +1,108 @@
+// Package directives parses the //mp: comment directives that the
+// repository's invariant analyzers (cmd/mpvet) understand: the
+// //mp:hotpath annotation marking a function as subject to the
+// zero-alloc/zero-lock cost contract, and the per-finding waiver
+// comments that record an audited, deliberate exception to one of the
+// enforced invariants.
+//
+// A waiver applies to a source line when the directive comment sits on
+// that line (trailing) or alone on the line directly above it. Waivers
+// should carry a justification after the directive token, e.g.:
+//
+//	start := time.Now() //mp:nondeterministic-ok busy-time telemetry never enters a transcript
+//
+// so the audit trail lives next to the exception it grants.
+package directives
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The directive tokens. Each analyzer documents which waiver it honors.
+const (
+	// Hotpath marks a function's doc comment: the function is on the
+	// measured hot path and must satisfy the mphotpath analyzer's
+	// zero-alloc/zero-lock contract.
+	Hotpath = "mp:hotpath"
+	// NondeterministicOK waives an mpdeterminism finding: the flagged
+	// nondeterminism is audited to never reach a transcript or output.
+	NondeterministicOK = "mp:nondeterministic-ok"
+	// FloatOrderOK waives an mpfloatorder finding: the flagged float
+	// accumulation is audited to be order-insensitive.
+	FloatOrderOK = "mp:floatorder-ok"
+	// AllocOK waives an mphotpath allocation finding: the flagged
+	// construct is audited not to allocate in practice.
+	AllocOK = "mp:alloc-ok"
+	// LockOK waives an mphotpath lock finding: the flagged acquisition
+	// is part of the function's audited allowed set.
+	LockOK = "mp:lock-ok"
+	// LockIOOK waives an mplockio finding: holding the lock across the
+	// flagged blocking operation is the audited design (serialization
+	// locks like the gateway's updMu).
+	LockIOOK = "mp:lockio-ok"
+	// RawWireOK waives an mpwire finding: the flagged raw encoder or
+	// error writer IS one of the sanctioned wire helpers.
+	RawWireOK = "mp:rawwire-ok"
+)
+
+// Map indexes every //mp: directive comment of one file by the line it
+// sits on.
+type Map struct {
+	fset  *token.FileSet
+	lines map[int][]string // line -> directive tokens on that line
+}
+
+// ParseFile collects the //mp: directives of one parsed file. The file
+// must have been parsed with comments retained.
+func ParseFile(fset *token.FileSet, f *ast.File) *Map {
+	m := &Map{fset: fset, lines: make(map[int][]string)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "mp:") {
+				continue
+			}
+			tok := text
+			if i := strings.IndexAny(tok, " \t"); i >= 0 {
+				tok = tok[:i]
+			}
+			line := fset.Position(c.Pos()).Line
+			m.lines[line] = append(m.lines[line], tok)
+		}
+	}
+	return m
+}
+
+// Waived reports whether directive tok waives a finding at pos: the
+// directive appears on the finding's line or on the line directly
+// above it.
+func (m *Map) Waived(pos token.Pos, tok string) bool {
+	line := m.fset.Position(pos).Line
+	return m.hasOn(line, tok) || m.hasOn(line-1, tok)
+}
+
+func (m *Map) hasOn(line int, tok string) bool {
+	for _, t := range m.lines[line] {
+		if t == tok {
+			return true
+		}
+	}
+	return false
+}
+
+// IsHotpath reports whether fn is annotated //mp:hotpath, either in
+// its doc comment or on the line holding the func keyword.
+func (m *Map) IsHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == Hotpath || strings.HasPrefix(text, Hotpath+" ") {
+				return true
+			}
+		}
+	}
+	return m.hasOn(m.fset.Position(fn.Pos()).Line, Hotpath)
+}

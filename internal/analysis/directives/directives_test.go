@@ -1,0 +1,79 @@
+package directives_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis/directives"
+)
+
+const src = `package p
+
+//mp:hotpath
+func a() {
+	x := 1 //mp:lock-ok trailing waiver with a reason
+	//mp:alloc-ok waiver alone on the line above
+	y := 2
+	_ = x
+	_ = y
+}
+
+func b() {} //mp:hotpath
+
+func c() {}
+`
+
+func parse(t *testing.T) (*token.FileSet, *ast.File, *directives.Map) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, directives.ParseFile(fset, f)
+}
+
+func funcs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+func TestIsHotpath(t *testing.T) {
+	_, f, m := parse(t)
+	fns := funcs(f)
+	if !m.IsHotpath(fns[0]) {
+		t.Errorf("a: doc-comment //mp:hotpath not recognized")
+	}
+	if !m.IsHotpath(fns[1]) {
+		t.Errorf("b: func-keyword-line //mp:hotpath not recognized")
+	}
+	if m.IsHotpath(fns[2]) {
+		t.Errorf("c: unannotated function reported as hotpath")
+	}
+}
+
+func TestWaived(t *testing.T) {
+	_, f, m := parse(t)
+	stmts := funcs(f)[0].Body.List
+	xAssign, yAssign, xUse := stmts[0], stmts[1], stmts[2]
+
+	if !m.Waived(xAssign.Pos(), directives.LockOK) {
+		t.Errorf("trailing waiver on the same line not honored")
+	}
+	if !m.Waived(yAssign.Pos(), directives.AllocOK) {
+		t.Errorf("waiver on the line directly above not honored")
+	}
+	if m.Waived(xUse.Pos(), directives.AllocOK) {
+		t.Errorf("waiver leaked two lines down")
+	}
+	if m.Waived(xAssign.Pos(), directives.AllocOK) {
+		t.Errorf("waiver of a different token honored")
+	}
+}

@@ -1,0 +1,165 @@
+// Package floatorder defines the mpfloatorder analyzer: shard-pool
+// closures must not accumulate floating-point values across shards.
+//
+// The row-shard execution layer (internal/core/shard.go) keeps
+// transcripts byte-identical to sequential execution by having every
+// shard write to disjoint slots and re-running floating-point
+// reductions over the merged slots in index order. A float accumulation
+// onto a variable captured from outside a shard closure breaks that
+// contract twice over: the summation order depends on shard
+// scheduling (different rounding run to run) and the write races.
+// Integer accumulation is exact and associative, so it is not flagged.
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/directives"
+	"repro/internal/analysis/mputil"
+)
+
+// Analyzer is the mpfloatorder go/analysis pass. It inspects the core
+// package (where the shard pool lives) and skips test files.
+var Analyzer = &analysis.Analyzer{
+	Name: "mpfloatorder",
+	Doc: "flag floating-point accumulation onto captured variables inside shard-pool " +
+		"closures (runShards), where summation order depends on shard scheduling and " +
+		"breaks byte-identical transcript parity with sequential execution",
+	Run: run,
+}
+
+// shardPoolFuncs are the functions whose closure argument runs
+// concurrently per shard.
+var shardPoolFuncs = map[string]bool{"runShards": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !mputil.PackageNamed(pass, "core") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if mputil.IsTestFile(pass, f) {
+			continue
+		}
+		dirs := directives.ParseFile(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := ""
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if !shardPoolFuncs[name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkShardClosure(pass, dirs, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkShardClosure flags float accumulation onto variables captured
+// from outside the closure. Writes to closure-local variables and to
+// disjoint slots of a captured slice (partial[s] = sum) are the
+// sanctioned patterns and are not flagged.
+func checkShardClosure(pass *analysis.Pass, dirs *directives.Map, lit *ast.FuncLit) {
+	info := pass.TypesInfo
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				flagCapturedFloat(pass, dirs, lit, lhs, as.Pos())
+			}
+		case token.ASSIGN:
+			// x = x + y on a captured float is the same accumulation
+			// spelled long-hand.
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if bin, ok := ast.Unparen(as.Rhs[i]).(*ast.BinaryExpr); ok && selfReferential(info, id, bin) {
+						flagCapturedFloat(pass, dirs, lit, lhs, as.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// flagCapturedFloat reports lhs when it is a float-typed variable (or a
+// field/element chain rooted at one) declared outside the closure.
+func flagCapturedFloat(pass *analysis.Pass, dirs *directives.Map, lit *ast.FuncLit, lhs ast.Expr, pos token.Pos) {
+	info := pass.TypesInfo
+	t := info.TypeOf(lhs)
+	if t == nil || !mputil.IsFloat(t) {
+		return
+	}
+	// Disjoint-slot writes are indexed by the shard number; an indexed
+	// store never accumulates across iterations of other shards.
+	if _, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		return
+	}
+	root := mputil.RootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	if obj == nil {
+		return
+	}
+	if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
+		return // closure-local accumulator: merged deterministically by the caller
+	}
+	if dirs.Waived(pos, directives.FloatOrderOK) {
+		return
+	}
+	pass.Reportf(pos, "floating-point accumulation onto captured %q inside a shard closure: "+
+		"summation order depends on shard scheduling (and the write races); accumulate into a "+
+		"per-shard slot and merge in index order after runShards, or annotate //mp:floatorder-ok",
+		root.Name)
+}
+
+// selfReferential reports whether bin's operand tree mentions id —
+// x = x + y, x = y + x, x = (x + y) + z all qualify.
+func selfReferential(info *types.Info, id *ast.Ident, bin *ast.BinaryExpr) bool {
+	target := info.Uses[id]
+	if target == nil {
+		target = info.Defs[id]
+	}
+	if target == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(bin, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if use, ok := n.(*ast.Ident); ok && info.Uses[use] == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,101 @@
+// Package core exercises the mpfloatorder analyzer against its fixture
+// stand-in for the shard pool.
+package core
+
+// runShards is the fixture stand-in for the shard pool's fan-out entry
+// point: fn runs concurrently once per shard.
+func runShards(shards int, fn func(shard int)) {
+	for s := 0; s < shards; s++ {
+		fn(s)
+	}
+}
+
+// pool mirrors the method-call spelling (p.runShards) of the real
+// shard-pool API.
+type pool struct{}
+
+func (p *pool) runShards(shards int, fn func(shard int)) {
+	for s := 0; s < shards; s++ {
+		fn(s)
+	}
+}
+
+// Compound assignment onto a captured float accumulates in shard
+// scheduling order.
+func sumRows(rows [][]float64, shards int) float64 {
+	var total float64
+	runShards(shards, func(s int) {
+		for _, v := range rows[s] {
+			total += v // want `floating-point accumulation onto captured "total"`
+		}
+	})
+	return total
+}
+
+// The same accumulation spelled long-hand is caught too.
+func sumLongHand(rows []float64, shards int) float64 {
+	var total float64
+	runShards(shards, func(s int) {
+		for _, v := range rows {
+			total = total + v // want `floating-point accumulation onto captured "total"`
+		}
+	})
+	return total
+}
+
+// Method-call spelling of the shard pool.
+func viaPool(p *pool, rows []float64, shards int) float64 {
+	var total float64
+	p.runShards(shards, func(s int) {
+		total += rows[s] // want `floating-point accumulation onto captured "total"`
+	})
+	return total
+}
+
+// Disjoint per-shard slots merged in index order afterwards: the
+// sanctioned pattern, not flagged.
+func sumPerShard(rows [][]float64, shards int) float64 {
+	partial := make([]float64, shards)
+	runShards(shards, func(s int) {
+		for _, v := range rows[s] {
+			partial[s] += v
+		}
+	})
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// A closure-local accumulator stored to a disjoint slot: not flagged.
+func sumLocal(rows [][]float64, shards int, out []float64) {
+	runShards(shards, func(s int) {
+		sum := 0.0
+		for _, v := range rows[s] {
+			sum += v
+		}
+		out[s] = sum
+	})
+}
+
+// Integer accumulation is exact and associative: not flagged (the
+// write race is the race detector's department).
+func countEntries(rows [][]float64, shards int) int {
+	var n int
+	runShards(shards, func(s int) {
+		n += len(rows[s])
+	})
+	return n
+}
+
+// The waiver records an audited exception.
+func sumWaived(rows []float64, shards int) float64 {
+	var total float64
+	runShards(shards, func(s int) {
+		for _, v := range rows {
+			total += v //mp:floatorder-ok fixture: audited order-insensitive
+		}
+	})
+	return total
+}

@@ -1,0 +1,188 @@
+// Package hotpath defines the mphotpath analyzer: functions annotated
+// //mp:hotpath must satisfy the metrics layer's cost contract.
+//
+// DESIGN.md promises that observability costs under 1% of the cheapest
+// request: per served query the hot path performs two histogram
+// observations and acquires no locks and allocates nothing. The
+// annotation marks the functions that promise — the metrics observe
+// paths, the sketch-cache lookup, the per-backend result fold — and the
+// analyzer mechanically rejects the constructs that would erode it:
+//
+//   - composite literals, make/new/append, closures, and string
+//     concatenation (heap allocations);
+//   - any call into package fmt (allocates and reflects);
+//   - conversions of concrete values into interfaces, explicit or at a
+//     call boundary (the value escapes to the heap unless the runtime
+//     happens to cache it — waive the audited cases with //mp:alloc-ok);
+//   - method calls on package sync types other than sync.Pool's
+//     Get/Put, and sync/atomic excepted (mutex acquisition beyond the
+//     allowed set — waive audited O(1) critical sections with
+//     //mp:lock-ok).
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/directives"
+	"repro/internal/analysis/mputil"
+)
+
+// Analyzer is the mphotpath go/analysis pass. It runs in every package
+// but only inspects functions annotated //mp:hotpath.
+var Analyzer = &analysis.Analyzer{
+	Name: "mphotpath",
+	Doc: "enforce the zero-alloc/zero-lock cost contract inside functions annotated " +
+		"//mp:hotpath: no composite literals, make/new/append, closures, string " +
+		"concatenation, fmt calls, interface conversions, or sync acquisitions " +
+		"beyond sync/atomic and sync.Pool",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if mputil.IsTestFile(pass, f) {
+			continue
+		}
+		dirs := directives.ParseFile(pass.Fset, f)
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !dirs.IsHotpath(fn) {
+				continue
+			}
+			checkFunc(pass, dirs, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, dirs *directives.Map, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, waiver, format string, args ...any) {
+		if dirs.Waived(pos, waiver) {
+			return
+		}
+		args = append(args, fn.Name.Name, waiver)
+		pass.Reportf(pos, format+" in //mp:hotpath function %s (annotate //%s with the audit reason if deliberate)", args...)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			report(n.Pos(), directives.AllocOK, "composite literal allocates")
+		case *ast.FuncLit:
+			report(n.Pos(), directives.AllocOK, "closure allocates")
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), directives.AllocOK, "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if t := info.TypeOf(lhs); t != nil {
+						if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+							report(n.Pos(), directives.AllocOK, "string concatenation allocates")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, report, n)
+		}
+		return true
+	})
+}
+
+// allowedSyncMethods are the package sync methods the hot path may
+// call: sync.Pool hands out the stripe indices that make lock-free
+// observation possible in internal/metrics.
+var allowedSyncMethods = map[string]bool{"Get": true, "Put": true}
+
+// mutexMethods are the blocking acquisitions flagged on any sync type
+// outside the allowed set. Releases (Unlock) are not listed: flagging
+// the Lock already marks the critical section once.
+var mutexMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+	"Wait": true, "Do": true,
+}
+
+func checkCall(pass *analysis.Pass, report func(token.Pos, string, string, ...any), call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Builtins that allocate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && mputil.IsBuiltinIdent(info, id) {
+		switch id.Name {
+		case "make", "new", "append":
+			report(call.Pos(), directives.AllocOK, "builtin "+id.Name+" allocates")
+			return
+		}
+	}
+	// Explicit conversion to an interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if mputil.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := info.TypeOf(call.Args[0]); at != nil && !mputil.IsInterface(at) {
+				report(call.Pos(), directives.AllocOK, "conversion to interface escapes its operand")
+			}
+		}
+		return
+	}
+	fn := mputil.CalleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			report(call.Pos(), directives.AllocOK, "fmt call allocates")
+			return
+		case "sync":
+			recv := mputil.RecvNamed(fn)
+			if recv != nil && recv.Obj().Name() == "Pool" && allowedSyncMethods[fn.Name()] {
+				break // sync.Pool Get/Put: the sanctioned stripe-index path
+			}
+			if recv != nil && mutexMethods[fn.Name()] {
+				report(call.Pos(), directives.LockOK, "sync."+recv.Obj().Name()+"."+fn.Name()+" acquisition beyond the allowed set")
+				return
+			}
+		}
+	}
+	// Implicit interface conversions at the call boundary: a concrete
+	// argument passed to an interface parameter escapes.
+	sigType := info.TypeOf(call.Fun)
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !mputil.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || mputil.IsInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		report(arg.Pos(), directives.AllocOK, "concrete value passed as interface escapes")
+	}
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,6 @@
+// Package fmt is a minimal fixture stub of the standard library's fmt
+// package; any call into it is flagged on the hot path.
+package fmt
+
+func Sprintf(format string, a ...any) string { return format }
+func Errorf(format string, a ...any) error   { return nil }

@@ -1,0 +1,88 @@
+// Package hot exercises the mphotpath analyzer: only functions
+// annotated //mp:hotpath are inspected, and every construct that
+// erodes the zero-alloc/zero-lock contract is flagged inside them.
+package hot
+
+import (
+	"fmt"
+	"sync"
+)
+
+type counters struct {
+	mu   sync.Mutex
+	pool sync.Pool
+	n    int64
+	name string
+}
+
+// sink has an interface parameter: concrete arguments box.
+func sink(v any) {}
+
+// observe is a clean hot-path function: pure arithmetic, no findings.
+//
+//mp:hotpath
+func (c *counters) observe(v int64) {
+	c.n += v
+}
+
+// bad collects one instance of every allocation-class violation.
+//
+//mp:hotpath
+func (c *counters) bad(v int64) string {
+	s := struct{ v int64 }{v} // want `composite literal allocates`
+	_ = s
+	buf := make([]byte, 8) // want `builtin make allocates`
+	_ = buf
+	f := func() {} // want `closure allocates`
+	f()
+	c.mu.Lock() // want `sync\.Mutex\.Lock acquisition beyond the allowed set`
+	c.mu.Unlock()
+	msg := fmt.Sprintf("n=%d", c.n) // want `fmt call allocates`
+	return c.name + msg             // want `string concatenation allocates`
+}
+
+// box converts a concrete value to an interface explicitly.
+//
+//mp:hotpath
+func (c *counters) box(v int64) any {
+	return any(v) // want `conversion to interface escapes its operand`
+}
+
+// pass boxes implicitly at a call boundary.
+//
+//mp:hotpath
+func (c *counters) pass(v int64) {
+	sink(v) // want `concrete value passed as interface escapes`
+}
+
+// stripe uses the sanctioned sync.Pool path; re-Putting the interface
+// value from Get is fine, Putting a fresh concrete value boxes it.
+//
+//mp:hotpath
+func (c *counters) stripe() int {
+	if v := c.pool.Get(); v != nil {
+		c.pool.Put(v)
+		return 0
+	}
+	c.pool.Put(7) // want `concrete value passed as interface escapes`
+	return 1
+}
+
+// waived carries the audited exceptions inline.
+//
+//mp:hotpath
+func (c *counters) waived() {
+	c.mu.Lock() //mp:lock-ok fixture: audited O(1) critical section
+	c.n++
+	c.mu.Unlock()
+	b := make([]byte, 0, 8) //mp:alloc-ok fixture: audited not to escape
+	_ = b
+}
+
+// The func-keyword-line annotation form is honored too.
+func (c *counters) inlineAnnotated() { c.mu.Lock() } //mp:hotpath // want `sync\.Mutex\.Lock acquisition`
+
+// snapshot is not annotated: allocation is fine off the hot path.
+func (c *counters) snapshot() []int64 {
+	return []int64{c.n}
+}

@@ -1,0 +1,29 @@
+// Package sync is a minimal fixture stub of the standard library's
+// sync package: the mutex types the analyzer flags and the Pool type
+// whose Get/Put it allows.
+package sync
+
+// Mutex is a stub exclusive lock.
+type Mutex struct{}
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+// RWMutex is a stub reader/writer lock.
+type RWMutex struct{}
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+// Pool is a stub free-list; Get/Put are the allowed hot-path calls.
+type Pool struct{}
+
+func (p *Pool) Get() any  { return nil }
+func (p *Pool) Put(x any) {}
+
+// Once is a stub one-shot gate.
+type Once struct{}
+
+func (o *Once) Do(f func()) {}

@@ -1,0 +1,239 @@
+// Package lockio defines the mplockio analyzer: no sync.Mutex or
+// sync.RWMutex may be held across blocking I/O.
+//
+// The gateway serializes replicated row updates against the prober's
+// heal passes with updMu, and the class of bug that discipline was
+// hand-audited for — a data lock held across a transport exchange, an
+// HTTP round-trip, or a channel send that can block on a user context —
+// deadlocks or convoys the whole tier under exactly the failure
+// conditions the gateway exists to absorb. The analyzer finds Lock()
+// calls on sync mutexes, derives the held region (to the matching
+// Unlock in the same statement sequence, or to the end of the function
+// for the defer-Unlock idiom), and flags the blocking operations
+// inside it:
+//
+//   - comm.Transport exchanges (Send/Recv on a comm type);
+//   - net/http round-trips (http.Client methods, package-level http
+//     helpers, RoundTrip) and calls through the repository's typed
+//     HTTP clients (methods on a Client type from this module);
+//   - channel sends and time.Sleep.
+//
+// Function literals inside the region are scanned too: closures passed
+// to fan-out helpers run while the lock is held even when they execute
+// on other goroutines, because the caller blocks on their completion.
+// A deliberately coarse serialization lock (updMu) carries the
+// //mp:lockio-ok waiver on its Lock() line, which waives the whole
+// region; a single audited operation can be waived on its own line.
+package lockio
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/directives"
+	"repro/internal/analysis/mputil"
+)
+
+// Analyzer is the mplockio go/analysis pass. It runs in every package
+// and skips test files.
+var Analyzer = &analysis.Analyzer{
+	Name: "mplockio",
+	Doc: "flag sync.Mutex/RWMutex critical sections that span blocking I/O " +
+		"(comm.Transport exchanges, HTTP round-trips, typed-client calls, channel " +
+		"sends, sleeps): locks guarding state must not convoy on the network",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if mputil.IsTestFile(pass, f) {
+			continue
+		}
+		dirs := directives.ParseFile(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, dirs, n.Body)
+				}
+			case *ast.FuncLit:
+				// Covered when nested inside a checked body; top-level
+				// literals (var initializers) need their own walk.
+				if !insideFuncDecl(f, n) {
+					checkFunc(pass, dirs, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func insideFuncDecl(f *ast.File, lit *ast.FuncLit) bool {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= lit.Pos() && lit.Pos() < fd.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// lockRegion is one held critical section: the receiver expression's
+// printed form, the Lock call position, and the region's end.
+type lockRegion struct {
+	recv    string
+	lockPos token.Pos
+	end     token.Pos
+}
+
+// checkFunc derives the lock-held regions of one function body and
+// flags blocking operations inside them. Nested function literals are
+// part of the enclosing body's position range and are scanned with it.
+func checkFunc(pass *analysis.Pass, dirs *directives.Map, body *ast.BlockStmt) {
+	var regions []lockRegion
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, recv := syncMutexCall(pass.TypesInfo, call)
+		if name != "Lock" && name != "RLock" {
+			return true
+		}
+		regions = append(regions, lockRegion{
+			recv:    recv,
+			lockPos: call.Pos(),
+			end:     regionEnd(pass, body, call, recv),
+		})
+		return true
+	})
+	if len(regions) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		pos, desc := blockingOp(pass.TypesInfo, n)
+		if desc == "" {
+			return true
+		}
+		for _, r := range regions {
+			if pos <= r.lockPos || pos >= r.end {
+				continue
+			}
+			if dirs.Waived(pos, directives.LockIOOK) || dirs.Waived(r.lockPos, directives.LockIOOK) {
+				continue
+			}
+			pass.Reportf(pos, "%s while %s is locked (held since line %d): release the lock before "+
+				"blocking I/O, or annotate //mp:lockio-ok on this line or on the Lock() of a "+
+				"deliberately coarse serialization lock", desc, r.recv,
+				pass.Fset.Position(r.lockPos).Line)
+		}
+		return true
+	})
+}
+
+// syncMutexCall reports the method name and printed receiver when call
+// is a method call on a sync.Mutex or sync.RWMutex value (directly or
+// through an embedded field).
+func syncMutexCall(info *types.Info, call *ast.CallExpr) (name, recv string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	named := mputil.RecvNamed(fn)
+	if named == nil {
+		return "", ""
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return "", ""
+	}
+	return fn.Name(), types.ExprString(sel.X)
+}
+
+// regionEnd finds where the critical section opened by lockCall ends:
+// at the first subsequent Unlock/RUnlock call on the same printed
+// receiver (a deferred one extends the region to the end of body).
+func regionEnd(pass *analysis.Pass, body *ast.BlockStmt, lockCall *ast.CallExpr, recv string) token.Pos {
+	end := body.End()
+	ast.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		deferred := false
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			call, deferred = n.Call, true
+		case *ast.CallExpr:
+			call = n
+		default:
+			return true
+		}
+		if call.Pos() > lockCall.Pos() {
+			name, r := syncMutexCall(pass.TypesInfo, call)
+			if (name == "Unlock" || name == "RUnlock") && r == recv && !deferred && call.Pos() < end {
+				end = call.Pos()
+			}
+		}
+		// A deferred unlock extends the region to the function's end;
+		// do not descend into the defer, or its call would be revisited
+		// as a plain (non-deferred) CallExpr and collapse the region.
+		return !deferred
+	})
+	return end
+}
+
+// transportMethods are the comm.Transport exchange calls.
+var transportMethods = map[string]bool{"Send": true, "Recv": true}
+
+// httpClientMethods are the round-trip entry points on *http.Client
+// (and the equally named package-level helpers).
+var httpClientMethods = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+// blockingOp classifies n as a blocking operation, returning its
+// position and a description (empty when n does not block).
+func blockingOp(info *types.Info, n ast.Node) (token.Pos, string) {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return n.Pos(), "channel send"
+	case *ast.CallExpr:
+		fn := mputil.CalleeFunc(info, n)
+		if fn == nil || fn.Pkg() == nil {
+			return token.NoPos, ""
+		}
+		path := fn.Pkg().Path()
+		recv := mputil.RecvNamed(fn)
+		switch {
+		case recv == nil && path == "time" && fn.Name() == "Sleep":
+			return n.Pos(), "time.Sleep"
+		case recv == nil && path == "net/http" && httpClientMethods[fn.Name()]:
+			return n.Pos(), "HTTP round-trip (http." + fn.Name() + ")"
+		case recv != nil && path == "net/http" && recv.Obj().Name() == "Client" && httpClientMethods[fn.Name()]:
+			return n.Pos(), "HTTP round-trip (http.Client." + fn.Name() + ")"
+		case fn.Name() == "RoundTrip":
+			return n.Pos(), "HTTP round-trip (RoundTrip)"
+		case recv != nil && transportMethods[fn.Name()] && commPackage(path):
+			return n.Pos(), "transport exchange (" + recv.Obj().Name() + "." + fn.Name() + ")"
+		case recv != nil && recv.Obj().Name() == "Client" && moduleLocal(path):
+			return n.Pos(), "typed-client HTTP call (" + path + ".Client." + fn.Name() + ")"
+		}
+	}
+	return token.NoPos, ""
+}
+
+// commPackage matches the protocol transport package (and fixture
+// packages named comm).
+func commPackage(path string) bool { return mputil.PkgPathIs(path, "internal/comm") || path == "comm" }
+
+// moduleLocal matches this module's packages (and analysistest fixture
+// packages, whose synthetic paths are bare single-segment names).
+func moduleLocal(path string) bool {
+	return strings.HasPrefix(path, "repro/") ||
+		(!strings.Contains(path, "/") && !strings.Contains(path, "."))
+}

@@ -1,0 +1,9 @@
+// Package comm is the fixture stand-in for the protocol transport
+// package; the analyzer matches it by path suffix.
+package comm
+
+// Transport is a stub bidirectional message transport.
+type Transport struct{}
+
+func (t *Transport) Send(b []byte) error   { return nil }
+func (t *Transport) Recv() ([]byte, error) { return nil, nil }

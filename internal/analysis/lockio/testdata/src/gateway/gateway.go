@@ -1,0 +1,101 @@
+// Package gateway exercises the mplockio analyzer: data locks held
+// across blocking I/O are flagged, waivers on the operation or on the
+// Lock() of a deliberately coarse serialization lock are honored.
+package gateway
+
+import (
+	"comm"
+	"net/http"
+	"svc"
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu    sync.Mutex
+	topo  sync.RWMutex
+	httpc *http.Client
+	tr    *comm.Transport
+	api   *svc.Client
+	ch    chan int
+	n     int
+}
+
+// fanout runs fn once per leg and waits for completion — closures
+// passed to it execute while the caller's locks are held.
+func fanout(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// A channel send inside the critical section blocks the lock; after
+// the Unlock it is fine.
+func (s *state) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while s\.mu is locked`
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// A deferred Unlock extends the region to the end of the function.
+func (s *state) sleepUnderDeferredLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(1) // want `time\.Sleep while s\.mu is locked`
+}
+
+// HTTP round-trips through the client and the package helpers.
+func (s *state) httpUnderLock(req *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.httpc.Do(req) // want `HTTP round-trip \(http\.Client\.Do\) while s\.mu is locked`
+	http.Get("x")   // want `HTTP round-trip \(http\.Get\) while s\.mu is locked`
+}
+
+// A comm.Transport exchange under a read lock.
+func (s *state) exchangeUnderLock(b []byte) {
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	s.tr.Send(b) // want `transport exchange \(Transport\.Send\) while s\.topo is locked`
+}
+
+// A module-local typed-client call.
+func (s *state) typedClientUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.api.Fetch("m") // want `typed-client HTTP call \(svc\.Client\.Fetch\) while s\.mu is locked`
+}
+
+// A closure handed to a fan-out helper runs while the lock is held.
+func (s *state) fanoutUnderLock(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fanout(2, func(i int) {
+		s.tr.Send(b) // want `transport exchange \(Transport\.Send\) while s\.mu is locked`
+	})
+}
+
+// The waiver on the Lock() line marks a deliberately coarse
+// serialization lock and waives the whole region.
+func (s *state) coarseSerialization(b []byte) {
+	s.mu.Lock() //mp:lockio-ok fixture: deliberately coarse serialization lock
+	defer s.mu.Unlock()
+	s.tr.Send(b)
+	s.ch <- 1
+}
+
+// A single audited operation can be waived on its own line.
+func (s *state) waivedOp(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v //mp:lockio-ok fixture: audited non-blocking (buffered, capacity checked upstream)
+}
+
+// Snapshot-then-send is the sanctioned shape: no finding.
+func (s *state) cleanCopyThenSend(v int) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	s.ch <- n + v
+}

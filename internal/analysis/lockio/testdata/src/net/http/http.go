@@ -1,0 +1,18 @@
+// Package http is a minimal fixture stub of net/http: the Client
+// round-trip methods and package-level helpers the analyzer flags.
+package http
+
+// Client is a stub HTTP client.
+type Client struct{}
+
+// Request is a stub request.
+type Request struct{}
+
+// Response is a stub response.
+type Response struct{}
+
+func (c *Client) Do(req *Request) (*Response, error) { return nil, nil }
+func (c *Client) Get(url string) (*Response, error)  { return nil, nil }
+
+func Get(url string) (*Response, error)                         { return nil, nil }
+func Post(url, contentType string, body any) (*Response, error) { return nil, nil }

@@ -1,0 +1,9 @@
+// Package svc is a fixture stand-in for a module-local typed HTTP
+// client (the repro/service.Client shape): methods on a type named
+// Client in a module-local package are treated as round-trips.
+package svc
+
+// Client is a typed API client whose methods perform HTTP round-trips.
+type Client struct{}
+
+func (c *Client) Fetch(name string) error { return nil }

@@ -1,0 +1,18 @@
+// Package sync is a minimal fixture stub of the standard library's
+// sync package: the mutex types whose critical sections the analyzer
+// derives.
+package sync
+
+// Mutex is a stub exclusive lock.
+type Mutex struct{}
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+// RWMutex is a stub reader/writer lock.
+type RWMutex struct{}
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

@@ -1,0 +1,8 @@
+// Package time is a minimal fixture stub of the standard library's
+// time package: just Sleep, the blocking call the analyzer flags.
+package time
+
+// Duration is a stub duration.
+type Duration int64
+
+func Sleep(d Duration) {}

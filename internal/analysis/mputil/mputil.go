@@ -1,0 +1,140 @@
+// Package mputil holds the small type- and AST-query helpers shared by
+// the repository's invariant analyzers (cmd/mpvet).
+package mputil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// IsTestFile reports whether f was parsed from a _test.go file. The
+// analyzers skip test files: tests legitimately use wall clocks, global
+// randomness, and raw encoders without affecting any shipped contract.
+func IsTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.File(f.Pos()).Name(), "_test.go")
+}
+
+// PackageNamed reports whether the package under analysis has one of
+// the given names. The analyzers scope themselves by package name (not
+// import path) so their analysistest fixtures — which live under
+// synthetic paths — exercise exactly the shipped matching logic.
+func PackageNamed(pass *analysis.Pass, names ...string) bool {
+	for _, n := range names {
+		if pass.Pkg.Name() == n || strings.TrimSuffix(pass.Pkg.Name(), "_test") == n {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves the called function or method object of call, or
+// nil for builtins, type conversions, and indirect calls through
+// function values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// path.name (no receiver).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	f := CalleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == path && f.Name() == name &&
+		f.Type().(*types.Signature).Recv() == nil
+}
+
+// RecvNamed returns the named type of a method's receiver (pointers
+// stripped), or nil if f is not a method.
+func RecvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+// NamedFrom reports whether named is the type pkgPath.typeName, where
+// pkgPath matches exactly or by "/"-suffix (so the analyzers recognize
+// both the real repro/internal/comm and a fixture package named comm).
+func NamedFrom(named *types.Named, pkgPath, typeName string) bool {
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return named.Obj().Name() == typeName &&
+		(p == pkgPath || strings.HasSuffix(p, "/"+pkgPath) || p == lastSegment(pkgPath))
+}
+
+// PkgPathIs reports whether got matches want exactly, by "/"-suffix, or
+// by final path segment — the matching rule the analyzers use so that
+// fixtures under synthetic import paths behave like the real packages.
+func PkgPathIs(got, want string) bool {
+	return got == want || strings.HasSuffix(got, "/"+want) || got == lastSegment(want)
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// IsBuiltinIdent reports whether id resolves to a language builtin
+// (append, make, new, …). The type checker records builtins in Uses as
+// *types.Builtin — not nil — so a bare nil check misses them.
+func IsBuiltinIdent(info *types.Info, id *ast.Ident) bool {
+	if obj := info.Uses[id]; obj != nil {
+		_, ok := obj.(*types.Builtin)
+		return ok
+	}
+	return info.Defs[id] == nil
+}
+
+// IsFloat reports whether t's core type is a floating-point scalar.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsInterface reports whether t is an interface type.
+func IsInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// RootIdent walks to the base identifier of a selector/index chain:
+// a.b[i].c yields a. It returns nil when the base is not an identifier
+// (a call result, for example).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

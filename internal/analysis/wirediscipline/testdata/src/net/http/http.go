@@ -1,0 +1,18 @@
+// Package http is a minimal fixture stub of net/http: the
+// ResponseWriter and Request shapes the analyzer types against, plus
+// http.Error.
+package http
+
+// ResponseWriter is the stub response interface.
+type ResponseWriter interface {
+	Write(b []byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+// Request is the stub request carrying a Body.
+type Request struct {
+	Body any
+}
+
+// Error writes a plain-text error response.
+func Error(w ResponseWriter, error string, code int) {}

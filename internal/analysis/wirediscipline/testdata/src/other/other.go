@@ -1,0 +1,14 @@
+// Package other is outside the wire-discipline scope (neither service
+// nor gateway): raw wire primitives are fine here.
+package other
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+func raw(w http.ResponseWriter, r *http.Request) {
+	json.NewDecoder(r.Body) // out of scope: no finding
+	json.NewEncoder(w)      // out of scope: no finding
+	http.Error(w, "x", 500) // out of scope: no finding
+}

@@ -1,0 +1,46 @@
+// Package service exercises the mpwire analyzer inside one of its two
+// scoped packages: raw wire primitives aimed at HTTP bodies are
+// flagged, the sanctioned helpers carry the waiver.
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type reply struct{ N int }
+
+// A handler reaching past the sanctioned helpers re-opens the 413
+// body-limit, unknown-field, and error-mapping seams.
+func handleRaw(w http.ResponseWriter, r *http.Request) {
+	var req reply
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil { // want `raw json\.NewDecoder on the request body`
+		http.Error(w, "bad request", 400) // want `http\.Error bypasses the uniform`
+		return
+	}
+	json.NewEncoder(w).Encode(reply{N: req.N}) // want `raw json\.NewEncoder on the ResponseWriter`
+}
+
+// An encoder aimed at something other than the ResponseWriter is fine.
+type writerBuffer struct{}
+
+func marshalToBuffer(v any) error {
+	var sink writerBuffer
+	return json.NewEncoder(&sink).Encode(v)
+}
+
+// A Body field on a non-Request type is fine.
+type payload struct{ Body any }
+
+func decodeOther(p *payload) {
+	json.NewDecoder(p.Body)
+}
+
+// The sanctioned helpers themselves are the only waived raw uses.
+func decodeJSON(r *http.Request, v any) error {
+	return json.NewDecoder(r.Body).Decode(v) //mp:rawwire-ok fixture: this IS the sanctioned decode helper
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	return json.NewEncoder(w).Encode(v) //mp:rawwire-ok fixture: this IS the sanctioned encode helper
+}

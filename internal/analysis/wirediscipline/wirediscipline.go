@@ -1,0 +1,124 @@
+// Package wirediscipline defines the mpwire analyzer: HTTP handlers in
+// the service and gateway tiers must speak through the sanctioned wire
+// helpers.
+//
+// DecodeJSON enforces the body-size limit with the real ResponseWriter
+// (over-limit bodies map to 413, and net/http needs the writer to flag
+// the connection for close), rejects unknown fields, and folds decode
+// failures into the tier's error vocabulary; WriteJSON/WriteError keep
+// the {"error": …} body and the error→status mapping uniform across
+// every endpoint of both tiers. A handler that reaches for
+// json.NewDecoder(r.Body), json.NewEncoder(w), or http.Error re-opens
+// every one of those seams, so the analyzer flags them. The helpers
+// themselves are the only sanctioned raw uses and carry the
+// //mp:rawwire-ok waiver.
+package wirediscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/directives"
+	"repro/internal/analysis/mputil"
+)
+
+// Analyzer is the mpwire go/analysis pass. It inspects the service and
+// gateway packages and skips test files.
+var Analyzer = &analysis.Analyzer{
+	Name: "mpwire",
+	Doc: "require service/gateway handlers to use DecodeJSON/WriteJSON/WriteError " +
+		"instead of raw json.NewEncoder/json.NewDecoder on HTTP bodies or http.Error, " +
+		"keeping the 413 body-limit and error-mapping semantics uniform",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !mputil.PackageNamed(pass, "service", "gateway") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if mputil.IsTestFile(pass, f) {
+			continue
+		}
+		dirs := directives.ParseFile(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, dirs, call)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, dirs *directives.Map, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	switch {
+	case mputil.IsPkgFunc(info, call, "net/http", "Error"):
+		if !dirs.Waived(call.Pos(), directives.RawWireOK) {
+			pass.Reportf(call.Pos(), "http.Error bypasses the uniform {\"error\": …} body and "+
+				"error→status mapping: use WriteError (or annotate //mp:rawwire-ok inside the "+
+				"sanctioned helpers)")
+		}
+	case mputil.IsPkgFunc(info, call, "encoding/json", "NewEncoder"):
+		if touchesResponseWriter(info, call.Args) && !dirs.Waived(call.Pos(), directives.RawWireOK) {
+			pass.Reportf(call.Pos(), "raw json.NewEncoder on the ResponseWriter bypasses WriteJSON's "+
+				"uniform content type and status handling: use WriteJSON (or annotate "+
+				"//mp:rawwire-ok inside the sanctioned helpers)")
+		}
+	case mputil.IsPkgFunc(info, call, "encoding/json", "NewDecoder"):
+		if touchesRequestBody(info, call.Args) && !dirs.Waived(call.Pos(), directives.RawWireOK) {
+			pass.Reportf(call.Pos(), "raw json.NewDecoder on the request body bypasses DecodeJSON's "+
+				"body-size limit (413), unknown-field rejection, and error mapping: use DecodeJSON "+
+				"(or annotate //mp:rawwire-ok inside the sanctioned helpers)")
+		}
+	}
+}
+
+// touchesResponseWriter reports whether any argument subtree contains a
+// value of type net/http.ResponseWriter.
+func touchesResponseWriter(info *types.Info, args []ast.Expr) bool {
+	return anyExpr(args, func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		named, ok := t.(*types.Named)
+		return ok && mputil.NamedFrom(named, "net/http", "ResponseWriter")
+	})
+}
+
+// touchesRequestBody reports whether any argument subtree reads the
+// Body of a *net/http.Request.
+func touchesRequestBody(info *types.Info, args []ast.Expr) bool {
+	return anyExpr(args, func(e ast.Expr) bool {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Body" {
+			return false
+		}
+		t := info.TypeOf(sel.X)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && mputil.NamedFrom(named, "net/http", "Request")
+	})
+}
+
+// anyExpr walks every expression subtree in args looking for a match.
+func anyExpr(args []ast.Expr, match func(ast.Expr) bool) bool {
+	found := false
+	for _, a := range args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if e, ok := n.(ast.Expr); ok && match(e) {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

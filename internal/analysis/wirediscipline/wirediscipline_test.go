@@ -1,0 +1,12 @@
+package wirediscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wirediscipline"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wirediscipline.Analyzer, "service", "other")
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"strconv"
 
 	"repro/internal/comm"
@@ -171,7 +172,7 @@ func sampleRowsByNorm(rs rowSketcher, rowCols [][]int, rowVals [][]int64, fieldS
 	for ell := range groups {
 		keys = append(keys, ell)
 	}
-	sortInts(keys)
+	sort.Ints(keys)
 	var picks []weightedPick
 	for _, key := range keys {
 		g := groups[key]
@@ -186,12 +187,4 @@ func sampleRowsByNorm(rs rowSketcher, rowCols [][]int, rowVals [][]int64, fieldS
 		}
 	}
 	return picks
-}
-
-func sortInts(v []int) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
 }

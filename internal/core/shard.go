@@ -127,13 +127,13 @@ func runShards(n, shards int, fn func(shard, lo, hi int)) {
 			defer wg.Done()
 			shardSem <- struct{}{}
 			defer func() { <-shardSem }()
-			start := time.Now()
+			start := time.Now() //mp:nondeterministic-ok busy-time telemetry: feeds ShardCounters, never a transcript
 			fn(s, lo, hi)
 			slot := s
 			if slot >= maxShardSlots {
 				slot = maxShardSlots - 1
 			}
-			shardBusy[slot].Add(int64(time.Since(start)))
+			shardBusy[slot].Add(int64(time.Since(start))) //mp:nondeterministic-ok busy-time telemetry, see above
 			shardTasks.Add(1)
 		}(s, r[0], r[1])
 	}

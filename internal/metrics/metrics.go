@@ -171,6 +171,8 @@ type cell struct {
 }
 
 // addFloat atomically adds v to a float64-bits cell.
+//
+//mp:hotpath
 func addFloat(c *atomic.Uint64, v float64) {
 	for {
 		old := c.Load()
@@ -191,6 +193,7 @@ type striper struct {
 	next atomic.Uint32
 }
 
+//mp:hotpath
 func (s *striper) idx() int {
 	if v := s.pool.Get(); v != nil {
 		i := v.(int)
@@ -198,7 +201,7 @@ func (s *striper) idx() int {
 		return i
 	}
 	i := int(s.next.Add(1)-1) % stripeCells
-	s.pool.Put(i)
+	s.pool.Put(i) //mp:alloc-ok first use per P only; small-int boxing hits the runtime's static cache, pinned by the zero-alloc test
 	return i
 }
 
@@ -216,10 +219,14 @@ type Counter struct {
 func (c *Counter) labelValues() []string { return c.lv }
 
 // Inc adds 1.
+//
+//mp:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds v, which must be non-negative (counters are monotone);
 // negative deltas are dropped.
+//
+//mp:hotpath
 func (c *Counter) Add(v float64) {
 	if v < 0 {
 		return
@@ -268,15 +275,23 @@ type Gauge struct {
 func (g *Gauge) labelValues() []string { return g.lv }
 
 // Set replaces the gauge's value.
+//
+//mp:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds v (negative to subtract).
+//
+//mp:hotpath
 func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
 
 // Inc adds 1.
+//
+//mp:hotpath
 func (g *Gauge) Inc() { g.Add(1) }
 
 // Dec subtracts 1.
+//
+//mp:hotpath
 func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value reads the gauge.
@@ -324,6 +339,8 @@ type Histogram struct {
 func (h *Histogram) labelValues() []string { return h.lv }
 
 // Observe records one value.
+//
+//mp:hotpath
 func (h *Histogram) Observe(v float64) {
 	sh := &h.shards[h.st.idx()]
 	// First bucket whose upper bound is ≥ v — the Prometheus "le"

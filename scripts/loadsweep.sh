@@ -17,7 +17,7 @@
 # the serve path changes capacity on purpose.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 RATES="${RATES:-100,200,400,800,1600}"
 N="${N:-256}"
@@ -31,7 +31,9 @@ PORT="${PORT:-18080}"
 bin=$(mktemp -d)
 server_pid=""
 cleanup() {
-  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  if [ -n "$server_pid" ]; then
+    kill "$server_pid" 2>/dev/null || true
+  fi
   rm -rf "$bin"
 }
 trap cleanup EXIT

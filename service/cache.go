@@ -92,8 +92,10 @@ func (c *sketchCache) epochNow() uint64 {
 
 // tickAndGet advances the rotation clock by one lookup and returns the
 // cached state for key, counting a hit or a miss.
+//
+//mp:hotpath
 func (c *sketchCache) tickAndGet(key cacheKey) (bobState, bool) {
-	c.mu.Lock()
+	c.mu.Lock() //mp:lock-ok audited allowed set: O(1) critical section (map probe + LRU splice), never blocks on I/O
 	defer c.mu.Unlock()
 	e, ok := c.m[key]
 	if ok {

@@ -189,7 +189,7 @@ type BatchResponse struct {
 // request. Exported so HTTP tiers layered on the service API — the
 // gateway — share one body-limit and error discipline.
 func DecodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)) //mp:rawwire-ok this IS the sanctioned decode helper
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var mbe *http.MaxBytesError
@@ -205,7 +205,7 @@ func DecodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	json.NewEncoder(w).Encode(v) //mp:rawwire-ok this IS the sanctioned encode helper
 }
 
 // WriteError maps a service error to its HTTP status (ErrBadRequest →

@@ -236,6 +236,8 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 // observeRun records one executed protocol run's duration into the
 // per-kind histogram. Unknown kinds never reach here (they fail
 // validation before a protocol runs).
+//
+//mp:hotpath
 func (m *engineMetrics) observeRun(kind string, elapsed time.Duration) {
 	if h := m.reqDur[kind]; h != nil {
 		h.Observe(elapsed.Seconds())
