@@ -12,7 +12,9 @@
 package matprod
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"net/http/httptest"
@@ -683,4 +685,119 @@ func BenchmarkAblation_BetaSplit(b *testing.B) {
 		}
 		reportCost(b, cost)
 	})
+}
+
+// BenchmarkWireLpEstimate prices the hot-path wire format for a cached
+// single lp estimate over the real HTTP surface: the same pinned-seed
+// query through a JSON client versus a binary-negotiating one. Before
+// timing, it asserts the codec contract this format exists for — the
+// binary encode+decode of the request/response pair allocates ≥10×
+// less than the streaming encoding/json exchange the JSON tiers run,
+// and puts ≥3× fewer bytes on the wire. The binary side's allocation
+// count is flat in the payload (the bitset matrix form plus pooled
+// buffers); JSON's grows with it, so the ratios only widen at scale.
+func BenchmarkWireLpEstimate(b *testing.B) {
+	n := 512
+	served := service.MatrixFromBool(workload.Binary(230, n, n, 0.2))
+	query := service.MatrixFromBool(workload.Binary(231, n, n, 0.10))
+	seed := uint64(232)
+	req := service.Request{Matrix: "bench", Kind: "lp", P: 1, Eps: 0.25, Seed: &seed, A: query}
+
+	engine := service.NewEngine(service.Config{Workers: 4})
+	defer engine.Close()
+	srv := httptest.NewServer(service.NewHandler(engine))
+	defer srv.Close()
+	ctx := context.Background()
+	jsonC := service.New(srv.URL)
+	binC := service.New(srv.URL, service.WithAccept(service.MediaTypeBinary))
+	if _, err := jsonC.UploadMatrix(ctx, "bench", served); err != nil {
+		b.Fatal(err)
+	}
+	res, err := jsonC.Estimate(ctx, req) // warm the sketch cache, keep a real reply
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Bytes on the wire for the exchange: request body + response body.
+	binReq, err := service.AppendBinary(nil, req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	binRes, err := service.AppendBinary(nil, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jsonReq, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jsonRes, err := json.Marshal(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jsonBytes := len(jsonReq) + len(jsonRes)
+	binBytes := len(binReq) + len(binRes)
+	if binBytes*3 > jsonBytes {
+		b.Fatalf("binary exchange is %d bytes vs JSON %d: want ≥3x smaller", binBytes, jsonBytes)
+	}
+
+	// Codec allocations for the same exchange, both directions, each
+	// side doing what its wire tier actually does: JSON marshals the
+	// request, stream-decodes it server-side (DisallowUnknownFields,
+	// as DecodeJSON does), stream-encodes the reply, and decodes it
+	// client-side; the binary side runs the framed codec over one
+	// reused buffer, as the pooled server/client paths do.
+	allocsJSON := testing.AllocsPerRun(50, func() {
+		buf, _ := json.Marshal(req)
+		dec := json.NewDecoder(bytes.NewReader(buf))
+		dec.DisallowUnknownFields()
+		var q service.Request
+		_ = dec.Decode(&q)
+		var sink bytes.Buffer
+		_ = json.NewEncoder(&sink).Encode(res)
+		dec = json.NewDecoder(bytes.NewReader(sink.Bytes()))
+		var r service.Result
+		_ = dec.Decode(&r)
+	})
+	scratch := make([]byte, 0, 1<<20)
+	var reqAny, resAny any = req, res // hoisted like the clients' typed calls
+	var q service.Request
+	var r service.Result
+	allocsBin := testing.AllocsPerRun(50, func() {
+		scratch, _ = service.AppendBinary(scratch[:0], reqAny)
+		q = service.Request{}
+		_ = service.DecodeBinary(scratch, &q)
+		scratch, _ = service.AppendBinary(scratch[:0], resAny)
+		r = service.Result{}
+		_ = service.DecodeBinary(scratch, &r)
+	})
+	if allocsBin*10 > allocsJSON {
+		b.Fatalf("binary codec allocates %.0f/op vs JSON %.0f/op: want ≥10x fewer", allocsBin, allocsJSON)
+	}
+
+	for _, mode := range []struct {
+		name   string
+		client *service.Client
+	}{
+		{"json", jsonC},
+		{"binary", binC},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mode.client.Estimate(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			wire := binBytes
+			if mode.name == "json" {
+				wire = jsonBytes
+			}
+			b.ReportMetric(float64(wire), "wirebytes/op")
+		})
+	}
+	b.Logf("wire bytes: json %d, binary %d (%.1fx); codec allocs: json %.0f, binary %.0f (%.0fx)",
+		jsonBytes, binBytes, float64(jsonBytes)/float64(binBytes),
+		allocsJSON, allocsBin, allocsJSON/allocsBin)
 }

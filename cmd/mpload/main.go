@@ -249,6 +249,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "open-loop cap on concurrent in-flight requests")
 	loadcurveOut := flag.String("loadcurve-out", "BENCH_loadcurve.json", "where -rps-sweep writes its points and USL fit (empty = don't write)")
 	reportInterval := flag.Duration("report-interval", 20*time.Second, "period of in-run progress lines with batch percentiles (0 = off)")
+	wireFmt := flag.String("wire", "json", "hot-path wire format: json or binary (negotiated per request; servers without binary support fall back to JSON)")
 	flag.Parse()
 
 	if *batch < 1 {
@@ -267,7 +268,15 @@ func main() {
 		log.Fatalf("-mix: %v", err)
 	}
 
-	client := service.NewClient(*addr)
+	var clientOpts []service.ClientOption
+	switch *wireFmt {
+	case "json":
+	case "binary":
+		clientOpts = append(clientOpts, service.WithAccept(service.MediaTypeBinary))
+	default:
+		log.Fatalf("-wire must be json or binary, got %q", *wireFmt)
+	}
+	client := service.New(*addr, append(clientOpts, service.WithPathPrefix(""))...)
 	ctx := context.Background()
 
 	// Boolean matrices satisfy every kind's preconditions (binary for

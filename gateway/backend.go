@@ -52,8 +52,15 @@ type backend struct {
 }
 
 func newBackend(id string, httpc *http.Client) *backend {
-	c := service.NewClient(id)
-	c.HTTPClient = httpc
+	// The backend hop speaks the binary wire format for the hot
+	// endpoints — estimates, row updates, and the repair/re-seed
+	// uploads of retained wire copies — with the client's sticky 415
+	// fallback covering JSON-only backends. Legacy unprefixed paths
+	// keep the hop compatible with every pooled server generation.
+	c := service.New(id,
+		service.WithPathPrefix(""),
+		service.WithAccept(service.MediaTypeBinary),
+		service.WithHTTPClient(httpc))
 	// A new backend is admitted optimistically: the prober demotes it
 	// on its first failed probe, and routing failover covers the gap.
 	return &backend{id: id, client: c, healthy: true}

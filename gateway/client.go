@@ -11,14 +11,27 @@ import (
 // embedded service.Client covers the mirrored front routes (uploads,
 // estimates, batches) — a gateway is a drop-in service endpoint — and
 // the methods here cover what only a gateway serves: its aggregate
-// stats and the backend-pool admin surface.
+// stats and the backend-pool admin surface. All construction options
+// (WithTimeout, WithAccept, WithRetry, …) live on the embedded
+// service.Client, so the two clients share one configuration surface.
 type Client struct {
 	*service.Client
 }
 
-// NewClient returns a client for the given gateway root.
+// Dial returns a client for the given gateway root, addressing the
+// versioned /v1 surface by default; service.ClientOption values apply
+// to every call, front and admin alike.
+func Dial(baseURL string, opts ...service.ClientOption) *Client {
+	return &Client{Client: service.New(baseURL, opts...)}
+}
+
+// NewClient returns a JSON client for the given gateway root against
+// the legacy unprefixed paths.
+//
+// Deprecated: use Dial, which defaults to the versioned /v1 surface
+// and takes the shared service.ClientOption options.
 func NewClient(baseURL string) *Client {
-	return &Client{Client: service.NewClient(baseURL)}
+	return Dial(baseURL, service.WithPathPrefix(""))
 }
 
 // GatewayStats fetches the gateway's aggregate and per-backend
@@ -26,14 +39,14 @@ func NewClient(baseURL string) *Client {
 // stats shape; a gateway's /stats is this one.)
 func (c *Client) GatewayStats(ctx context.Context) (Stats, error) {
 	var out Stats
-	err := c.DoJSON(ctx, http.MethodGet, "/stats", nil, &out)
+	err := c.Do(ctx, http.MethodGet, "/stats", nil, &out)
 	return out, err
 }
 
 // Backends lists the gateway's backend pool with health and counters.
 func (c *Client) Backends(ctx context.Context) ([]BackendStatus, error) {
 	var out []BackendStatus
-	err := c.DoJSON(ctx, http.MethodGet, "/admin/backends", nil, &out)
+	err := c.Do(ctx, http.MethodGet, "/admin/backends", nil, &out)
 	return out, err
 }
 
@@ -57,6 +70,6 @@ func (c *Client) RemoveBackend(ctx context.Context, addr string) (RebalanceRepor
 
 func (c *Client) admin(ctx context.Context, op, addr string) (RebalanceReport, error) {
 	var out RebalanceReport
-	err := c.DoJSON(ctx, http.MethodPost, "/admin/backends", AdminRequest{Op: op, Addr: addr}, &out)
+	err := c.Do(ctx, http.MethodPost, "/admin/backends", AdminRequest{Op: op, Addr: addr}, &out)
 	return out, err
 }

@@ -4,34 +4,49 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"repro/internal/metrics"
 	"repro/service"
 )
 
-// NewHandler exposes the gateway as a JSON API. The front routes
+// NewHandler exposes the gateway as an HTTP API. The front routes
 // mirror the backend service API one for one — a service.Client
-// pointed at a gateway works unchanged — plus the admin surface:
+// pointed at a gateway works unchanged — under the same versioned /v1
+// prefix with unprefixed legacy aliases, plus the admin surface:
 //
-//	PUT    /matrix/{name}           replicated upload (all-or-nothing across R replicas)
-//	DELETE /matrix/{name}           remove a matrix from every replica
-//	GET    /matrices                placed matrices with their replica sets
-//	POST   /matrices/{name}/chunks  replicated chunked upload: begin/append/commit/abort
-//	PATCH  /matrices/{name}/rows    replicated row update (all-or-nothing, wire copy retained)
-//	POST   /estimate                route to the least-busy healthy replica, failover on error
-//	POST   /estimate/batch          scatter sub-batches across replicas, gather in order
-//	GET    /stats                   gateway + per-backend counters
-//	GET    /metrics                 Prometheus text-format exposition
-//	GET    /healthz                 gateway liveness
-//	GET    /admin/backends          list the pool with health and counters
-//	POST   /admin/backends          {"op":"add"|"drain"|"remove","addr":…} with rebalance
+//	PUT    /v1/matrix/{name}           replicated upload (all-or-nothing across R replicas)
+//	DELETE /v1/matrix/{name}           remove a matrix from every replica
+//	GET    /v1/matrices                placed matrices with their replica sets
+//	POST   /v1/matrices/{name}/chunks  replicated chunked upload: begin/append/commit/abort
+//	PATCH  /v1/matrices/{name}/rows    replicated row update (all-or-nothing, wire copy retained)
+//	POST   /v1/estimate                route to the least-busy healthy replica, failover on error
+//	POST   /v1/estimate/batch          scatter sub-batches across replicas, gather in order
+//	GET    /v1/stats                   gateway + per-backend counters
+//	GET    /v1/metrics                 Prometheus text-format exposition
+//	GET    /v1/healthz                 gateway liveness
+//	GET    /v1/admin/backends          list the pool with health and counters
+//	POST   /v1/admin/backends          {"op":"add"|"drain"|"remove","addr":…} with rebalance
 //
-// docs/API.md is the complete reference.
+// The hot endpoints negotiate the binary wire format exactly like the
+// service tier (service.DecodeRequest/WriteReply), and the gateway's
+// own backend clients speak binary to the pool — a binary client's
+// payload travels binary end to end. docs/API.md is the complete
+// reference.
 func NewHandler(g *Gateway) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.Handler) {
+		mux.Handle(pattern, h)
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			panic("route pattern without method: " + pattern)
+		}
+		mux.Handle(method+" /v1"+path, h)
+	}
+	handleFunc := func(pattern string, h http.HandlerFunc) { handle(pattern, h) }
+	handleFunc("PUT /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
 		var m service.Matrix
-		if err := service.DecodeJSON(w, r, &m); err != nil {
+		if err := service.DecodeRequest(w, r, &m); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -42,19 +57,19 @@ func NewHandler(g *Gateway) http.Handler {
 		}
 		service.WriteJSON(w, http.StatusOK, info)
 	})
-	mux.HandleFunc("DELETE /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("DELETE /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
 		if err := g.DeleteMatrix(r.Context(), r.PathValue("name")); err != nil {
 			writeError(w, err)
 			return
 		}
 		service.WriteJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
 	})
-	mux.HandleFunc("GET /matrices", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("GET /matrices", func(w http.ResponseWriter, r *http.Request) {
 		service.WriteJSON(w, http.StatusOK, g.Matrices())
 	})
-	mux.HandleFunc("POST /matrices/{name}/chunks", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("POST /matrices/{name}/chunks", func(w http.ResponseWriter, r *http.Request) {
 		var req service.ChunkRequest
-		if err := service.DecodeJSON(w, r, &req); err != nil {
+		if err := service.DecodeRequest(w, r, &req); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -91,9 +106,9 @@ func NewHandler(g *Gateway) http.Handler {
 			writeError(w, fmt.Errorf("%w: unknown chunk op %q", service.ErrBadRequest, req.Op))
 		}
 	})
-	mux.HandleFunc("PATCH /matrices/{name}/rows", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("PATCH /matrices/{name}/rows", func(w http.ResponseWriter, r *http.Request) {
 		var req service.UpdateRequest
-		if err := service.DecodeJSON(w, r, &req); err != nil {
+		if err := service.DecodeRequest(w, r, &req); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -102,11 +117,11 @@ func NewHandler(g *Gateway) http.Handler {
 			writeError(w, err)
 			return
 		}
-		service.WriteJSON(w, http.StatusOK, rep)
+		service.WriteReply(w, r, http.StatusOK, rep)
 	})
-	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req service.Request
-		if err := service.DecodeJSON(w, r, &req); err != nil {
+		if err := service.DecodeRequest(w, r, &req); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -115,11 +130,11 @@ func NewHandler(g *Gateway) http.Handler {
 			writeError(w, err)
 			return
 		}
-		service.WriteJSON(w, http.StatusOK, res)
+		service.WriteReply(w, r, http.StatusOK, res)
 	})
-	mux.HandleFunc("POST /estimate/batch", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("POST /estimate/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req service.BatchRequest
-		if err := service.DecodeJSON(w, r, &req); err != nil {
+		if err := service.DecodeRequest(w, r, &req); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -128,21 +143,21 @@ func NewHandler(g *Gateway) http.Handler {
 			writeError(w, err)
 			return
 		}
-		service.WriteJSON(w, http.StatusOK, service.BatchResponse{Results: items})
+		service.WriteReply(w, r, http.StatusOK, service.BatchResponse{Results: items})
 	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		service.WriteJSON(w, http.StatusOK, g.Stats())
 	})
-	mux.Handle("GET /metrics", metrics.Handler(g.Metrics()))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", metrics.Handler(g.Metrics()))
+	handleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		service.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /admin/backends", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("GET /admin/backends", func(w http.ResponseWriter, r *http.Request) {
 		service.WriteJSON(w, http.StatusOK, g.Backends())
 	})
-	mux.HandleFunc("POST /admin/backends", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("POST /admin/backends", func(w http.ResponseWriter, r *http.Request) {
 		var req AdminRequest
-		if err := service.DecodeJSON(w, r, &req); err != nil {
+		if err := service.DecodeRequest(w, r, &req); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -176,23 +191,32 @@ type AdminRequest struct {
 	Addr string `json:"addr"`
 }
 
-// writeError maps gateway and backend errors to HTTP statuses. A
-// backend's answered error (an APIError a query was returned without
-// failover) passes through with its original status and message;
-// gateway-level conditions get their own statuses (no eligible
-// backends → 503, all replicas failed → 502, unknown backend → 404);
-// everything else falls through to the service package's mapping.
+// writeError maps gateway and backend errors onto the uniform
+// {"error":{"code","message"}} envelope. A backend's answered error
+// (an APIError a query was returned without failover) passes through
+// with its original status, code, and message; gateway-level
+// conditions get their own statuses and codes (no eligible backends →
+// 503 no_backends, all replicas failed → 502 bad_gateway, unknown
+// backend → 404 unknown_backend); everything else falls through to
+// the service package's mapping. WriteErrorEnvelope is the single
+// emitter either way.
 func writeError(w http.ResponseWriter, err error) {
 	var apiErr *service.APIError
 	switch {
 	case errors.As(err, &apiErr):
-		service.WriteJSON(w, apiErr.Status, map[string]string{"error": apiErr.Message})
-	case errors.Is(err, ErrNoBackends), errors.Is(err, ErrClosed):
-		service.WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		code := apiErr.Code
+		if code == "" {
+			code = "upstream"
+		}
+		service.WriteErrorEnvelope(w, apiErr.Status, code, apiErr.Message)
+	case errors.Is(err, ErrNoBackends):
+		service.WriteErrorEnvelope(w, http.StatusServiceUnavailable, "no_backends", err.Error())
+	case errors.Is(err, ErrClosed):
+		service.WriteErrorEnvelope(w, http.StatusServiceUnavailable, "unavailable", err.Error())
 	case errors.Is(err, ErrAllReplicasFailed):
-		service.WriteJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+		service.WriteErrorEnvelope(w, http.StatusBadGateway, "bad_gateway", err.Error())
 	case errors.Is(err, ErrUnknownBackend):
-		service.WriteJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		service.WriteErrorEnvelope(w, http.StatusNotFound, "unknown_backend", err.Error())
 	default:
 		service.WriteError(w, err)
 	}

@@ -1,0 +1,6 @@
+// Package io is a minimal fixture stub of io: the whole-body slurp the
+// analyzer flags when aimed at a request body.
+package io
+
+// ReadAll reads the stub reader to exhaustion.
+func ReadAll(r any) ([]byte, error) { return nil, nil }

@@ -4,6 +4,7 @@ package other
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 )
 
@@ -11,4 +12,5 @@ func raw(w http.ResponseWriter, r *http.Request) {
 	json.NewDecoder(r.Body) // out of scope: no finding
 	json.NewEncoder(w)      // out of scope: no finding
 	http.Error(w, "x", 500) // out of scope: no finding
+	io.ReadAll(r.Body)      // out of scope: no finding
 }

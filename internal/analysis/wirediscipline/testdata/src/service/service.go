@@ -5,6 +5,7 @@ package service
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 )
 
@@ -36,9 +37,25 @@ func decodeOther(p *payload) {
 	json.NewDecoder(p.Body)
 }
 
+// A raw whole-body slurp skips the size limit and content negotiation.
+func handleSlurp(w http.ResponseWriter, r *http.Request) {
+	buf, _ := io.ReadAll(r.Body) // want `raw io\.ReadAll on the request body`
+	_ = buf
+}
+
+// ReadAll of anything that is not a request body is fine.
+func slurpOther(p *payload) {
+	io.ReadAll(p.Body)
+}
+
 // The sanctioned helpers themselves are the only waived raw uses.
 func decodeJSON(r *http.Request, v any) error {
 	return json.NewDecoder(r.Body).Decode(v) //mp:rawwire-ok fixture: this IS the sanctioned decode helper
+}
+
+func decodeBinaryBody(r *http.Request, v any) error {
+	_, err := io.ReadAll(r.Body) //mp:rawwire-ok fixture: this IS the sanctioned binary decode helper
+	return err
 }
 
 func writeJSON(w http.ResponseWriter, v any) error {

@@ -2,16 +2,18 @@
 // the service and gateway tiers must speak through the sanctioned wire
 // helpers.
 //
-// DecodeJSON enforces the body-size limit with the real ResponseWriter
-// (over-limit bodies map to 413, and net/http needs the writer to flag
-// the connection for close), rejects unknown fields, and folds decode
-// failures into the tier's error vocabulary; WriteJSON/WriteError keep
-// the {"error": …} body and the error→status mapping uniform across
-// every endpoint of both tiers. A handler that reaches for
-// json.NewDecoder(r.Body), json.NewEncoder(w), or http.Error re-opens
-// every one of those seams, so the analyzer flags them. The helpers
-// themselves are the only sanctioned raw uses and carry the
-// //mp:rawwire-ok waiver.
+// DecodeRequest/DecodeJSON enforce the body-size limit with the real
+// ResponseWriter (over-limit bodies map to 413, and net/http needs the
+// writer to flag the connection for close), reject unknown fields,
+// negotiate the binary wire format off Content-Type (unsupported types
+// map to 415), and fold decode failures into the tier's error
+// vocabulary; WriteReply/WriteJSON/WriteError keep content negotiation,
+// the {"error": {"code", "message"}} envelope, and the error→status
+// mapping uniform across every endpoint of both tiers. A handler that
+// reaches for json.NewDecoder(r.Body), json.NewEncoder(w), http.Error,
+// or a raw io.ReadAll of the request body re-opens every one of those
+// seams, so the analyzer flags them. The codec helpers themselves are
+// the only sanctioned raw uses and carry the //mp:rawwire-ok waiver.
 package wirediscipline
 
 import (
@@ -28,9 +30,10 @@ import (
 // gateway packages and skips test files.
 var Analyzer = &analysis.Analyzer{
 	Name: "mpwire",
-	Doc: "require service/gateway handlers to use DecodeJSON/WriteJSON/WriteError " +
-		"instead of raw json.NewEncoder/json.NewDecoder on HTTP bodies or http.Error, " +
-		"keeping the 413 body-limit and error-mapping semantics uniform",
+	Doc: "require service/gateway handlers to use DecodeRequest/WriteReply/WriteError " +
+		"(or their JSON-only forms) instead of raw json.NewEncoder/json.NewDecoder/io.ReadAll " +
+		"on HTTP bodies or http.Error, keeping the 413/415 body semantics, content " +
+		"negotiation, and error-envelope mapping uniform",
 	Run: run,
 }
 
@@ -75,6 +78,12 @@ func checkCall(pass *analysis.Pass, dirs *directives.Map, call *ast.CallExpr) {
 			pass.Reportf(call.Pos(), "raw json.NewDecoder on the request body bypasses DecodeJSON's "+
 				"body-size limit (413), unknown-field rejection, and error mapping: use DecodeJSON "+
 				"(or annotate //mp:rawwire-ok inside the sanctioned helpers)")
+		}
+	case mputil.IsPkgFunc(info, call, "io", "ReadAll"):
+		if touchesRequestBody(info, call.Args) && !dirs.Waived(call.Pos(), directives.RawWireOK) {
+			pass.Reportf(call.Pos(), "raw io.ReadAll on the request body bypasses DecodeRequest's "+
+				"body-size limit (413), content negotiation (415), and pooled decode buffers: use "+
+				"DecodeRequest (or annotate //mp:rawwire-ok inside the sanctioned codec helpers)")
 		}
 	}
 }

@@ -85,8 +85,15 @@ func lnDim(n int) float64 {
 // fast paths return bit-identical sums to the math.Pow formulation
 // (Pow(x, 1) = x and Pow(x, 2) = x·x exactly) — they are on the
 // serving hot path, where Bob evaluates every sampled row of C.
-func rowLpPow(y []int64, p float64) float64 {
-	var s float64
+func rowLpPow(y []int64, p float64) float64 { return rowLpPowAcc(0, y, p) }
+
+// rowLpPowAcc folds y's ℓp^p contributions into the running
+// accumulator s, element by element in order — the form the blocked
+// kernels thread through column tiles so tiling never changes the
+// float summation order.
+//
+//mp:hotpath
+func rowLpPowAcc(s float64, y []int64, p float64) float64 {
 	switch p {
 	case 0:
 		for _, v := range y {
@@ -126,21 +133,18 @@ func mulRowSparse(cols []int, vals []int64, b *intmat.Dense) []int64 {
 
 // mulRowSparseInto accumulates row · B into out (caller-zeroed, length
 // B.Cols()); hoisting the buffer lets the serving path evaluate
-// thousands of sampled rows per query without per-row allocation. The
-// inner loop is branchless so it vectorizes.
+// thousands of sampled rows per query without per-row allocation.
+// Wide rows are column-tiled (kernels.go) so the output tile and the
+// touched B-row tiles stay cache-resident across the whole sparse
+// accumulation — exact integer arithmetic makes the tiling invisible
+// in the answer.
 func mulRowSparseInto(out []int64, cols []int, vals []int64, b *intmat.Dense) {
-	for t, k := range cols {
-		v := vals[t]
-		if v == 0 {
-			continue
-		}
-		rk := b.Row(k)
-		if len(rk) > len(out) {
-			rk = rk[:len(out)]
-		}
-		for j, bv := range rk {
-			out[j] += v * bv
-		}
+	if len(out) <= mulBlockCols || len(cols) < 2 {
+		mulRowSparseSpanInto(out, 0, len(out), cols, vals, b)
+		return
+	}
+	for lo := 0; lo < len(out); lo += mulBlockCols {
+		mulRowSparseSpanInto(out, lo, min(lo+mulBlockCols, len(out)), cols, vals, b)
 	}
 }
 

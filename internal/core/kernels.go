@@ -1,0 +1,121 @@
+package core
+
+import "repro/internal/intmat"
+
+// Cache-blocked serve kernels. The lp serve path evaluates every
+// sampled row of C as (sparse row of A) · B followed by an ℓp fold;
+// the exact-ℓ1 serve path is one long int64 dot product. Both stream
+// vectors far larger than L1 for big column counts, so the kernels
+// here tile the column dimension: each output tile and the matching
+// tile of every touched B row stay cache-resident across the whole
+// sparse accumulation, and the ℓp fold consumes each tile while it is
+// still hot instead of re-streaming the full row afterwards.
+//
+// Determinism contract: integer accumulation is reordered freely
+// (int64 addition is exact and commutative, wraparound included), but
+// the float ℓp fold visits elements in exactly the sequential column
+// order with one running accumulator — rowLpPowAcc threads the
+// partial sum through the tiles — so every blocked result is
+// bit-identical to the unblocked kernel it replaced. The transcript
+// parity tests pin this.
+
+// mulBlockCols is the column-tile width: 2048 int64 elements is
+// 16 KiB, so one output tile plus one B-row tile fit comfortably in a
+// 32 KiB L1 data cache with room for the sparse row itself.
+const mulBlockCols = 2048
+
+// mulRowSparseSpanInto accumulates row · B into out[lo:hi) only — one
+// column tile of the blocked kernel. Rows of B shorter than the span
+// contribute their overlap, matching the unblocked kernel's defensive
+// clamp. The inner loop is branchless so it vectorizes.
+//
+//mp:hotpath
+func mulRowSparseSpanInto(out []int64, lo, hi int, cols []int, vals []int64, b *intmat.Dense) {
+	for t, k := range cols {
+		v := vals[t]
+		if v == 0 {
+			continue
+		}
+		rk := b.Row(k)
+		end := hi
+		if len(rk) < end {
+			end = len(rk)
+		}
+		if end <= lo {
+			continue
+		}
+		dst := out[lo:end]
+		src := rk[lo:end]
+		for j, bv := range dst {
+			dst[j] = bv + v*src[j]
+		}
+	}
+}
+
+// mulRowLpPow computes ‖row · B‖p^p with the blocked kernel: each
+// column tile is accumulated and folded while cache-hot, and the fold
+// threads one accumulator through the tiles in column order, so the
+// result is bit-identical to clear+mulRowSparseInto+rowLpPow. The
+// scratch y must be b.Cols() long; its contents are overwritten.
+func mulRowLpPow(y []int64, cols []int, vals []int64, b *intmat.Dense, p float64) float64 {
+	if len(y) <= mulBlockCols || len(cols) < 2 {
+		clear(y)
+		mulRowSparseSpanInto(y, 0, len(y), cols, vals, b)
+		return rowLpPowAcc(0, y, p)
+	}
+	var s float64
+	for lo := 0; lo < len(y); lo += mulBlockCols {
+		hi := min(lo+mulBlockCols, len(y))
+		blk := y[lo:hi]
+		clear(blk)
+		mulRowSparseSpanInto(y, lo, hi, cols, vals, b)
+		s = rowLpPowAcc(s, blk, p)
+	}
+	return s
+}
+
+// dotInt64 is the int64 dot product, 4-way unrolled so the four
+// independent accumulator chains pipeline (exact: int64 addition is
+// associative and commutative, wraparound included).
+//
+//mp:hotpath
+func dotInt64(a, b []int64) int64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	var s0, s1, s2, s3 int64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// dotInt64Sharded is dotInt64 over contiguous shard ranges — the
+// exact-ℓ1 serve kernel. Partial sums are recombined in shard order;
+// exactness makes the shard count invisible in the answer.
+func dotInt64Sharded(a, b []int64, shards int) int64 {
+	n := len(a)
+	if n < minShardCheapElems || shards <= 1 {
+		return dotInt64(a, b)
+	}
+	ranges := shardRanges(n, shards)
+	if len(ranges) == 1 {
+		return dotInt64(a, b)
+	}
+	partial := make([]int64, len(ranges))
+	runShards(n, shards, func(s, lo, hi int) {
+		partial[s] = dotInt64(a[lo:hi], b[lo:hi])
+	})
+	var total int64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}

@@ -87,9 +87,7 @@ func (s *BobExactL1State) Serve(t comm.Transport) (total int64, err error) {
 	for k := range colSums {
 		colSums[k] = int64(recv.Uvarint())
 	}
-	total = sumInt64Shards(len(s.rowSums), s.shards, func(k int) int64 {
-		return colSums[k] * s.rowSums[k]
-	})
+	total = dotInt64Sharded(colSums, s.rowSums, s.shards)
 	return total, nil
 }
 

@@ -351,9 +351,7 @@ func (s *BobLpState) Serve(t comm.Transport) (est float64, err error) {
 	runShards(len(samples), s.opts.Shards, func(_, lo, hi int) {
 		y := make([]int64, s.b.Cols())
 		for i := lo; i < hi; i++ {
-			clear(y)
-			mulRowSparseInto(y, samples[i].cols, samples[i].vals, s.b)
-			contrib[i] = samples[i].w * rowLpPow(y, s.p)
+			contrib[i] = samples[i].w * mulRowLpPow(y, samples[i].cols, samples[i].vals, s.b, s.p)
 		}
 	})
 	perRep := make([]float64, s.opts.Reps)

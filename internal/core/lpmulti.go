@@ -89,8 +89,10 @@ func EstimateLpMulti(a, b *intmat.Dense, ps []float64, o LpOpts) ([]float64, Cos
 	}
 	recv2 := conn.Send(comm.AliceToBob, msg2)
 
-	// Bob: exact norms of sampled rows, median per family.
+	// Bob: exact norms of sampled rows, median per family. One scratch
+	// row feeds the fused blocked kernel across every sample.
 	out := make([]float64, len(ps))
+	y := make([]int64, b.Cols())
 	for pi, p := range ps {
 		perRep := make([]float64, o.Reps)
 		for rep := range perRep {
@@ -100,8 +102,7 @@ func EstimateLpMulti(a, b *intmat.Dense, ps []float64, o LpOpts) ([]float64, Cos
 				_ = recv2.Uvarint()
 				w := recv2.Float64()
 				cols, vals := getSparseRow(recv2)
-				y := mulRowSparse(cols, vals, b)
-				est += w * rowLpPow(y, p)
+				est += w * mulRowLpPow(y, cols, vals, b, p)
 			}
 			perRep[rep] = est
 		}

@@ -15,6 +15,11 @@
 // input is also a failure, so a renamed benchmark cannot silently
 // disable its guard.
 //
+// An "allocs_per_op" map in the baseline additionally gates allocs/op
+// (the codec hot path's allocation budget); those entries require the
+// bench run to pass -benchmem, and a missing allocs/op metric fails
+// the gate rather than skipping it.
+//
 // It also gates the open-loop capacity model: with -loadcurve pointing
 // at a BENCH_loadcurve.json (emitted by mpload -rps-sweep) and
 // -loadcurve-baseline at the checked-in reference, the guard fails
@@ -65,6 +70,11 @@ type Result struct {
 type Baseline struct {
 	// NsPerOp maps benchmark names (no -N suffix) to baseline ns/op.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// AllocsPerOp maps benchmark names to baseline allocs/op. These
+	// entries require the bench run to pass -benchmem; a guarded
+	// benchmark whose output lacks the allocs/op metric fails, so the
+	// gate cannot be disabled by dropping the flag.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
 }
 
 // Report is the BENCH_ci.json artifact.
@@ -107,9 +117,12 @@ type KneeVerdict struct {
 	Note  string  `json:"note,omitempty"`
 }
 
-// GuardVerdict is one guarded benchmark's comparison outcome.
+// GuardVerdict is one guarded benchmark's comparison outcome. Metric
+// distinguishes the ns/op gate (empty, the default) from extra-metric
+// gates such as allocs/op.
 type GuardVerdict struct {
 	Name       string  `json:"name"`
+	Metric     string  `json:"metric,omitempty"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	BaselineNs float64 `json:"baseline_ns_per_op"`
 	Ratio      float64 `json:"ratio"`
@@ -193,6 +206,37 @@ func main() {
 			}
 			fmt.Printf("benchguard: %-45s %12.0f ns/op  baseline %12.0f  ratio %.2f  %s\n",
 				name, v.NsPerOp, v.BaselineNs, v.Ratio, status)
+		}
+		for name, baseAllocs := range base.AllocsPerOp {
+			full := "Benchmark" + name
+			r, ok := byName[full]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchguard: guarded benchmark %s missing from %s\n", full, *in)
+				failed = true
+				continue
+			}
+			allocs, ok := r.Metrics["allocs/op"]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchguard: %s has no allocs/op metric (run with -benchmem)\n", full)
+				failed = true
+				continue
+			}
+			v := GuardVerdict{
+				Name:       name,
+				Metric:     "allocs/op",
+				NsPerOp:    allocs,
+				BaselineNs: baseAllocs,
+				Ratio:      allocs / baseAllocs,
+				Pass:       allocs <= *maxRatio*baseAllocs,
+			}
+			report.Guarded = append(report.Guarded, v)
+			status := "ok"
+			if !v.Pass {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("benchguard: %-45s %12.0f allocs/op  baseline %9.0f  ratio %.2f  %s\n",
+				name, allocs, baseAllocs, v.Ratio, status)
 		}
 	}
 
@@ -329,7 +373,7 @@ func loadBaseline(path string) (Baseline, error) {
 	if err := json.Unmarshal(buf, &b); err != nil {
 		return Baseline{}, fmt.Errorf("parse %s: %w", path, err)
 	}
-	if len(b.NsPerOp) == 0 {
+	if len(b.NsPerOp) == 0 && len(b.AllocsPerOp) == 0 {
 		return Baseline{}, fmt.Errorf("%s guards no benchmarks", path)
 	}
 	return b, nil

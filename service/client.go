@@ -7,18 +7,84 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
+	"time"
 )
 
 // Client is the typed counterpart of the HTTP API served by NewHandler.
+// Construct it with New and functional options; the zero-option form
+// speaks JSON against the versioned /v1 surface. WithAccept
+// (MediaTypeBinary) switches the hot-path calls to the binary wire
+// format with an automatic, sticky fallback to JSON when the server
+// answers 415 — a binary-capable client against a JSON-only server
+// degrades transparently.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+
+	timeout time.Duration
+	retries int
+	accept  string
+	prefix  string
+	// jsonOnly latches after a 415 against a binary request: the server
+	// does not speak the binary format, so every later call goes
+	// straight to JSON instead of paying a rejected round trip each.
+	jsonOnly atomic.Bool
 }
 
-// NewClient returns a client for the given server root.
-func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithTimeout bounds every call with a per-request deadline (layered
+// under any caller context deadline).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithAccept selects the preferred response media type. Passing
+// MediaTypeBinary opts the hot-path calls into the binary wire format
+// for both request bodies and responses; anything else keeps JSON.
+func WithAccept(mediaType string) ClientOption {
+	return func(c *Client) { c.accept = contentMediaType(mediaType) }
+}
+
+// WithRetry retries a call up to n extra times on transport-level
+// errors (connection refused, reset — calls that never reached a
+// server). Answered errors (APIError) are never retried.
+func WithRetry(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithHTTPClient sets the underlying *http.Client.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.HTTPClient = h }
+}
+
+// WithPathPrefix overrides the path prefix the typed methods call
+// under. The default is "/v1"; an empty prefix addresses the legacy
+// unprefixed aliases (what the deprecated NewClient constructor uses).
+func WithPathPrefix(prefix string) ClientOption {
+	return func(c *Client) { c.prefix = prefix }
+}
+
+// New returns a client for the given server root, addressing the
+// versioned /v1 API surface by default.
+func New(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{BaseURL: baseURL, prefix: "/v1"}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// NewClient returns a JSON client for the given server root against
+// the legacy unprefixed paths.
+//
+// Deprecated: use New, which defaults to the versioned /v1 surface and
+// takes functional options (WithTimeout, WithAccept, WithRetry).
+func NewClient(baseURL string) *Client { return New(baseURL, WithPathPrefix("")) }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
@@ -34,8 +100,11 @@ func (c *Client) httpClient() *http.Client {
 type APIError struct {
 	// Status is the HTTP status code the server replied with.
 	Status int
-	// Message is the server's error string (the "error" field of the
-	// JSON error body, or the raw body when it is not that shape).
+	// Code is the machine-matchable code of the error envelope
+	// ({"error":{"code":…}}), empty when the server predates it.
+	Code string
+	// Message is the server's error string (the envelope's message, the
+	// legacy {"error":"…"} string, or the raw body when neither).
 	Message string
 }
 
@@ -44,46 +113,146 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("service: server returned %d: %s", e.Status, e.Message)
 }
 
-// DoJSON performs one JSON API call: in (when non-nil) is marshaled as
-// the request body, out (when non-nil) is filled from the response
-// body, and a non-2xx reply is returned as an *APIError. Exported so
+// apiErrorFromBody parses an error body: the uniform envelope first,
+// the legacy {"error":"…"} string second, the raw body as a fallback.
+func apiErrorFromBody(status int, body []byte) *APIError {
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if json.Unmarshal(body, &env) == nil && len(env.Error) > 0 {
+		var info ErrorInfo
+		if json.Unmarshal(env.Error, &info) == nil && info.Message != "" {
+			return &APIError{Status: status, Code: info.Code, Message: info.Message}
+		}
+		var msg string
+		if json.Unmarshal(env.Error, &msg) == nil && msg != "" {
+			return &APIError{Status: status, Message: msg}
+		}
+	}
+	return &APIError{Status: status, Message: string(body)}
+}
+
+// DoJSON performs one JSON API call against the exact path given (no
+// prefix, no negotiation): in (when non-nil) is marshaled as the
+// request body, out (when non-nil) is filled from the response body,
+// and a non-2xx reply is returned as an *APIError. Exported so
 // clients layered on the service API — the gateway's admin client —
 // reuse the same request plumbing and error discipline.
 func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	return c.roundTrip(ctx, method, path, in, out, false, false)
+}
+
+// Do performs one API call under the client's configured path prefix
+// and negotiated encoding: the binary wire format when the client was
+// built WithAccept(MediaTypeBinary), the value has a binary form, and
+// the server has not refused it; JSON otherwise. The typed methods
+// all route through here — the codec seam tiers like the gateway
+// inherit by construction.
+func (c *Client) Do(ctx context.Context, method, path string, in, out any) error {
+	binary := c.accept == MediaTypeBinary && !c.jsonOnly.Load()
+	// Advertise binary Accept only when the reply can be decoded from
+	// it; a JSON-shaped out (catalog listings, stats) keeps the reply
+	// JSON while the request body may still go binary.
+	acceptBinary := binary && out != nil && BinaryEncodable(out)
+	return c.roundTrip(ctx, method, c.prefix+path, in, out, binary, acceptBinary)
+}
+
+func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any, binary, acceptBinary bool) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	wb := getWireBuf()
+	defer putWireBuf(wb)
+	var body []byte
+	contentType := ""
+	sentBinary := false
 	if in != nil {
+		if binary {
+			if b, ok := appendBinary(wb.b, in); ok {
+				wb.b = b
+				body, contentType, sentBinary = b, MediaTypeBinary, true
+			}
+		}
+		if body == nil {
+			buf, err := json.Marshal(in)
+			if err != nil {
+				return err
+			}
+			body, contentType = buf, mediaTypeJSON
+		}
+	}
+	resp, err := c.send(ctx, method, path, body, contentType, acceptBinary)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusUnsupportedMediaType && sentBinary {
+		// The server does not speak the binary format (or not on this
+		// endpoint). Latch JSON and replay the call once.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		c.jsonOnly.Store(true)
 		buf, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(buf)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
+		resp, err = c.send(ctx, method, path, buf, mediaTypeJSON, false)
+		if err != nil {
+			return err
+		}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var apiErr struct {
-			Error string `json:"error"`
-		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
-			return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
-		}
-		return &APIError{Status: resp.StatusCode, Message: string(msg)}
+		return apiErrorFromBody(resp.StatusCode, msg)
 	}
 	if out == nil {
 		return nil
 	}
+	if contentMediaType(resp.Header.Get("Content-Type")) == MediaTypeBinary {
+		rb := getWireBuf()
+		defer putWireBuf(rb)
+		b, err := readAllInto(rb.b, resp.Body)
+		rb.b = b
+		if err != nil {
+			return err
+		}
+		return decodeBinary(b, out)
+	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// send issues one HTTP request, retrying transport-level failures up
+// to the configured retry budget (the body is retained encoded, so a
+// retry resends identical bytes).
+func (c *Client) send(ctx context.Context, method, path string, body []byte, contentType string, acceptBinary bool) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		if acceptBinary {
+			req.Header.Set("Accept", MediaTypeBinary+", "+mediaTypeJSON)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
 }
 
 // UploadReply is the full reply of PUT /matrix/{name}: the installed
@@ -105,13 +274,13 @@ func (c *Client) UploadMatrix(ctx context.Context, name string, m Matrix) (Matri
 // gateway) needs to keep its view of the backend's registry truthful.
 func (c *Client) UploadMatrixFull(ctx context.Context, name string, m Matrix) (UploadReply, error) {
 	var out UploadReply
-	err := c.DoJSON(ctx, http.MethodPut, "/matrix/"+name, m, &out)
+	err := c.Do(ctx, http.MethodPut, "/matrix/"+name, m, &out)
 	return out, err
 }
 
 // DeleteMatrix removes a served matrix.
 func (c *Client) DeleteMatrix(ctx context.Context, name string) error {
-	return c.DoJSON(ctx, http.MethodDelete, "/matrix/"+name, nil, nil)
+	return c.Do(ctx, http.MethodDelete, "/matrix/"+name, nil, nil)
 }
 
 // BeginUpload starts a chunked upload of a rows×cols matrix and
@@ -119,7 +288,7 @@ func (c *Client) DeleteMatrix(ctx context.Context, name string) error {
 // must present.
 func (c *Client) BeginUpload(ctx context.Context, name string, rows, cols int) (UploadInfo, error) {
 	var out UploadInfo
-	err := c.DoJSON(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+	err := c.Do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
 		ChunkRequest{Op: "begin", Rows: rows, Cols: cols}, &out)
 	return out, err
 }
@@ -127,7 +296,7 @@ func (c *Client) BeginUpload(ctx context.Context, name string, rows, cols int) (
 // AppendChunk ships one row-range chunk of a chunked upload.
 func (c *Client) AppendChunk(ctx context.Context, name, token string, rowStart, rowEnd int, entries [][3]int64) (UploadInfo, error) {
 	var out UploadInfo
-	err := c.DoJSON(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+	err := c.Do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
 		ChunkRequest{Op: "append", Upload: token, RowStart: rowStart, RowEnd: rowEnd, Entries: entries}, &out)
 	return out, err
 }
@@ -135,14 +304,14 @@ func (c *Client) AppendChunk(ctx context.Context, name, token string, rowStart, 
 // CommitUpload installs a completed chunked upload in the registry.
 func (c *Client) CommitUpload(ctx context.Context, name, token string) (MatrixInfo, error) {
 	var out MatrixInfo
-	err := c.DoJSON(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+	err := c.Do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
 		ChunkRequest{Op: "commit", Upload: token}, &out)
 	return out, err
 }
 
 // AbortUpload discards a staged chunked upload.
 func (c *Client) AbortUpload(ctx context.Context, name, token string) error {
-	return c.DoJSON(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
+	return c.Do(ctx, http.MethodPost, "/matrices/"+name+"/chunks",
 		ChunkRequest{Op: "abort", Upload: token}, nil)
 }
 
@@ -198,7 +367,7 @@ func (c *Client) UploadMatrixChunked(ctx context.Context, name string, m Matrix,
 // cache warm instead of forcing a full re-upload.
 func (c *Client) UpdateRows(ctx context.Context, name string, req UpdateRequest) (UpdateReply, error) {
 	var out UpdateReply
-	err := c.DoJSON(ctx, http.MethodPatch, "/matrices/"+name+"/rows", req, &out)
+	err := c.Do(ctx, http.MethodPatch, "/matrices/"+name+"/rows", req, &out)
 	return out, err
 }
 
@@ -211,14 +380,14 @@ func (c *Client) ReplaceRow(ctx context.Context, name string, row int, entries [
 // Matrices lists the served matrices.
 func (c *Client) Matrices(ctx context.Context) ([]MatrixInfo, error) {
 	var out []MatrixInfo
-	err := c.DoJSON(ctx, http.MethodGet, "/matrices", nil, &out)
+	err := c.Do(ctx, http.MethodGet, "/matrices", nil, &out)
 	return out, err
 }
 
 // Estimate runs one estimation query.
 func (c *Client) Estimate(ctx context.Context, req Request) (*Result, error) {
 	var out Result
-	if err := c.DoJSON(ctx, http.MethodPost, "/estimate", req, &out); err != nil {
+	if err := c.Do(ctx, http.MethodPost, "/estimate", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -229,7 +398,7 @@ func (c *Client) Estimate(ctx context.Context, req Request) (*Result, error) {
 // per-query failure is reported in its item, not as a call error.
 func (c *Client) EstimateBatch(ctx context.Context, reqs []Request) ([]BatchItem, error) {
 	var out BatchResponse
-	if err := c.DoJSON(ctx, http.MethodPost, "/estimate/batch", BatchRequest{Queries: reqs}, &out); err != nil {
+	if err := c.Do(ctx, http.MethodPost, "/estimate/batch", BatchRequest{Queries: reqs}, &out); err != nil {
 		return nil, err
 	}
 	return out.Results, nil
@@ -238,12 +407,12 @@ func (c *Client) EstimateBatch(ctx context.Context, reqs []Request) ([]BatchItem
 // Stats fetches the aggregate serving statistics.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats
-	err := c.DoJSON(ctx, http.MethodGet, "/stats", nil, &out)
+	err := c.Do(ctx, http.MethodGet, "/stats", nil, &out)
 	return out, err
 }
 
 // Health checks the server's liveness endpoint. A nil error means the
 // server answered GET /healthz with a 2xx.
 func (c *Client) Health(ctx context.Context) error {
-	return c.DoJSON(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.Do(ctx, http.MethodGet, "/healthz", nil, nil)
 }

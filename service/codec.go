@@ -1,0 +1,140 @@
+package service
+
+// Content negotiation between the JSON compatibility default and the
+// binary hot-path wire format (binwire.go).
+//
+// Requests declare their body's encoding with Content-Type: an absent
+// or application/json type takes the JSON path (as does curl's
+// implicit form-urlencoded default, see mediaTypeForm), MediaTypeBinary
+// the binary decoder, and anything else is rejected with 415 under the
+// uniform error envelope. Responses are JSON unless the request's
+// Accept header explicitly lists MediaTypeBinary *and* the reply type
+// has a binary form — a wildcard Accept stays JSON on purpose, so
+// only clients that opted in ever see binary frames. Error responses
+// are always the JSON envelope regardless of Accept: a client that
+// negotiated binary still parses failures with zero special cases.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strings"
+)
+
+const (
+	mediaTypeJSON = "application/json"
+	// mediaTypeForm is what curl (and friends) silently attach to -d
+	// bodies. No endpoint consumes actual form data, so the declaration
+	// is always an artifact of the tool, not intent — it takes the JSON
+	// path rather than breaking every hand-driven example with a 415.
+	mediaTypeForm = "application/x-www-form-urlencoded"
+)
+
+// ErrUnsupportedMedia marks a request whose Content-Type is neither
+// JSON nor the binary wire format the endpoint accepts (mapped to 415).
+var ErrUnsupportedMedia = errors.New("service: unsupported media type")
+
+// contentMediaType extracts the lowercased media type of a
+// Content-Type or Accept element, dropping parameters.
+func contentMediaType(v string) string {
+	if i := strings.IndexByte(v, ';'); i >= 0 {
+		v = v[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(v))
+}
+
+// AcceptsBinary reports whether the request's Accept header explicitly
+// lists the binary wire format.
+func AcceptsBinary(r *http.Request) bool {
+	for _, hv := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(hv, ",") {
+			if contentMediaType(part) == MediaTypeBinary {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DecodeRequest decodes a request body by its declared Content-Type:
+// JSON (or no declaration) through DecodeJSON, the binary wire format
+// through the pooled binary decoder, anything else (and binary aimed
+// at an endpoint whose type has no binary form) → ErrUnsupportedMedia.
+// Exported alongside DecodeJSON so HTTP tiers layered on the service
+// API — the gateway — share one negotiation discipline.
+func DecodeRequest(w http.ResponseWriter, r *http.Request, v any) error {
+	switch mt := contentMediaType(r.Header.Get("Content-Type")); mt {
+	case "", mediaTypeJSON, mediaTypeForm:
+		return decodeJSONBody(w, r, v)
+	case MediaTypeBinary:
+		if !BinaryEncodable(v) {
+			return fmt.Errorf("%w: %s has no binary form on this endpoint", ErrUnsupportedMedia, mt)
+		}
+		return decodeBinaryBody(w, r, v)
+	default:
+		return fmt.Errorf("%w: %q", ErrUnsupportedMedia, mt)
+	}
+}
+
+// decodeBinaryBody reads the bounded body through a pooled buffer and
+// decodes one binary frame.
+func decodeBinaryBody(w http.ResponseWriter, r *http.Request, v any) error {
+	lr := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	wb := getWireBuf()
+	defer putWireBuf(wb)
+	b, err := readAllInto(wb.b, lr)
+	wb.b = b
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: body exceeds %d bytes", ErrBodyTooLarge, mbe.Limit)
+		}
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if err := decodeBinary(b, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// readAllInto reads r to EOF into buf (reusing its capacity),
+// returning the filled buffer. The returned slice must be handed back
+// to the caller's pool entry even on error so grown capacity is kept.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = slices.Grow(buf, 4096)
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// WriteReply writes v with the negotiated encoding: the binary wire
+// format when the request explicitly accepts it and v has a binary
+// form, JSON otherwise. The JSON path is WriteJSON itself, so clients
+// that never opt in get byte-identical responses.
+func WriteReply(w http.ResponseWriter, r *http.Request, status int, v any) {
+	if AcceptsBinary(r) {
+		wb := getWireBuf()
+		if b, ok := appendBinary(wb.b, v); ok {
+			wb.b = b
+			w.Header().Set("Content-Type", MediaTypeBinary)
+			w.WriteHeader(status)
+			w.Write(b) //mp:rawwire-ok this IS the sanctioned binary encode helper
+			putWireBuf(wb)
+			return
+		}
+		putWireBuf(wb)
+	}
+	WriteJSON(w, status, v)
+}

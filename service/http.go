@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"repro/internal/metrics"
 )
@@ -14,18 +15,23 @@ import (
 // the over-limit path without building a quarter-gigabyte body.
 var maxBodyBytes int64 = 256 << 20
 
-// NewHandler exposes the engine as a JSON API:
+// NewHandler exposes the engine as an HTTP API under the versioned
+// /v1 prefix, with the unprefixed legacy paths kept as thin aliases:
 //
-//	PUT    /matrix/{name}           upload/replace a served matrix (single body)
-//	DELETE /matrix/{name}           remove a served matrix
-//	GET    /matrices                list served matrices (most recent first)
-//	POST   /matrices/{name}/chunks  chunked upload: begin/append/commit/abort
-//	PATCH  /matrices/{name}/rows    apply sparse row replacements/deltas in place
-//	POST   /estimate                run one estimation query
-//	POST   /estimate/batch          run many queries against one admission slot
-//	GET    /stats                   aggregate serving statistics
-//	GET    /metrics                 Prometheus text-format exposition
-//	GET    /healthz                 liveness
+//	PUT    /v1/matrix/{name}           upload/replace a served matrix (single body)
+//	DELETE /v1/matrix/{name}           remove a served matrix
+//	GET    /v1/matrices                list served matrices (most recent first)
+//	POST   /v1/matrices/{name}/chunks  chunked upload: begin/append/commit/abort
+//	PATCH  /v1/matrices/{name}/rows    apply sparse row replacements/deltas in place
+//	POST   /v1/estimate                run one estimation query
+//	POST   /v1/estimate/batch          run many queries against one admission slot
+//	GET    /v1/stats                   aggregate serving statistics
+//	GET    /v1/metrics                 Prometheus text-format exposition
+//	GET    /v1/healthz                 liveness
+//
+// Bodies are JSON by default; the hot endpoints (uploads, estimates,
+// row updates) also negotiate the binary wire format via
+// Content-Type/Accept (see DecodeRequest/WriteReply and docs/API.md).
 //
 // The chunks endpoint is the streaming ingestion path: each request is
 // one lifecycle step ({"op":"begin","rows":…,"cols":…} →
@@ -35,9 +41,18 @@ var maxBodyBytes int64 = 256 << 20
 // can be admitted.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.Handler) {
+		mux.Handle(pattern, h)
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			panic("route pattern without method: " + pattern)
+		}
+		mux.Handle(method+" /v1"+path, h)
+	}
+	handleFunc := func(pattern string, h http.HandlerFunc) { handle(pattern, h) }
+	handleFunc("PUT /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
 		var m Matrix
-		if err := DecodeJSON(w, r, &m); err != nil {
+		if err := DecodeRequest(w, r, &m); err != nil {
 			WriteError(w, err)
 			return
 		}
@@ -46,21 +61,21 @@ func NewHandler(e *Engine) http.Handler {
 			WriteError(w, err)
 			return
 		}
-		WriteJSON(w, http.StatusOK, UploadReply{MatrixInfo: info, Evicted: evicted})
+		WriteReply(w, r, http.StatusOK, UploadReply{MatrixInfo: info, Evicted: evicted})
 	})
-	mux.HandleFunc("DELETE /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("DELETE /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
 		if err := e.DeleteMatrix(r.PathValue("name")); err != nil {
 			WriteError(w, err)
 			return
 		}
 		WriteJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
 	})
-	mux.HandleFunc("GET /matrices", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("GET /matrices", func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, e.Matrices())
 	})
-	mux.HandleFunc("POST /matrices/{name}/chunks", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("POST /matrices/{name}/chunks", func(w http.ResponseWriter, r *http.Request) {
 		var req ChunkRequest
-		if err := DecodeJSON(w, r, &req); err != nil {
+		if err := DecodeRequest(w, r, &req); err != nil {
 			WriteError(w, err)
 			return
 		}
@@ -86,7 +101,7 @@ func NewHandler(e *Engine) http.Handler {
 				WriteError(w, err)
 				return
 			}
-			WriteJSON(w, http.StatusOK, UploadReply{MatrixInfo: info, Evicted: evicted})
+			WriteReply(w, r, http.StatusOK, UploadReply{MatrixInfo: info, Evicted: evicted})
 		case "abort":
 			if err := e.AbortUpload(name, req.Upload); err != nil {
 				WriteError(w, err)
@@ -97,9 +112,9 @@ func NewHandler(e *Engine) http.Handler {
 			WriteError(w, fmt.Errorf("%w: unknown chunk op %q", ErrBadRequest, req.Op))
 		}
 	})
-	mux.HandleFunc("PATCH /matrices/{name}/rows", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("PATCH /matrices/{name}/rows", func(w http.ResponseWriter, r *http.Request) {
 		var req UpdateRequest
-		if err := DecodeJSON(w, r, &req); err != nil {
+		if err := DecodeRequest(w, r, &req); err != nil {
 			WriteError(w, err)
 			return
 		}
@@ -108,11 +123,11 @@ func NewHandler(e *Engine) http.Handler {
 			WriteError(w, err)
 			return
 		}
-		WriteJSON(w, http.StatusOK, rep)
+		WriteReply(w, r, http.StatusOK, rep)
 	})
-	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
-		if err := DecodeJSON(w, r, &req); err != nil {
+		if err := DecodeRequest(w, r, &req); err != nil {
 			WriteError(w, err)
 			return
 		}
@@ -121,11 +136,11 @@ func NewHandler(e *Engine) http.Handler {
 			WriteError(w, err)
 			return
 		}
-		WriteJSON(w, http.StatusOK, res)
+		WriteReply(w, r, http.StatusOK, res)
 	})
-	mux.HandleFunc("POST /estimate/batch", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("POST /estimate/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
-		if err := DecodeJSON(w, r, &req); err != nil {
+		if err := DecodeRequest(w, r, &req); err != nil {
 			WriteError(w, err)
 			return
 		}
@@ -134,13 +149,13 @@ func NewHandler(e *Engine) http.Handler {
 			WriteError(w, err)
 			return
 		}
-		WriteJSON(w, http.StatusOK, BatchResponse{Results: items})
+		WriteReply(w, r, http.StatusOK, BatchResponse{Results: items})
 	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, e.Stats())
 	})
-	mux.Handle("GET /metrics", metrics.Handler(e.Metrics()))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", metrics.Handler(e.Metrics()))
+	handleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
@@ -181,14 +196,25 @@ type BatchResponse struct {
 	Results []BatchItem `json:"results"`
 }
 
-// DecodeJSON decodes a bounded request body, rejecting unknown fields.
-// The real ResponseWriter must reach MaxBytesReader (a nil writer
-// panics inside net/http when the limit trips on some paths, and the
-// writer is how it flags the connection to close), and an over-limit
-// body is ErrBodyTooLarge (a 413 under WriteError), not a generic bad
-// request. Exported so HTTP tiers layered on the service API — the
-// gateway — share one body-limit and error discipline.
+// DecodeJSON decodes a bounded JSON request body, rejecting unknown
+// fields. A request that declares a non-JSON Content-Type is rejected
+// with ErrUnsupportedMedia (a 415 under WriteError) — this helper only
+// speaks JSON; endpoints that also accept the binary wire format go
+// through DecodeRequest. The real ResponseWriter must reach
+// MaxBytesReader (a nil writer panics inside net/http when the limit
+// trips on some paths, and the writer is how it flags the connection
+// to close), and an over-limit body is ErrBodyTooLarge (a 413 under
+// WriteError), not a generic bad request. Exported so HTTP tiers
+// layered on the service API — the gateway — share one body-limit and
+// error discipline.
 func DecodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	if mt := contentMediaType(r.Header.Get("Content-Type")); mt != "" && mt != mediaTypeJSON && mt != mediaTypeForm {
+		return fmt.Errorf("%w: %q", ErrUnsupportedMedia, mt)
+	}
+	return decodeJSONBody(w, r, v)
+}
+
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)) //mp:rawwire-ok this IS the sanctioned decode helper
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -208,26 +234,62 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v) //mp:rawwire-ok this IS the sanctioned encode helper
 }
 
-// WriteError maps a service error to its HTTP status (ErrBadRequest →
-// 400, ErrBodyTooLarge → 413, ErrMatrixNotFound/ErrUploadNotFound →
-// 404, ErrConflict → 409, ErrOverloaded → 429, ErrClosed → 503,
-// anything else → 500) and writes the {"error": …} body every endpoint
-// uses.
-func WriteError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// ErrorInfo is the machine-parseable payload of the uniform error
+// envelope: a stable short code plus the human-readable message.
+type ErrorInfo struct {
+	// Code is the stable, machine-matchable error code (see ErrorCode).
+	Code string `json:"code"`
+	// Message is the human-readable error description.
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the one error body every service and gateway
+// endpoint emits: {"error":{"code":…,"message":…}}. Error responses
+// are always JSON, even on binary-negotiated requests, so failure
+// parsing needs no content negotiation.
+type ErrorEnvelope struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// WriteErrorEnvelope writes the uniform error envelope. It is the
+// single emitter of error bodies in both tiers: WriteError (and the
+// gateway's error mapping) route through it.
+func WriteErrorEnvelope(w http.ResponseWriter, status int, code, message string) {
+	WriteJSON(w, status, ErrorEnvelope{Error: ErrorInfo{Code: code, Message: message}})
+}
+
+// ErrorCode maps a service error to its HTTP status and stable
+// envelope code. Exported so tiers layered on the service API — the
+// gateway — extend the mapping without duplicating it.
+func ErrorCode(err error) (status int, code string) {
 	switch {
+	case errors.Is(err, ErrUnsupportedMedia):
+		return http.StatusUnsupportedMediaType, "unsupported_media_type"
 	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest, "bad_request"
 	case errors.Is(err, ErrBodyTooLarge):
-		status = http.StatusRequestEntityTooLarge
-	case errors.Is(err, ErrMatrixNotFound), errors.Is(err, ErrUploadNotFound):
-		status = http.StatusNotFound
+		return http.StatusRequestEntityTooLarge, "body_too_large"
+	case errors.Is(err, ErrMatrixNotFound):
+		return http.StatusNotFound, "matrix_not_found"
+	case errors.Is(err, ErrUploadNotFound):
+		return http.StatusNotFound, "upload_not_found"
 	case errors.Is(err, ErrConflict):
-		status = http.StatusConflict
+		return http.StatusConflict, "conflict"
 	case errors.Is(err, ErrOverloaded):
-		status = http.StatusTooManyRequests
+		return http.StatusTooManyRequests, "overloaded"
 	case errors.Is(err, ErrClosed):
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, "unavailable"
+	default:
+		return http.StatusInternalServerError, "internal"
 	}
-	WriteJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// WriteError maps a service error through ErrorCode (ErrBadRequest →
+// 400, ErrUnsupportedMedia → 415, ErrBodyTooLarge → 413,
+// ErrMatrixNotFound/ErrUploadNotFound → 404, ErrConflict → 409,
+// ErrOverloaded → 429, ErrClosed → 503, anything else → 500) and
+// writes the uniform {"error":{"code","message"}} envelope.
+func WriteError(w http.ResponseWriter, err error) {
+	status, code := ErrorCode(err)
+	WriteErrorEnvelope(w, status, code, err.Error())
 }
