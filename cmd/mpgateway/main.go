@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/gateway"
+	"repro/internal/store"
 )
 
 func main() {
@@ -48,6 +49,9 @@ func main() {
 	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
 	probeBackoffMax := flag.Duration("probe-backoff-max", 30*time.Second, "cap on the prober's exponential backoff for failing backends")
 	uploadTTL := flag.Duration("upload-ttl", 2*time.Minute, "idle replicated chunked uploads are garbage-collected after this long")
+	dataDir := flag.String("data-dir", "", "spill store directory for retained wire copies past -wire-cache-budget (empty: keep all copies in memory)")
+	fsyncFlag := flag.String("fsync", "never", "spill store fsync policy: always | batch | never (with -data-dir; the spill store is a cache, so never is the sane default)")
+	wireBudget := flag.Int64("wire-cache-budget", 0, "resident byte budget for retained wire copies; the largest copies past it spill to -data-dir (0: unlimited)")
 	flag.Parse()
 
 	var pool []string
@@ -59,6 +63,22 @@ func main() {
 	if len(pool) == 0 {
 		log.Fatalf("no backends: pass -backends (more can be added at runtime via POST /admin/backends)")
 	}
+	var spill store.Store
+	if *wireBudget > 0 && *dataDir == "" {
+		log.Fatalf("-wire-cache-budget needs -data-dir to spill to")
+	}
+	if *dataDir != "" {
+		mode, err := store.ParseFsyncMode(*fsyncFlag)
+		if err != nil {
+			log.Fatalf("-fsync: %v", err)
+		}
+		disk, err := store.OpenDisk(store.DiskConfig{Dir: *dataDir, Fsync: mode})
+		if err != nil {
+			log.Fatalf("open -data-dir: %v", err)
+		}
+		defer disk.Close()
+		spill = disk
+	}
 
 	gw := gateway.New(gateway.Config{
 		Backends:        pool,
@@ -67,6 +87,8 @@ func main() {
 		ProbeTimeout:    *probeTimeout,
 		ProbeBackoffMax: *probeBackoffMax,
 		UploadTTL:       *uploadTTL,
+		Store:           spill,
+		WireCacheBudget: *wireBudget,
 	})
 	defer gw.Close()
 

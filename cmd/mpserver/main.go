@@ -38,8 +38,19 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/store"
 	"repro/service"
 )
+
+// storeOrNil keeps Config.Store a true nil when no -data-dir is set —
+// a nil *store.Disk boxed in the interface would read as "store
+// configured" to the engine.
+func storeOrNil(d *store.Disk) store.Store {
+	if d == nil {
+		return nil
+	}
+	return d
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
@@ -56,11 +67,26 @@ func main() {
 	uploadTTL := flag.Duration("upload-ttl", 2*time.Minute, "idle partial chunked uploads are garbage-collected after this long")
 	maxUploads := flag.Int("max-uploads", 16, "max concurrently staged chunked uploads")
 	maxStaged := flag.Int64("max-staged-elems", 0, "total rows*cols budget across staged chunked uploads (0 = default 1<<25, ~256 MiB of staging)")
+	dataDir := flag.String("data-dir", "", "durable store directory: served matrices are snapshotted and row updates WAL-logged there, and the server recovers them on boot (empty: in-memory only)")
+	fsyncFlag := flag.String("fsync", "always", "durable store fsync policy: always | batch | never (with -data-dir)")
+	snapshotEvery := flag.Int("snapshot-every", 64, "re-snapshot a matrix after this many WAL records and truncate the covered log (negative: never compact; with -data-dir)")
 	flag.Parse()
 
 	factory, ok := service.TransportByName(*transport)
 	if !ok {
 		log.Fatalf("unknown -transport %q (want inproc or tcp)", *transport)
+	}
+	var durable *store.Disk
+	if *dataDir != "" {
+		mode, err := store.ParseFsyncMode(*fsyncFlag)
+		if err != nil {
+			log.Fatalf("-fsync: %v", err)
+		}
+		durable, err = store.OpenDisk(store.DiskConfig{Dir: *dataDir, Fsync: mode})
+		if err != nil {
+			log.Fatalf("open -data-dir: %v", err)
+		}
+		defer durable.Close()
 	}
 	engine := service.NewEngine(service.Config{
 		Workers:         *workers,
@@ -76,8 +102,15 @@ func main() {
 		UploadTTL:       *uploadTTL,
 		MaxUploads:      *maxUploads,
 		MaxStagedElems:  *maxStaged,
+		Store:           storeOrNil(durable),
+		SnapshotEvery:   *snapshotEvery,
 	})
 	defer engine.Close()
+	if durable != nil {
+		ps := engine.Stats().Store
+		log.Printf("durable store %s (fsync=%s snapshot-every=%d): recovered %d matrices, replayed %d WAL records, %d recovery errors",
+			*dataDir, *fsyncFlag, *snapshotEvery, ps.RecoveredMatrices, ps.ReplayedRecords, ps.RecoveryErrors)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -155,6 +155,10 @@ func (g *Gateway) healOne(name string) {
 	if !ok || !pm.needsHeal {
 		return
 	}
+	wire, werr := g.wireOf(pm)
+	if werr != nil {
+		return // spilled copy unreadable; keep the flag for the next probe
+	}
 	targets := placeOn(rankBackends(placeable, name), g.cfg.Replication)
 	have := make(map[string]bool, len(pm.replicas))
 	for _, id := range pm.replicas {
@@ -177,7 +181,7 @@ func (g *Gateway) healOne(name string) {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(g.baseCtx, healUploadTimeout)
-		_, err := g.uploadTo(ctx, b, name, pm.wire)
+		_, err := g.uploadTo(ctx, b, name, wire)
 		cancel()
 		if err != nil {
 			healed = false
@@ -191,7 +195,10 @@ func (g *Gateway) healOne(name string) {
 	}
 	g.mu.Lock()
 	if cur, ok := g.matrices[name]; ok && cur == pm {
-		g.matrices[name] = &placedMatrix{info: pm.info, wire: pm.wire, replicas: kept, needsHeal: !healed}
+		npm := pm.clone()
+		npm.replicas = kept
+		npm.needsHeal = !healed
+		g.matrices[name] = npm
 	}
 	g.mu.Unlock()
 }
@@ -201,8 +208,12 @@ func (g *Gateway) healOne(name string) {
 // with an empty in-memory registry) are re-uploaded from the gateway's
 // retained wire forms, and matrices it holds that are no longer placed
 // on it (they were re-placed or replaced while it was away) are
-// deleted. Best-effort: a failure leaves the backend to the estimate
-// path's per-query repair.
+// deleted. A backend that restarted with a -data-dir recovers its
+// placements from its own durable state, so its resync finds nothing
+// missing — Resyncs advances while Repairs and ReseedBytes do not,
+// which is how the stats distinguish disk recovery from gateway
+// re-seeding. Best-effort: a failure leaves the backend to the
+// estimate path's per-query repair.
 func (g *Gateway) resyncBackend(b *backend) {
 	ctx, cancel := context.WithTimeout(g.baseCtx, 30*time.Second)
 	defer cancel()
@@ -210,13 +221,14 @@ func (g *Gateway) resyncBackend(b *backend) {
 	if err != nil {
 		return
 	}
+	g.resyncs.Add(1)
 	holds := make(map[string]bool, len(held))
 	for _, mi := range held {
 		holds[mi.Name] = true
 	}
 	type reseed struct {
 		name string
-		wire service.Matrix
+		pm   *placedMatrix
 	}
 	var missing []reseed
 	g.mu.Lock()
@@ -226,7 +238,7 @@ func (g *Gateway) resyncBackend(b *backend) {
 			if id == b.id {
 				placed[name] = true
 				if !holds[name] {
-					missing = append(missing, reseed{name, pm.wire})
+					missing = append(missing, reseed{name, pm})
 				}
 				break
 			}
@@ -234,8 +246,13 @@ func (g *Gateway) resyncBackend(b *backend) {
 	}
 	g.mu.Unlock()
 	for _, m := range missing {
-		if _, err := g.uploadTo(ctx, b, m.name, m.wire); err == nil {
+		wire, err := g.wireOf(m.pm)
+		if err != nil {
+			continue
+		}
+		if _, err := g.uploadTo(ctx, b, m.name, wire); err == nil {
 			g.repairs.Add(1)
+			g.reseedBytes.Add(wireSize(wire))
 		}
 	}
 	for _, mi := range held {
@@ -388,6 +405,24 @@ func (g *Gateway) rebalance(ctx context.Context) RebalanceReport {
 		for _, id := range pm.replicas {
 			have[id] = true
 		}
+		// Resolve the wire copy (a spilled entry loads from the store)
+		// before touching any replica; an unreadable copy keeps the old
+		// placement for the next rebalance to retry.
+		gains := false
+		for _, id := range targets {
+			if !have[id] {
+				gains = true
+				break
+			}
+		}
+		var wire service.Matrix
+		if gains {
+			var werr error
+			if wire, werr = g.wireOf(pm); werr != nil {
+				rep.Failed++
+				continue
+			}
+		}
 		want := make(map[string]bool, len(targets))
 		for _, id := range targets {
 			want[id] = true
@@ -413,7 +448,7 @@ func (g *Gateway) rebalance(ctx context.Context) RebalanceReport {
 				failed = true
 				continue
 			}
-			if _, err := g.uploadTo(ctx, b, name, pm.wire); err != nil {
+			if _, err := g.uploadTo(ctx, b, name, wire); err != nil {
 				failed = true
 				continue
 			}
@@ -458,7 +493,10 @@ func (g *Gateway) rebalance(ctx context.Context) RebalanceReport {
 			// pending heal; a partial one keeps the flag so the heal
 			// pass resumes the repair.
 			if cur, ok := g.matrices[name]; ok && cur == pm {
-				g.matrices[name] = &placedMatrix{info: pm.info, wire: pm.wire, replicas: kept, needsHeal: pm.needsHeal && failed}
+				npm := pm.clone()
+				npm.replicas = kept
+				npm.needsHeal = pm.needsHeal && failed
+				g.matrices[name] = npm
 			}
 			g.mu.Unlock()
 		}

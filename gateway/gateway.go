@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/store"
 	"repro/service"
 )
 
@@ -58,6 +59,15 @@ type Config struct {
 	// HTTPClient is the shared client for backend calls. Default
 	// http.DefaultClient.
 	HTTPClient *http.Client
+	// Store, when set with WireCacheBudget, is the durable spill target
+	// for retained wire copies (see spill.go). The gateway owns the
+	// store's content and wipes it on New; do not share a data directory
+	// with a backend.
+	Store store.Store
+	// WireCacheBudget caps the bytes of retained wire copies held
+	// resident before the largest are spilled to Store. 0 (the default)
+	// disables spilling — every copy stays in memory.
+	WireCacheBudget int64
 }
 
 func (c *Config) setDefaults() {
@@ -91,10 +101,24 @@ func (c *Config) setDefaults() {
 // unreachable backend; the prober's heal pass re-places it from the
 // retained wire until it is back at full replication.
 type placedMatrix struct {
-	info      service.MatrixInfo
-	wire      service.Matrix
+	info service.MatrixInfo
+	wire service.Matrix
+	// wireBytes is the copy's budget-accounted resident size (see
+	// wireSize); it describes the full wire form even while spilled.
+	wireBytes int64
+	// spilled marks a copy whose Entries were dropped from memory; the
+	// durable form lives in the spill store and wireOf reloads it.
+	spilled   bool
 	replicas  []string
 	needsHeal bool
+}
+
+// clone returns a copy for copy-on-write replacement: same wire and
+// flags, own replica slice. Callers adjust fields before installing.
+func (pm *placedMatrix) clone() *placedMatrix {
+	cp := *pm
+	cp.replicas = append([]string(nil), pm.replicas...)
+	return &cp
 }
 
 // Gateway is the multi-backend front tier: it owns a health-checked
@@ -137,6 +161,12 @@ type Gateway struct {
 	lostReplicas  atomic.Int64
 	updates       atomic.Int64
 	updateReverts atomic.Int64
+	resyncs       atomic.Int64
+	reseedBytes   atomic.Int64
+	spills        atomic.Int64
+	spillLoads    atomic.Int64
+	spillErrors   atomic.Int64
+	spillSeq      atomic.Uint64
 
 	met *gatewayMetrics
 
@@ -163,6 +193,7 @@ func New(cfg Config) *Gateway {
 		closed:   make(chan struct{}),
 	}
 	g.baseCtx, g.cancelBase = context.WithCancel(context.Background())
+	g.wipeSpillStore()
 	g.met = newGatewayMetrics(g)
 	for _, addr := range cfg.Backends {
 		if addr == "" {
@@ -270,7 +301,9 @@ func (g *Gateway) uploadTo(ctx context.Context, b *backend, name string, m servi
 				}
 			}
 			if len(kept) != len(pm.replicas) {
-				g.matrices[victim] = &placedMatrix{info: pm.info, wire: pm.wire, replicas: kept, needsHeal: pm.needsHeal}
+				npm := pm.clone()
+				npm.replicas = kept
+				g.matrices[victim] = npm
 				g.lostReplicas.Add(1)
 			}
 		}
@@ -344,11 +377,12 @@ func (g *Gateway) PutMatrix(ctx context.Context, name string, m service.Matrix) 
 	for i, b := range targets {
 		ids[i] = b.id
 	}
-	pm := &placedMatrix{info: infos[0], wire: m, replicas: ids}
+	pm := &placedMatrix{info: infos[0], wire: m, wireBytes: wireSize(m), replicas: ids}
 	g.mu.Lock()
 	g.matrices[name] = pm
 	g.mu.Unlock()
 	g.placements.Add(1)
+	g.maybeSpill()
 	return PlacementInfo{MatrixInfo: pm.info, Replicas: ids}, nil
 }
 
@@ -367,6 +401,7 @@ func (g *Gateway) DeleteMatrix(ctx context.Context, name string) error {
 	g.mu.Lock()
 	delete(g.matrices, name)
 	g.mu.Unlock()
+	g.dropSpilled(name)
 	_, _ = fanout(reps, func(_ int, b *backend) error {
 		return b.client.DeleteMatrix(ctx, name)
 	})
@@ -451,7 +486,11 @@ func (g *Gateway) repairReplica(ctx context.Context, b *backend, name string) bo
 	if !ok {
 		return false
 	}
-	if _, err := g.uploadTo(ctx, b, name, pm.wire); err != nil {
+	wire, err := g.wireOf(pm)
+	if err != nil {
+		return false
+	}
+	if _, err := g.uploadTo(ctx, b, name, wire); err != nil {
 		return false
 	}
 	g.repairs.Add(1)

@@ -11,20 +11,25 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/store"
 	"repro/service"
 )
 
 // testBackend is one real mpserver engine behind a real HTTP listener
 // that tests can stop and restart on the same address — the fixture
-// for kill/re-add failover scenarios.
+// for kill/re-add failover scenarios. A non-empty dataDir gives every
+// engine incarnation a fresh disk store over the same directory, so a
+// restart recovers durable state exactly as `mpserver -data-dir` does.
 type testBackend struct {
 	t        *testing.T
 	addr     string // base URL
 	hostport string
 	cfg      service.Config
+	dataDir  string
 	mu       sync.Mutex
 	engine   *service.Engine
 	srv      *http.Server
+	disk     *store.Disk
 }
 
 func startBackend(t *testing.T) *testBackend {
@@ -32,24 +37,44 @@ func startBackend(t *testing.T) *testBackend {
 }
 
 func startBackendWith(t *testing.T, cfg service.Config) *testBackend {
+	return startBackendAt(t, cfg, "")
+}
+
+// startDurableBackend starts a backend persisting to its own temp data
+// directory; stop/restart cycles recover from it.
+func startDurableBackend(t *testing.T) *testBackend {
+	return startBackendAt(t, service.Config{Workers: 4, Shards: 1}, t.TempDir())
+}
+
+func startBackendAt(t *testing.T, cfg service.Config, dataDir string) *testBackend {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
 	}
-	b := &testBackend{t: t, hostport: ln.Addr().String(), cfg: cfg}
+	b := &testBackend{t: t, hostport: ln.Addr().String(), cfg: cfg, dataDir: dataDir}
 	b.addr = "http://" + b.hostport
 	b.serve(ln)
 	t.Cleanup(b.stop)
 	return b
 }
 
-// serve installs a fresh engine (an empty in-memory registry, as a
-// restarted process would have) behind the listener.
+// serve installs a fresh engine behind the listener — an empty
+// in-memory registry, recovered from the data directory when the
+// backend is durable, exactly as a restarted process would.
 func (b *testBackend) serve(ln net.Listener) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.engine = service.NewEngine(b.cfg)
+	cfg := b.cfg
+	if b.dataDir != "" {
+		d, err := store.OpenDisk(store.DiskConfig{Dir: b.dataDir, Fsync: store.FsyncAlways})
+		if err != nil {
+			b.t.Fatalf("open data dir: %v", err)
+		}
+		b.disk = d
+		cfg.Store = d
+	}
+	b.engine = service.NewEngine(cfg)
 	b.srv = &http.Server{Handler: service.NewHandler(b.engine)}
 	srv := b.srv
 	go func() { _ = srv.Serve(ln) }()
@@ -57,14 +82,17 @@ func (b *testBackend) serve(ln net.Listener) {
 
 func (b *testBackend) stop() {
 	b.mu.Lock()
-	srv, eng := b.srv, b.engine
-	b.srv, b.engine = nil, nil
+	srv, eng, disk := b.srv, b.engine, b.disk
+	b.srv, b.engine, b.disk = nil, nil, nil
 	b.mu.Unlock()
 	if srv != nil {
 		_ = srv.Close()
 	}
 	if eng != nil {
 		eng.Close()
+	}
+	if disk != nil {
+		_ = disk.Close()
 	}
 }
 

@@ -54,6 +54,16 @@ func newGatewayMetrics(g *Gateway) *gatewayMetrics {
 			func(s *Stats) int64 { return s.UpdateReverts }},
 		{"mpgw_lost_replicas_total", "Replica copies evicted by their backend and pruned from the placement table.",
 			func(s *Stats) int64 { return s.LostReplicas }},
+		{"mpgw_resyncs_total", "Returning backends reconciled with the placement table by the probe loop.",
+			func(s *Stats) int64 { return s.Resyncs }},
+		{"mpgw_reseed_bytes_total", "Wire bytes re-uploaded to returning backends by probe resyncs.",
+			func(s *Stats) int64 { return s.ReseedBytes }},
+		{"mpgw_spills_total", "Retained wire copies written to the spill store by the wire-cache budget.",
+			func(s *Stats) int64 { return s.Spills }},
+		{"mpgw_spill_loads_total", "Spilled wire copies loaded back from the store.",
+			func(s *Stats) int64 { return s.SpillLoads }},
+		{"mpgw_spill_errors_total", "Failed spill-store operations.",
+			func(s *Stats) int64 { return s.SpillErrors }},
 	} {
 		read := def.read
 		reg.CounterFunc(def.name, def.help, nil, func() []metrics.Sample {
@@ -67,6 +77,30 @@ func newGatewayMetrics(g *Gateway) *gatewayMetrics {
 			n := len(g.matrices)
 			g.mu.Unlock()
 			return []metrics.Sample{{Value: float64(n)}}
+		})
+	reg.GaugeFunc("mpgw_spilled_matrices", "Placements whose wire copy currently lives in the spill store.",
+		nil, func() []metrics.Sample {
+			g.mu.Lock()
+			n := 0
+			for _, pm := range g.matrices {
+				if pm.spilled {
+					n++
+				}
+			}
+			g.mu.Unlock()
+			return []metrics.Sample{{Value: float64(n)}}
+		})
+	reg.GaugeFunc("mpgw_wire_bytes", "Resident retained-wire bytes governed by the wire-cache budget.",
+		nil, func() []metrics.Sample {
+			g.mu.Lock()
+			var total int64
+			for _, pm := range g.matrices {
+				if !pm.spilled {
+					total += pm.wireBytes
+				}
+			}
+			g.mu.Unlock()
+			return []metrics.Sample{{Value: float64(total)}}
 		})
 	reg.GaugeFunc("mpgw_replication", "Configured replication factor R.",
 		nil, func() []metrics.Sample {

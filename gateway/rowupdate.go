@@ -126,7 +126,13 @@ func (g *Gateway) UpdateRows(ctx context.Context, name string, req service.Updat
 	if len(reps) == 0 {
 		return service.UpdateReply{}, fmt.Errorf("%w: matrix %q has no replica to update", ErrNoBackends, name)
 	}
-	newWire, _, err := patchWire(pm.wire, ups, req.Delta)
+	// A spilled entry's wire loads from the store; the patched result
+	// re-enters memory resident on commit (maybeSpill may re-spill it).
+	oldWire, err := g.wireOf(pm)
+	if err != nil {
+		return service.UpdateReply{}, err
+	}
+	newWire, _, err := patchWire(oldWire, ups, req.Delta)
 	if err != nil {
 		return service.UpdateReply{}, err
 	}
@@ -176,7 +182,7 @@ func (g *Gateway) UpdateRows(ctx context.Context, name string, req service.Updat
 		g.updateReverts.Add(1)
 		for _, i := range okIdx {
 			revCtx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
-			_, rerr := g.uploadTo(revCtx, reps[i], name, pm.wire)
+			_, rerr := g.uploadTo(revCtx, reps[i], name, oldWire)
 			cancel()
 			if rerr != nil {
 				// Divergent copy we cannot reach: drop it too, so the
@@ -184,14 +190,14 @@ func (g *Gateway) UpdateRows(ctx context.Context, name string, req service.Updat
 				dropped[reps[i].id] = true
 			}
 		}
-		g.pruneReplicas(name, pm, pm.wire, pm.info, dropped)
+		g.pruneReplicas(name, pm, nil, pm.info, dropped)
 		return service.UpdateReply{}, fmt.Errorf("gateway: replicated update of %q rejected (reverted): %w", name, hardErr)
 	}
 	if len(okIdx) == 0 {
 		// Nothing applied anywhere. The unreachable legs' copies are of
 		// unknown state, so they are dropped for resync; the retained
 		// wire stays pre-update.
-		g.pruneReplicas(name, pm, pm.wire, pm.info, dropped)
+		g.pruneReplicas(name, pm, nil, pm.info, dropped)
 		return service.UpdateReply{}, fmt.Errorf("%w: no replica of %q accepted the update", ErrAllReplicasFailed, name)
 	}
 
@@ -212,7 +218,7 @@ func (g *Gateway) UpdateRows(ctx context.Context, name string, req service.Updat
 	}
 	rep := replies[best]
 	rep.RowsApplied = len(ups)
-	if !g.pruneReplicas(name, pm, newWire, rep.MatrixInfo, dropped) {
+	if !g.pruneReplicas(name, pm, &newWire, rep.MatrixInfo, dropped) {
 		// A full replacement raced in and owns the table: its wholesale
 		// upload is authoritative, but a replica it wrote *before* our
 		// update landed there would now be divergent. Converge every
@@ -221,18 +227,20 @@ func (g *Gateway) UpdateRows(ctx context.Context, name string, req service.Updat
 		cur, ok := g.matrices[name]
 		g.mu.Unlock()
 		if ok {
+			curWire, werr := g.wireOf(cur)
 			_, curReps, err := g.replicaSnapshot(name)
-			if err == nil {
+			if err == nil && werr == nil {
 				_, _ = fanout(curReps, func(_ int, b *backend) error {
 					syncCtx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
 					defer cancel()
-					_, err := g.uploadTo(syncCtx, b, name, cur.wire)
+					_, err := g.uploadTo(syncCtx, b, name, curWire)
 					return err
 				})
 			}
 		}
 		return service.UpdateReply{}, fmt.Errorf("%w: %q", service.ErrConflict, name)
 	}
+	g.maybeSpill()
 	return rep, nil
 }
 
@@ -244,12 +252,14 @@ func isTransportLevel(err error) bool {
 }
 
 // pruneReplicas installs the update outcome for name iff the table
-// entry is still pm (compare half of the copy-on-write): the new wire
-// and info are recorded and the dropped replica ids removed. An entry
-// that lost replicas is flagged for the prober's heal pass, which
-// re-places it from the retained wire. Reports whether the swap
-// happened.
-func (g *Gateway) pruneReplicas(name string, pm *placedMatrix, wire service.Matrix, info service.MatrixInfo, dropped map[string]bool) bool {
+// entry is still pm (compare half of the copy-on-write): the new info
+// is recorded and the dropped replica ids removed. A non-nil newWire
+// becomes the retained copy, resident (a spilled entry un-spills; its
+// stale spill file is never read and is overwritten by the next
+// spill); nil keeps pm's wire and spill state unchanged. An entry that
+// lost replicas is flagged for the prober's heal pass, which re-places
+// it from the retained wire. Reports whether the swap happened.
+func (g *Gateway) pruneReplicas(name string, pm *placedMatrix, newWire *service.Matrix, info service.MatrixInfo, dropped map[string]bool) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	cur, ok := g.matrices[name]
@@ -266,6 +276,15 @@ func (g *Gateway) pruneReplicas(name string, pm *placedMatrix, wire service.Matr
 	if n > 0 {
 		g.lostReplicas.Add(int64(n))
 	}
-	g.matrices[name] = &placedMatrix{info: info, wire: wire, replicas: kept, needsHeal: n > 0 || pm.needsHeal}
+	npm := pm.clone()
+	npm.info = info
+	npm.replicas = kept
+	npm.needsHeal = n > 0 || pm.needsHeal
+	if newWire != nil {
+		npm.wire = *newWire
+		npm.wireBytes = wireSize(*newWire)
+		npm.spilled = false
+	}
+	g.matrices[name] = npm
 	return true
 }

@@ -1,0 +1,129 @@
+package gateway
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/store"
+	"repro/service"
+)
+
+// Wire-copy spilling: the gateway retains every placed matrix's wire
+// form for repairs, resyncs, and rebalances, which pins the whole
+// corpus in RAM. When Config.Store and WireCacheBudget are set, the
+// largest retained copies past the budget are written to the store
+// (reusing the service tier's snapshot payload framing) and dropped
+// from memory; every path that needs a wire copy resolves it through
+// wireOf, which reloads spilled copies on demand. The spill store is
+// a cache of the placement table, not a recovery source: placements
+// do not survive a gateway restart, so New wipes whatever a previous
+// process left behind.
+
+// wireSize estimates a wire copy's resident cost — the budget
+// accounting unit, matching the encoded frame within a constant.
+func wireSize(m service.Matrix) int64 {
+	return 32 + 24*int64(len(m.Entries))
+}
+
+// wireOf resolves pm's full wire form: the in-memory copy while
+// resident, the spill store's durable copy when spilled. Callers must
+// not hold g.mu — the spilled branch is disk I/O.
+func (g *Gateway) wireOf(pm *placedMatrix) (service.Matrix, error) {
+	if !pm.spilled {
+		return pm.wire, nil
+	}
+	snap, _, err := g.cfg.Store.Load(pm.info.Name)
+	if err == nil && snap == nil {
+		err = fmt.Errorf("no spilled copy on disk")
+	}
+	var m service.Matrix
+	if err == nil {
+		m, _, err = service.DecodeMatrixSnapshot(snap.Payload)
+	}
+	if err != nil {
+		g.spillErrors.Add(1)
+		return service.Matrix{}, fmt.Errorf("gateway: spilled wire of %q unavailable: %v", pm.info.Name, err)
+	}
+	g.spillLoads.Add(1)
+	return m, nil
+}
+
+// maybeSpill enforces the wire-cache budget: while the resident
+// retained-wire bytes exceed WireCacheBudget, the largest resident
+// copies are saved to the spill store and dropped from memory.
+// Each save runs outside g.mu; the swap re-checks the table pointer,
+// so a racing update or replacement wins and its entry stays resident
+// (the stale spill file is never read — wireOf consults the store only
+// for entries marked spilled, and only a successful save marks one).
+func (g *Gateway) maybeSpill() {
+	if g.cfg.Store == nil || g.cfg.WireCacheBudget <= 0 {
+		return
+	}
+	g.mu.Lock()
+	var resident int64
+	var cands []*placedMatrix
+	for _, pm := range g.matrices {
+		if !pm.spilled {
+			resident += pm.wireBytes
+			cands = append(cands, pm)
+		}
+	}
+	g.mu.Unlock()
+	if resident <= g.cfg.WireCacheBudget {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].wireBytes > cands[j].wireBytes })
+	for _, pm := range cands {
+		if resident <= g.cfg.WireCacheBudget {
+			return
+		}
+		name := pm.info.Name
+		payload := service.EncodeMatrixSnapshot(pm.wire, pm.info.Uploaded)
+		if err := g.cfg.Store.SaveSnapshot(name, store.Snapshot{Epoch: g.spillSeq.Add(1), Payload: payload}); err != nil {
+			g.spillErrors.Add(1)
+			continue
+		}
+		g.mu.Lock()
+		if cur, ok := g.matrices[name]; ok && cur == pm {
+			npm := pm.clone()
+			npm.wire = service.Matrix{Rows: pm.wire.Rows, Cols: pm.wire.Cols}
+			npm.spilled = true
+			g.matrices[name] = npm
+			resident -= pm.wireBytes
+			g.spills.Add(1)
+		}
+		g.mu.Unlock()
+	}
+}
+
+// wipeSpillStore clears a previous process's spill files at startup.
+// The placement table is in-memory only: a restarted gateway has no
+// placements, so surviving spill copies describe matrices it no longer
+// tracks and would only waste disk and confuse debugging.
+func (g *Gateway) wipeSpillStore() {
+	if g.cfg.Store == nil {
+		return
+	}
+	names, err := g.cfg.Store.Names()
+	if err != nil {
+		g.spillErrors.Add(1)
+		return
+	}
+	for _, name := range names {
+		if err := g.cfg.Store.Delete(name); err != nil {
+			g.spillErrors.Add(1)
+		}
+	}
+}
+
+// dropSpilled removes a deleted matrix's spill file, best-effort — a
+// leftover file is unreachable (its table entry is gone) but costs
+// disk until the next gateway restart wipes it.
+func (g *Gateway) dropSpilled(name string) {
+	if g.cfg.Store == nil {
+		return
+	}
+	if err := g.cfg.Store.Delete(name); err != nil {
+		g.spillErrors.Add(1)
+	}
+}

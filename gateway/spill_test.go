@@ -1,0 +1,293 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/service"
+)
+
+// newSpillGateway builds a gateway over a real disk spill store with
+// the given wire-cache budget.
+func newSpillGateway(t *testing.T, budget int64, addrs ...string) (*Gateway, *store.Disk) {
+	t.Helper()
+	d, err := store.OpenDisk(store.DiskConfig{Dir: t.TempDir(), Fsync: store.FsyncNever})
+	if err != nil {
+		t.Fatalf("open spill store: %v", err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	g := New(Config{
+		Backends:        addrs,
+		Replication:     1,
+		ProbeInterval:   20 * time.Millisecond,
+		ProbeTimeout:    500 * time.Millisecond,
+		ProbeBackoffMax: 100 * time.Millisecond,
+		Store:           d,
+		WireCacheBudget: budget,
+	})
+	t.Cleanup(g.Close)
+	return g, d
+}
+
+// wireWithEntries is an n×n wire matrix with exactly k unit entries in
+// row-major order, so wireSize (32 + 24k) and the exact estimate (k
+// against an identity Alice) are both known in closed form.
+func wireWithEntries(n, k int) service.Matrix {
+	m := service.Matrix{Rows: n, Cols: n}
+	for i := 0; i < k; i++ {
+		m.Entries = append(m.Entries, [3]int64{int64(i / n), int64(i % n), 1})
+	}
+	return m
+}
+
+func storeHas(t *testing.T, d *store.Disk, name string) bool {
+	t.Helper()
+	names, err := d.Names()
+	if err != nil {
+		t.Fatalf("store names: %v", err)
+	}
+	for _, got := range names {
+		if got == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSpillBudgetEvictsLargestAndReloads walks the whole spill life
+// cycle against a live backend: the budget pushes the largest retained
+// wire copy to the store, an update of the spilled matrix reloads it,
+// patches it, and re-spills the patched bytes, and a delete removes
+// the spill file.
+func TestSpillBudgetEvictsLargestAndReloads(t *testing.T) {
+	const n = 4
+	b := startBackend(t)
+	g, d := newSpillGateway(t, 300, b.addr)
+	ctx := context.Background()
+
+	// wireSize: big = 32+240 = 272, mid = 152, small = 80.
+	big, mid, small := wireWithEntries(n, 10), wireWithEntries(n, 5), wireWithEntries(n, 2)
+	if _, err := g.PutMatrix(ctx, "big", big); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Spills != 0 || st.WireBytes != 272 {
+		t.Fatalf("big alone fits the budget, got spills=%d wire_bytes=%d", st.Spills, st.WireBytes)
+	}
+	// mid pushes the resident total to 424 > 300: the largest copy
+	// (big) spills, leaving 152 resident.
+	if _, err := g.PutMatrix(ctx, "mid", mid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.PutMatrix(ctx, "small", small); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Spills != 1 || st.SpilledMatrices != 1 {
+		t.Fatalf("want exactly big spilled, got spills=%d spilled_matrices=%d", st.Spills, st.SpilledMatrices)
+	}
+	if st.WireBytes != 152+80 {
+		t.Fatalf("resident wire bytes = %d, want %d", st.WireBytes, 152+80)
+	}
+	if st.WireBytes > 300 {
+		t.Fatalf("resident wire bytes %d exceed the %d budget", st.WireBytes, 300)
+	}
+	if !storeHas(t, d, "big") {
+		t.Fatal("spilled copy of big not in the store")
+	}
+
+	// Estimates never need the wire copy — the backend still holds big.
+	if res, err := g.Estimate(ctx, exactReq("big", n)); err != nil || res.Estimate != 10 {
+		t.Fatalf("estimate of spilled big: %v/%v, want 10", res, err)
+	}
+
+	// Updating the spilled matrix must reload its wire from the store,
+	// patch it, and retain the patched form. Row 0 holds big's first
+	// four unit entries; replacing it with one value-5 entry leaves
+	// 7 entries summing to 11.
+	if _, err := g.UpdateRows(ctx, "big", replaceRowReq(0, [][2]int64{{0, 5}})); err != nil {
+		t.Fatalf("update of spilled big: %v", err)
+	}
+	st = g.Stats()
+	if st.SpillLoads != 1 {
+		t.Fatalf("update did not load the spilled wire: spill_loads=%d", st.SpillLoads)
+	}
+	if res, err := g.Estimate(ctx, exactReq("big", n)); err != nil || res.Estimate != 11 {
+		t.Fatalf("estimate after patching spilled big: %v/%v, want 11", res, err)
+	}
+	// The patched copy (32+168 = 200 bytes) re-enters memory and blows
+	// the budget again (200+152+80), so big re-spills — and the store
+	// must now hold the *patched* wire, not the original upload.
+	st = g.Stats()
+	if st.Spills != 2 || st.SpilledMatrices != 1 {
+		t.Fatalf("patched big should have re-spilled, got spills=%d spilled_matrices=%d", st.Spills, st.SpilledMatrices)
+	}
+	snap, _, err := d.Load("big")
+	if err != nil || snap == nil {
+		t.Fatalf("load re-spilled big: %v (snap=%v)", err, snap)
+	}
+	m, _, err := service.DecodeMatrixSnapshot(snap.Payload)
+	if err != nil {
+		t.Fatalf("decode re-spilled big: %v", err)
+	}
+	if len(m.Entries) != 7 || wireSum(m) != 11 {
+		t.Fatalf("re-spilled wire is stale: %d entries summing to %v, want 7 summing to 11", len(m.Entries), wireSum(m))
+	}
+
+	// Deleting a spilled matrix removes its spill file.
+	if err := g.DeleteMatrix(ctx, "big"); err != nil {
+		t.Fatalf("delete big: %v", err)
+	}
+	if storeHas(t, d, "big") {
+		t.Fatal("delete left big's spill file behind")
+	}
+	st = g.Stats()
+	if st.SpilledMatrices != 0 || st.SpillErrors != 0 {
+		t.Fatalf("after delete: spilled_matrices=%d spill_errors=%d, want 0/0", st.SpilledMatrices, st.SpillErrors)
+	}
+}
+
+// TestSpillReseedOnRepair kills and restarts a *non-durable* backend
+// whose only matrix was spilled: the probe resync must reload the wire
+// from the spill store to re-seed the empty backend.
+func TestSpillReseedOnRepair(t *testing.T) {
+	const n = 4
+	b := startBackend(t)
+	g, _ := newSpillGateway(t, 100, b.addr)
+	ctx := context.Background()
+
+	big := wireWithEntries(n, 10) // 272 bytes > 100: spills immediately
+	if _, err := g.PutMatrix(ctx, "big", big); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Spills != 1 || st.SpilledMatrices != 1 || st.WireBytes != 0 {
+		t.Fatalf("big should spill on put: spills=%d spilled=%d wire_bytes=%d", st.Spills, st.SpilledMatrices, st.WireBytes)
+	}
+
+	b.stop()
+	time.Sleep(50 * time.Millisecond)
+	b.restart()
+	waitFor(t, "backend re-admitted", func() bool {
+		st, ok := backendStatus(g, b.addr)
+		return ok && st.Healthy
+	})
+	waitFor(t, "resync re-seeds big from the spill store", func() bool { return b.holds("big") })
+
+	st = g.Stats()
+	if st.SpillLoads == 0 {
+		t.Error("re-seed did not load the spilled wire from the store")
+	}
+	if st.Repairs == 0 || st.ReseedBytes == 0 {
+		t.Errorf("re-seed not accounted: repairs=%d reseed_bytes=%d", st.Repairs, st.ReseedBytes)
+	}
+	if res, err := g.Estimate(ctx, exactReq("big", n)); err != nil || res.Estimate != 10 {
+		t.Fatalf("estimate after spill-backed re-seed: %v/%v, want 10", res, err)
+	}
+}
+
+// TestSpillStoreWipedOnStart: the spill store is a cache of the
+// in-memory placement table, which does not survive a gateway restart —
+// New clears whatever a previous process left in it.
+func TestSpillStoreWipedOnStart(t *testing.T) {
+	b := startBackend(t)
+	d, err := store.OpenDisk(store.DiskConfig{Dir: t.TempDir(), Fsync: store.FsyncNever})
+	if err != nil {
+		t.Fatalf("open spill store: %v", err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	if err := d.SaveSnapshot("stale", store.Snapshot{Epoch: 1, Payload: []byte("leftover")}); err != nil {
+		t.Fatalf("seed stale snapshot: %v", err)
+	}
+	g := New(Config{
+		Backends:        []string{b.addr},
+		Replication:     1,
+		ProbeInterval:   20 * time.Millisecond,
+		ProbeTimeout:    500 * time.Millisecond,
+		ProbeBackoffMax: 100 * time.Millisecond,
+		Store:           d,
+		WireCacheBudget: 1 << 20,
+	})
+	t.Cleanup(g.Close)
+	names, err := d.Names()
+	if err != nil {
+		t.Fatalf("store names: %v", err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("New left stale spill files behind: %v", names)
+	}
+}
+
+// TestSpillLoadFailureSurfaces: a spilled wire copy that cannot be
+// loaded back fails the operation that needed it (here a row update)
+// and counts a spill error — serving (which never needs the wire) is
+// unaffected.
+func TestSpillLoadFailureSurfaces(t *testing.T) {
+	const n = 4
+	b := startBackend(t)
+	g, d := newSpillGateway(t, 100, b.addr)
+	ctx := context.Background()
+
+	if _, err := g.PutMatrix(ctx, "big", wireWithEntries(n, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.SpilledMatrices != 1 {
+		t.Fatalf("big should spill on put, got %+v", st)
+	}
+	// Destroy the spill file behind the gateway's back.
+	if err := d.Delete("big"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.UpdateRows(ctx, "big", replaceRowReq(0, [][2]int64{{0, 5}})); err == nil {
+		t.Fatal("update of an unloadable spilled matrix succeeded")
+	}
+	if st := g.Stats(); st.SpillErrors == 0 {
+		t.Error("lost spill file not counted as a spill error")
+	}
+	if res, err := g.Estimate(ctx, exactReq("big", n)); err != nil || res.Estimate != 10 {
+		t.Fatalf("estimate after spill loss: %v/%v, want 10 (backend copy is intact)", res, err)
+	}
+}
+
+// TestSpillStoreErrorsAreCounted: every spill-store failure path is
+// best-effort — the startup wipe, the budget spill (the copy stays
+// resident), and the delete cleanup all count errors and carry on.
+func TestSpillStoreErrorsAreCounted(t *testing.T) {
+	const n = 4
+	b := startBackend(t)
+	d, err := store.OpenDisk(store.DiskConfig{Dir: t.TempDir(), Fsync: store.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close() // every store call from here on fails with ErrClosed
+	g := New(Config{
+		Backends:        []string{b.addr},
+		Replication:     1,
+		ProbeInterval:   20 * time.Millisecond,
+		ProbeTimeout:    500 * time.Millisecond,
+		ProbeBackoffMax: 100 * time.Millisecond,
+		Store:           d,
+		WireCacheBudget: 100,
+	})
+	t.Cleanup(g.Close)
+	ctx := context.Background()
+
+	if _, err := g.PutMatrix(ctx, "big", wireWithEntries(n, 10)); err != nil {
+		t.Fatalf("put must survive a failing spill store: %v", err)
+	}
+	st := g.Stats()
+	if st.SpilledMatrices != 0 || st.WireBytes != 272 {
+		t.Fatalf("failed spill must leave the copy resident, got %+v", st)
+	}
+	if err := g.DeleteMatrix(ctx, "big"); err != nil {
+		t.Fatalf("delete must survive a failing spill store: %v", err)
+	}
+	// Wipe-at-New + failed spill + delete cleanup: three counted errors.
+	if st := g.Stats(); st.SpillErrors < 3 {
+		t.Errorf("spill errors = %d, want >= 3 (wipe, spill, delete)", st.SpillErrors)
+	}
+	if res, err := g.Estimate(ctx, exactReq("big", n)); err == nil {
+		t.Fatalf("estimate of deleted matrix succeeded: %v", res)
+	}
+}

@@ -91,6 +91,29 @@ type Stats struct {
 	// pruned from the placement table. A growing value means the
 	// backends' registry capacity is underprovisioned.
 	LostReplicas int64 `json:"lost_replicas"`
+	// Resyncs counts returning backends reconciled with the placement
+	// table by the probe loop. A backend that recovered its matrices
+	// from its own -data-dir advances this without advancing Repairs or
+	// ReseedBytes.
+	Resyncs int64 `json:"resyncs"`
+	// ReseedBytes is the total wire bytes re-uploaded to returning
+	// backends by probe resyncs (zero when backends recover from disk).
+	ReseedBytes int64 `json:"reseed_bytes"`
+	// Spills counts retained wire copies written to the spill store and
+	// dropped from memory by the wire-cache budget.
+	Spills int64 `json:"spills"`
+	// SpillLoads counts spilled wire copies loaded back from the store
+	// for a repair, resync, rebalance, or row update.
+	SpillLoads int64 `json:"spill_loads"`
+	// SpillErrors counts failed spill-store operations (all
+	// best-effort: the copy stays resident or the repair is skipped).
+	SpillErrors int64 `json:"spill_errors"`
+	// SpilledMatrices is the number of placements whose wire copy
+	// currently lives in the spill store instead of memory.
+	SpilledMatrices int `json:"spilled_matrices"`
+	// WireBytes is the resident retained-wire byte total governed by
+	// Config.WireCacheBudget.
+	WireBytes int64 `json:"wire_bytes"`
 	// Backends is the per-backend breakdown, sorted by address.
 	Backends []BackendStatus `json:"backends"`
 	// Uptime is how long the gateway has been serving.
@@ -115,21 +138,37 @@ type RebalanceReport struct {
 func (g *Gateway) Stats() Stats {
 	g.mu.Lock()
 	matrices := len(g.matrices)
+	var spilled int
+	var wireBytes int64
+	for _, pm := range g.matrices {
+		if pm.spilled {
+			spilled++
+		} else {
+			wireBytes += pm.wireBytes
+		}
+	}
 	g.mu.Unlock()
 	return Stats{
-		Replication:   g.cfg.Replication,
-		Matrices:      matrices,
-		Estimates:     g.estimates.Load(),
-		Batches:       g.batches.Load(),
-		Placements:    g.placements.Load(),
-		Failovers:     g.failovers.Load(),
-		Retries:       g.retries.Load(),
-		Repairs:       g.repairs.Load(),
-		Rebalanced:    g.rebalanced.Load(),
-		Updates:       g.updates.Load(),
-		UpdateReverts: g.updateReverts.Load(),
-		LostReplicas:  g.lostReplicas.Load(),
-		Backends:      g.Backends(),
-		Uptime:        time.Since(g.start),
+		Replication:     g.cfg.Replication,
+		Matrices:        matrices,
+		Estimates:       g.estimates.Load(),
+		Batches:         g.batches.Load(),
+		Placements:      g.placements.Load(),
+		Failovers:       g.failovers.Load(),
+		Retries:         g.retries.Load(),
+		Repairs:         g.repairs.Load(),
+		Rebalanced:      g.rebalanced.Load(),
+		Updates:         g.updates.Load(),
+		UpdateReverts:   g.updateReverts.Load(),
+		LostReplicas:    g.lostReplicas.Load(),
+		Resyncs:         g.resyncs.Load(),
+		ReseedBytes:     g.reseedBytes.Load(),
+		Spills:          g.spills.Load(),
+		SpillLoads:      g.spillLoads.Load(),
+		SpillErrors:     g.spillErrors.Load(),
+		SpilledMatrices: spilled,
+		WireBytes:       wireBytes,
+		Backends:        g.Backends(),
+		Uptime:          time.Since(g.start),
 	}
 }

@@ -245,15 +245,18 @@ func (g *Gateway) CommitUpload(ctx context.Context, name, token string) (Placeme
 	if len(ids) == 0 {
 		return PlacementInfo{}, fmt.Errorf("%w: every upload leg's backend left the pool before commit", ErrNoBackends)
 	}
+	wire := service.Matrix{Rows: up.rows, Cols: up.cols, Entries: up.entries}
 	pm := &placedMatrix{
-		info:     infos[0],
-		wire:     service.Matrix{Rows: up.rows, Cols: up.cols, Entries: up.entries},
-		replicas: ids,
+		info:      infos[0],
+		wire:      wire,
+		wireBytes: wireSize(wire),
+		replicas:  ids,
 	}
 	g.mu.Lock()
 	g.matrices[name] = pm
 	g.mu.Unlock()
 	g.placements.Add(1)
+	g.maybeSpill()
 	return PlacementInfo{MatrixInfo: pm.info, Replicas: ids}, nil
 }
 

@@ -1,0 +1,439 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func openTestDisk(t *testing.T, dir string, mode FsyncMode) *Disk {
+	t.Helper()
+	d, err := OpenDisk(DiskConfig{Dir: dir, Fsync: mode})
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func rec(epoch, seq uint64, payload string) Record {
+	r := Record{Epoch: epoch, Seq: seq}
+	if payload != "" {
+		r.Payload = []byte(payload)
+	}
+	return r
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, dir, FsyncAlways)
+
+	if names, err := d.Names(); err != nil || len(names) != 0 {
+		t.Fatalf("Names of empty store = %v, %v", names, err)
+	}
+	if snap, recs, err := d.Load("absent"); err != nil || snap != nil || len(recs) != 0 {
+		t.Fatalf("Load of absent = %v, %v, %v; want nil, none, nil", snap, recs, err)
+	}
+
+	want := Snapshot{Epoch: 3, Seq: 0, Payload: []byte("matrix-bytes")}
+	if err := d.SaveSnapshot("m", want); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	wantRecs := []Record{rec(3, 1, "upd-1"), rec(3, 2, "upd-2"), rec(3, 3, "")}
+	for _, r := range wantRecs {
+		if err := d.AppendWAL("m", r); err != nil {
+			t.Fatalf("AppendWAL(%d): %v", r.Seq, err)
+		}
+	}
+
+	check := func(d *Disk, label string) {
+		t.Helper()
+		snap, recs, err := d.Load("m")
+		if err != nil {
+			t.Fatalf("%s: Load: %v", label, err)
+		}
+		if snap == nil || snap.Epoch != want.Epoch || snap.Seq != want.Seq || !bytes.Equal(snap.Payload, want.Payload) {
+			t.Fatalf("%s: snapshot = %+v, want %+v", label, snap, want)
+		}
+		if !reflect.DeepEqual(recs, wantRecs) {
+			t.Fatalf("%s: records = %+v, want %+v", label, recs, wantRecs)
+		}
+	}
+	check(d, "same handle")
+
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	check(openTestDisk(t, dir, FsyncAlways), "after reopen")
+}
+
+func TestDiskNames(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, dir, FsyncNever)
+	names := []string{"zeta", "a/b c!", "Ω-matrix", "plain"}
+	for _, n := range names {
+		if err := d.SaveSnapshot(n, Snapshot{Epoch: 1, Payload: []byte(n)}); err != nil {
+			t.Fatalf("SaveSnapshot(%q): %v", n, err)
+		}
+	}
+	got, err := d.Names()
+	if err != nil {
+		t.Fatalf("Names: %v", err)
+	}
+	want := []string{"a/b c!", "plain", "zeta", "Ω-matrix"} // bytewise order
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names = %q, want %q", got, want)
+	}
+	for _, n := range names {
+		snap, _, err := d.Load(n)
+		if err != nil || snap == nil || string(snap.Payload) != n {
+			t.Fatalf("Load(%q) = %v, %v", n, snap, err)
+		}
+	}
+}
+
+func TestDirKeyDistinct(t *testing.T) {
+	a, b := dirKey("a/b"), dirKey("a_b")
+	if a == b {
+		t.Fatalf("dirKey collision: %q", a)
+	}
+	long := dirKey(string(bytes.Repeat([]byte("x"), 200)))
+	if len(long) > 60 {
+		t.Fatalf("dirKey of long name is %d chars: %q", len(long), long)
+	}
+}
+
+func TestDiskTruncateWAL(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, dir, FsyncAlways)
+	all := []Record{rec(1, 1, "old-epoch"), rec(2, 1, "covered"), rec(2, 2, "kept"), rec(3, 1, "newer-epoch")}
+	for _, r := range all {
+		if err := d.AppendWAL("m", r); err != nil {
+			t.Fatalf("AppendWAL: %v", err)
+		}
+	}
+	if err := d.TruncateWAL("m", 2, 1); err != nil {
+		t.Fatalf("TruncateWAL: %v", err)
+	}
+	_, recs, err := d.Load("m")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	want := []Record{rec(2, 2, "kept"), rec(3, 1, "newer-epoch")}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("records after truncation = %+v, want %+v", recs, want)
+	}
+	trunc := d.Stats().WALTruncations
+	// Covered: a truncation that drops nothing is a no-op rewrite-wise.
+	if err := d.TruncateWAL("m", 2, 1); err != nil {
+		t.Fatalf("no-op TruncateWAL: %v", err)
+	}
+	if got := d.Stats().WALTruncations; got != trunc {
+		t.Fatalf("no-op truncation rewrote the log (%d -> %d)", trunc, got)
+	}
+	if err := d.TruncateWAL("never-existed", 9, 9); err != nil {
+		t.Fatalf("TruncateWAL of absent matrix: %v", err)
+	}
+	// Appends after a truncation land behind the kept records.
+	if err := d.AppendWAL("m", rec(3, 2, "post")); err != nil {
+		t.Fatalf("AppendWAL after truncate: %v", err)
+	}
+	d.Close()
+	_, recs, err = openTestDisk(t, dir, FsyncAlways).Load("m")
+	if err != nil {
+		t.Fatalf("Load after reopen: %v", err)
+	}
+	if !reflect.DeepEqual(recs, append(want, rec(3, 2, "post"))) {
+		t.Fatalf("records after reopen = %+v", recs)
+	}
+}
+
+func TestDiskDelete(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, dir, FsyncAlways)
+	if err := d.SaveSnapshot("m", Snapshot{Epoch: 1, Payload: []byte("x")}); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	if err := d.AppendWAL("m", rec(1, 1, "u")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	if err := d.Delete("m"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := d.Delete("m"); err != nil {
+		t.Fatalf("second Delete: %v", err)
+	}
+	if err := d.Delete("never-existed"); err != nil {
+		t.Fatalf("Delete of absent: %v", err)
+	}
+	names, err := d.Names()
+	if err != nil || len(names) != 0 {
+		t.Fatalf("Names after delete = %v, %v", names, err)
+	}
+	snap, recs, err := d.Load("m")
+	if err != nil || snap != nil || len(recs) != 0 {
+		t.Fatalf("Load after delete = %v, %v, %v", snap, recs, err)
+	}
+	if d.Stats().Deletes != 1 {
+		t.Fatalf("Deletes = %d, want 1", d.Stats().Deletes)
+	}
+	// The matrix is re-creatable after a delete.
+	if err := d.AppendWAL("m", rec(2, 1, "fresh")); err != nil {
+		t.Fatalf("AppendWAL after delete: %v", err)
+	}
+	_, recs, err = d.Load("m")
+	if err != nil || len(recs) != 1 || string(recs[0].Payload) != "fresh" {
+		t.Fatalf("Load after re-create = %v, %v", recs, err)
+	}
+}
+
+// walFile returns the path of m's WAL inside dir.
+func walFile(dir, name string) string {
+	return filepath.Join(dir, dirKey(name), "wal")
+}
+
+func TestDiskTornTailRepair(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, dir, FsyncAlways)
+	for i := uint64(1); i <= 3; i++ {
+		if err := d.AppendWAL("m", rec(1, i, "payload")); err != nil {
+			t.Fatalf("AppendWAL: %v", err)
+		}
+	}
+	d.Close()
+
+	// A crash mid-append leaves a torn frame at the tail.
+	f, err := os.OpenFile(walFile(dir, "m"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	if _, err := f.Write([]byte{0x07, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatalf("append garbage: %v", err)
+	}
+	f.Close()
+
+	d2 := openTestDisk(t, dir, FsyncAlways)
+	_, recs, err := d2.Load("m")
+	if err != nil {
+		t.Fatalf("Load over torn tail: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recs))
+	}
+	st := d2.Stats()
+	if st.TornRecords != 1 || st.TornBytes != 6 {
+		t.Fatalf("torn stats = %d records / %d bytes, want 1 / 6", st.TornRecords, st.TornBytes)
+	}
+	// The tail is physically gone and the log keeps working.
+	if err := d2.AppendWAL("m", rec(1, 4, "after-repair")); err != nil {
+		t.Fatalf("AppendWAL after repair: %v", err)
+	}
+	d2.Close()
+	_, recs, err = openTestDisk(t, dir, FsyncAlways).Load("m")
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("after repair: %d records, %v; want 4", len(recs), err)
+	}
+}
+
+func TestDiskWholeWALGarbage(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, dir, FsyncAlways)
+	if err := d.AppendWAL("m", rec(1, 1, "x")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	d.Close()
+	if err := os.WriteFile(walFile(dir, "m"), []byte("not a wal at all"), 0o644); err != nil {
+		t.Fatalf("clobber: %v", err)
+	}
+	d2 := openTestDisk(t, dir, FsyncAlways)
+	_, recs, err := d2.Load("m")
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("Load of garbage wal = %v, %v; want empty, nil", recs, err)
+	}
+	// The file was rewritten empty; appends re-establish the magic.
+	if err := d2.AppendWAL("m", rec(2, 1, "fresh")); err != nil {
+		t.Fatalf("AppendWAL after garbage: %v", err)
+	}
+	d2.Close()
+	_, recs, err = openTestDisk(t, dir, FsyncAlways).Load("m")
+	if err != nil || len(recs) != 1 || string(recs[0].Payload) != "fresh" {
+		t.Fatalf("after garbage rewrite: %+v, %v", recs, err)
+	}
+}
+
+func TestDiskCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, dir, FsyncAlways)
+	if err := d.SaveSnapshot("m", Snapshot{Epoch: 1, Payload: []byte("payload")}); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	d.Close()
+	path := filepath.Join(dir, dirKey("m"), "snap")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snap: %v", err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatalf("write snap: %v", err)
+	}
+	d2 := openTestDisk(t, dir, FsyncAlways)
+	if _, _, err := d2.Load("m"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of bit-flipped snapshot = %v, want ErrCorrupt", err)
+	}
+	if d2.Stats().Errors == 0 {
+		t.Fatal("corrupt snapshot did not count as an error")
+	}
+}
+
+func TestDiskFsyncBatch(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(DiskConfig{Dir: dir, Fsync: FsyncBatch, BatchWindow: time.Hour})
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	defer d.Close()
+	if err := d.AppendWAL("m", rec(1, 1, "x")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	before := d.Stats().Fsyncs
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if got := d.Stats().Fsyncs; got != before+1 {
+		t.Fatalf("Sync flushed %d fsyncs, want 1", got-before)
+	}
+	// A clean log needs no second flush.
+	if err := d.Sync(); err != nil {
+		t.Fatalf("second Sync: %v", err)
+	}
+	if got := d.Stats().Fsyncs; got != before+1 {
+		t.Fatalf("idle Sync issued fsyncs (%d -> %d)", before+1, got)
+	}
+}
+
+func TestDiskClosed(t *testing.T) {
+	d := openTestDisk(t, t.TempDir(), FsyncNever)
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if _, err := d.Names(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Names after Close = %v", err)
+	}
+	if _, _, err := d.Load("m"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Load after Close = %v", err)
+	}
+	if err := d.SaveSnapshot("m", Snapshot{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SaveSnapshot after Close = %v", err)
+	}
+	if err := d.AppendWAL("m", Record{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AppendWAL after Close = %v", err)
+	}
+	if err := d.TruncateWAL("m", 0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TruncateWAL after Close = %v", err)
+	}
+	if err := d.Delete("m"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete after Close = %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close = %v", err)
+	}
+}
+
+func TestOpenDiskValidation(t *testing.T) {
+	if _, err := OpenDisk(DiskConfig{}); err == nil {
+		t.Fatal("OpenDisk without Dir succeeded")
+	}
+}
+
+func TestParseFsyncMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want FsyncMode
+		ok   bool
+	}{
+		{"always", FsyncAlways, true},
+		{"", FsyncAlways, true},
+		{"batch", FsyncBatch, true},
+		{"never", FsyncNever, true},
+		{"sometimes", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseFsyncMode(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseFsyncMode(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	for _, m := range []FsyncMode{FsyncAlways, FsyncBatch, FsyncNever} {
+		if _, err := OpenDisk(DiskConfig{Dir: t.TempDir(), Fsync: m}); err != nil {
+			t.Errorf("OpenDisk(%v): %v", m, err)
+		}
+	}
+}
+
+// TestDiskBatchBackgroundFlush pins the FsyncBatch flush loop: a dirty
+// WAL handle is synced by the background ticker without any explicit
+// Sync call, and a handle still dirty at Close is synced on the way
+// out, so acknowledged appends survive a clean shutdown.
+func TestDiskBatchBackgroundFlush(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(DiskConfig{Dir: dir, Fsync: FsyncBatch, BatchWindow: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	if err := d.AppendWAL("m", rec(1, 1, "a")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flush never synced the dirty WAL")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := d.AppendWAL("m", rec(1, 2, "b")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	d2 := openTestDisk(t, dir, FsyncNever)
+	_, recs, err := d2.Load("m")
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("after batched close: %d records, %v; want 2", len(recs), err)
+	}
+}
+
+// TestDiskNamesSkipsStrayEntries: stray files and directories without a
+// valid name file (the durable shape of a crash mid-create/mid-delete)
+// are invisible to recovery.
+func TestDiskNamesSkipsStrayEntries(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, dir, FsyncNever)
+	if err := d.SaveSnapshot("m", Snapshot{Epoch: 1, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stray-file"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "no-name-dir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "bad-magic-dir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad-magic-dir", "name"), []byte("XXXXjunk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := d.Names()
+	if err != nil || !reflect.DeepEqual(names, []string{"m"}) {
+		t.Fatalf("Names = %v, %v; want [m]", names, err)
+	}
+}

@@ -1,0 +1,134 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk framing. Both file kinds open with a 4-byte magic whose last
+// byte is the format version, so a future layout change bumps the
+// magic and old files are rejected (or migrated) explicitly rather
+// than misparsed.
+//
+// Snapshot file:
+//
+//	"MPS1" | epoch u64 LE | seq u64 LE | payloadLen u32 LE | payload | crc u32 LE
+//
+// WAL file: "MPW1" followed by zero or more records:
+//
+//	payloadLen u32 LE | epoch u64 LE | seq u64 LE | payload | crc u32 LE
+//
+// Each CRC (IEEE) covers everything after the file magic (snapshot)
+// or the whole record before it (WAL), headers included, so a bit
+// flip in a length or version field is as detectable as one in the
+// payload. WAL parsing accepts the longest valid prefix: the first
+// short or checksum-failing record ends the log — that is the torn
+// tail of a crash mid-append, and Disk truncates it away on open.
+const (
+	snapMagic = "MPS1"
+	walMagic  = "MPW1"
+
+	// maxFramePayload bounds a single frame's declared payload so a
+	// hostile length field cannot drive a giant allocation. 1 GiB is far
+	// above any real matrix frame (the service caps matrices well below
+	// it) while still fitting in memory.
+	maxFramePayload = 1 << 30
+
+	snapHeaderLen = 4 + 8 + 8 + 4 // magic, epoch, seq, payloadLen
+	recHeaderLen  = 4 + 8 + 8     // payloadLen, epoch, seq
+	crcLen        = 4
+)
+
+// encodeSnapshotFile renders a whole snapshot file.
+func encodeSnapshotFile(s Snapshot) []byte {
+	b := make([]byte, 0, snapHeaderLen+len(s.Payload)+crcLen)
+	b = append(b, snapMagic...)
+	b = binary.LittleEndian.AppendUint64(b, s.Epoch)
+	b = binary.LittleEndian.AppendUint64(b, s.Seq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Payload)))
+	b = append(b, s.Payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[4:]))
+}
+
+// decodeSnapshotFile parses a snapshot file, rejecting any framing or
+// checksum violation with ErrCorrupt.
+func decodeSnapshotFile(b []byte) (Snapshot, error) {
+	if len(b) < snapHeaderLen+crcLen {
+		return Snapshot{}, fmt.Errorf("%w: snapshot file of %d bytes", ErrCorrupt, len(b))
+	}
+	if string(b[:4]) != snapMagic {
+		return Snapshot{}, fmt.Errorf("%w: bad snapshot magic %q", ErrCorrupt, b[:4])
+	}
+	plen := binary.LittleEndian.Uint32(b[20:24])
+	if uint64(plen) > maxFramePayload {
+		return Snapshot{}, fmt.Errorf("%w: snapshot payload length %d", ErrCorrupt, plen)
+	}
+	want := snapHeaderLen + int(plen) + crcLen
+	if len(b) != want {
+		return Snapshot{}, fmt.Errorf("%w: snapshot file is %d bytes, frame says %d", ErrCorrupt, len(b), want)
+	}
+	body := b[4 : snapHeaderLen+int(plen)]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(b[want-crcLen:]) {
+		return Snapshot{}, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	s := Snapshot{
+		Epoch:   binary.LittleEndian.Uint64(b[4:12]),
+		Seq:     binary.LittleEndian.Uint64(b[12:20]),
+		Payload: append([]byte(nil), b[snapHeaderLen:snapHeaderLen+int(plen)]...),
+	}
+	return s, nil
+}
+
+// appendRecord appends one framed WAL record to dst.
+func appendRecord(dst []byte, r Record) []byte {
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Payload)))
+	dst = binary.LittleEndian.AppendUint64(dst, r.Epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	dst = append(dst, r.Payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// parseWAL reads the longest valid prefix of a WAL file: the records
+// it returns all validated, validLen is the byte length of that prefix
+// (what the file should be truncated to), and tornRecords counts the
+// frames dropped behind it. A file without the magic has a valid
+// prefix of zero — the whole file is torn.
+func parseWAL(b []byte) (recs []Record, validLen int, tornRecords int64) {
+	if len(b) < 4 || string(b[:4]) != walMagic {
+		if len(b) > 0 {
+			tornRecords++
+		}
+		return nil, 0, tornRecords
+	}
+	off := 4
+	for off < len(b) {
+		rest := len(b) - off
+		if rest < recHeaderLen+crcLen {
+			tornRecords++
+			break
+		}
+		plen := binary.LittleEndian.Uint32(b[off : off+4])
+		if uint64(plen) > maxFramePayload || rest < recHeaderLen+int(plen)+crcLen {
+			tornRecords++
+			break
+		}
+		end := off + recHeaderLen + int(plen)
+		if crc32.ChecksumIEEE(b[off:end]) != binary.LittleEndian.Uint32(b[end:end+crcLen]) {
+			tornRecords++
+			break
+		}
+		recs = append(recs, Record{
+			Epoch:   binary.LittleEndian.Uint64(b[off+4 : off+12]),
+			Seq:     binary.LittleEndian.Uint64(b[off+12 : off+20]),
+			Payload: append([]byte(nil), b[off+recHeaderLen:end]...),
+		})
+		off = end + crcLen
+		validLen = off
+	}
+	if validLen == 0 {
+		validLen = 4 // keep the magic; only records behind it were torn
+	}
+	return recs, validLen, tornRecords
+}

@@ -1,0 +1,99 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam Disk operates through. The production
+// implementation is OSFS; the storetest package substitutes a
+// fault-injecting one, which is what lets the crash tests kill the
+// store at an exact operation boundary (the Nth write, sync, or
+// rename) and then reopen the directory as a restart would.
+type FS interface {
+	// MkdirAll creates path and its parents.
+	MkdirAll(path string) error
+	// ReadDir lists the entry names of a directory.
+	ReadDir(path string) ([]string, error)
+	// ReadFile reads a whole file.
+	ReadFile(path string) ([]byte, error)
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes one file.
+	Remove(path string) error
+	// RemoveAll deletes a tree.
+	RemoveAll(path string) error
+	// Truncate cuts a file to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs a directory, making renames and removals in it
+	// durable.
+	SyncDir(path string) error
+}
+
+// File is the writable-handle half of the seam.
+type File interface {
+	io.Writer
+	// Sync fsyncs the file.
+	Sync() error
+	// Close closes the handle.
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) { return os.Create(path) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// RemoveAll implements FS.
+func (OSFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

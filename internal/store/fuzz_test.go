@@ -1,0 +1,154 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds are the interesting shapes both targets start from: valid
+// files, truncations at every boundary, bit flips, and hostile length
+// fields. TestGenerateFuzzCorpus writes the same set to testdata so CI
+// fuzzing starts from a checked-in corpus.
+func fuzzSeeds() (wal [][]byte, snap [][]byte) {
+	var w []byte
+	w = append(w, walMagic...)
+	w = appendRecord(w, Record{Epoch: 1, Seq: 1, Payload: []byte("row-update-1")})
+	w = appendRecord(w, Record{Epoch: 1, Seq: 2, Payload: nil})
+	w = appendRecord(w, Record{Epoch: 7, Seq: 3, Payload: bytes.Repeat([]byte{0xab}, 64)})
+
+	flip := append([]byte(nil), w...)
+	flip[len(flip)/2] ^= 0x01
+
+	hostile := append([]byte(nil), walMagic...)
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0x7f) // 2 GiB declared payload
+	hostile = append(hostile, bytes.Repeat([]byte{0}, 20)...)
+
+	wal = [][]byte{
+		nil,
+		[]byte(walMagic),
+		w,
+		w[:len(w)-3],
+		w[:29],
+		flip,
+		hostile,
+		[]byte("MPW9 future version"),
+		[]byte("garbage with no magic at all"),
+	}
+
+	s := encodeSnapshotFile(Snapshot{Epoch: 3, Seq: 9, Payload: []byte("dense-matrix-frame")})
+	sflip := append([]byte(nil), s...)
+	sflip[10] ^= 0x80
+	empty := encodeSnapshotFile(Snapshot{})
+	shostile := append([]byte(nil), s[:20]...)
+	shostile = append(shostile, 0xff, 0xff, 0xff, 0xff) // huge payloadLen
+	shostile = append(shostile, s[24:]...)
+
+	snap = [][]byte{
+		nil,
+		s,
+		s[:len(s)-1],
+		s[:snapHeaderLen],
+		sflip,
+		empty,
+		shostile,
+		[]byte("MPS9 future version padded out to minimum length"),
+		append(append([]byte(nil), s...), 0x00), // trailing byte
+	}
+	return wal, snap
+}
+
+// FuzzWALReplay asserts parseWAL never panics, that its valid prefix
+// is exactly canonical (re-encoding the parsed records reproduces the
+// prefix byte for byte), and that re-parsing the prefix is clean — so
+// hostile, truncated, or bit-flipped logs can only shrink to a valid
+// prefix, never decode into wrong records.
+func FuzzWALReplay(f *testing.F) {
+	wal, _ := fuzzSeeds()
+	for _, s := range wal {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		recs, validLen, torn := parseWAL(b)
+		if validLen < 0 || validLen > len(b) {
+			t.Fatalf("validLen %d out of range for %d bytes", validLen, len(b))
+		}
+		if validLen < 4 {
+			if len(recs) != 0 || validLen != 0 {
+				t.Fatalf("no magic but recs=%d validLen=%d", len(recs), validLen)
+			}
+		} else {
+			out := append([]byte(nil), walMagic...)
+			for _, r := range recs {
+				out = appendRecord(out, r)
+			}
+			if !bytes.Equal(out, b[:validLen]) {
+				t.Fatalf("valid prefix is not canonical: %x vs %x", out, b[:validLen])
+			}
+		}
+		if validLen < len(b) && torn == 0 {
+			t.Fatalf("dropped %d bytes without counting a torn record", len(b)-validLen)
+		}
+		recs2, validLen2, torn2 := parseWAL(b[:validLen])
+		if validLen2 != validLen || torn2 != 0 || !reflect.DeepEqual(recs2, recs) {
+			t.Fatalf("re-parse of valid prefix diverged: %d/%d torn=%d", validLen2, validLen, torn2)
+		}
+	})
+}
+
+// FuzzSnapshotDecode asserts decodeSnapshotFile never panics, rejects
+// everything non-canonical with ErrCorrupt, and round-trips what it
+// accepts.
+func FuzzSnapshotDecode(f *testing.F) {
+	_, snap := fuzzSeeds()
+	for _, s := range snap {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := decodeSnapshotFile(b)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error is not ErrCorrupt: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(encodeSnapshotFile(s), b) {
+			t.Fatalf("accepted snapshot does not round-trip")
+		}
+	})
+}
+
+// TestGenerateFuzzCorpus rewrites the checked-in seed corpora under
+// testdata/fuzz when UPDATE_FUZZ_CORPUS=1; by default it verifies the
+// files exist so the CI fuzz job never starts cold.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	wal, snap := fuzzSeeds()
+	targets := map[string][][]byte{
+		"FuzzWALReplay":      wal,
+		"FuzzSnapshotDecode": snap,
+	}
+	for target, seeds := range targets {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if os.Getenv("UPDATE_FUZZ_CORPUS") == "1" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatalf("mkdir %s: %v", dir, err)
+			}
+			for i, s := range seeds {
+				body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+				name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+				if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+					t.Fatalf("write %s: %v", name, err)
+				}
+			}
+			continue
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil || len(ents) < len(seeds) {
+			t.Fatalf("corpus %s is missing or short (%d entries, want %d); regenerate with UPDATE_FUZZ_CORPUS=1", dir, len(ents), len(seeds))
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package storetest provides the crash-injection layer of the store
+// tests: a fault-point filesystem that kills a Disk at an exact
+// mutating operation — the Nth write, fsync, rename, or removal — in
+// one of three shapes (clean failure, torn write, failed fsync with
+// dirty pages dropped). A test runs a workload once to count the
+// mutating ops, then sweeps every fault point: inject, crash, reopen
+// the directory as a restarted process would, and assert the recovered
+// state is byte-identical to a never-crashed server's.
+package storetest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// ErrInjected is the error surfaced by the faulted operation itself.
+var ErrInjected = errors.New("storetest: injected fault")
+
+// ErrCrashed is returned by every operation after the fault point: the
+// process is dead, nothing more reaches the disk.
+var ErrCrashed = errors.New("storetest: crashed")
+
+// FaultKind selects the shape of the injected fault.
+type FaultKind int
+
+const (
+	// Fail makes the faulted operation error without any effect.
+	Fail FaultKind = iota
+	// Torn makes the faulted operation — when it is a file write —
+	// persist only the first half of its buffer before erroring: the
+	// on-disk shape of a crash mid-append. On any other operation it
+	// degrades to Fail, so a sweep can use one kind across all points.
+	Torn
+	// ShortSync makes the faulted operation — when it is a file fsync —
+	// return an error after reverting the file to its last successfully
+	// synced length: the on-disk shape of an fsync EIO whose dirty
+	// pages the kernel then drops. On any other operation it degrades
+	// to Fail.
+	ShortSync
+)
+
+// String names the kind for test labels.
+func (k FaultKind) String() string {
+	switch k {
+	case Fail:
+		return "fail"
+	case Torn:
+		return "torn"
+	case ShortSync:
+		return "shortsync"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one injection point: the At'th mutating operation (1-based)
+// fails with the given Kind, and every operation after it fails with
+// ErrCrashed. A zero At never fires, which makes the same FaultFS
+// usable as a pure op counter.
+type Fault struct {
+	At   int
+	Kind FaultKind
+}
+
+// FaultFS wraps an inner store.FS and injects one Fault. Mutating
+// operations — file writes, fsyncs, Create, Rename, Remove, RemoveAll,
+// Truncate, SyncDir — are counted; reads and directory creation are
+// passed through (but refuse after the crash, like everything else).
+type FaultFS struct {
+	inner store.FS
+
+	mu      sync.Mutex
+	fault   Fault
+	ops     int
+	crashed bool
+	size    map[string]int64 // current length of files written through us
+	synced  map[string]int64 // length at the last successful fsync
+}
+
+// Wrap builds a FaultFS over inner with the given fault.
+func Wrap(inner store.FS, fault Fault) *FaultFS {
+	return &FaultFS{
+		inner:  inner,
+		fault:  fault,
+		size:   make(map[string]int64),
+		synced: make(map[string]int64),
+	}
+}
+
+// Ops reports the mutating operations counted so far; run the workload
+// with a zero Fault to learn the sweep range.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the fault fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// begin registers one mutating operation under f.mu. fire is true when
+// this operation is the configured fault point (and the crash state is
+// now set); err is non-nil when the process already crashed.
+func (f *FaultFS) begin() (fire bool, err error) {
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	f.ops++
+	if f.fault.At > 0 && f.ops == f.fault.At {
+		f.crashed = true
+		return true, nil
+	}
+	return false, nil
+}
+
+func (f *FaultFS) injected(op, path string) error {
+	return fmt.Errorf("%w: %s op %d (%s) on %s", ErrInjected, f.fault.Kind, f.fault.At, op, path)
+}
+
+// MkdirAll implements store.FS (uncounted).
+func (f *FaultFS) MkdirAll(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(path)
+}
+
+// ReadDir implements store.FS (uncounted).
+func (f *FaultFS) ReadDir(path string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadDir(path)
+}
+
+// ReadFile implements store.FS (uncounted).
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadFile(path)
+}
+
+// Create implements store.FS.
+func (f *FaultFS) Create(path string) (store.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fire, err := f.begin()
+	if err != nil {
+		return nil, err
+	}
+	if fire {
+		return nil, f.injected("create", path)
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	f.size[path] = 0
+	f.synced[path] = 0
+	return &faultFile{fs: f, path: path, inner: file}, nil
+}
+
+// OpenAppend implements store.FS (uncounted: opening mutates nothing
+// the tests care about, the first write does).
+func (f *FaultFS) OpenAppend(path string) (store.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	if _, ok := f.size[path]; !ok {
+		b, err := f.inner.ReadFile(path)
+		if err == nil {
+			// Pre-existing content was durable before we started watching.
+			f.size[path] = int64(len(b))
+			f.synced[path] = int64(len(b))
+		} else {
+			f.size[path] = 0
+			f.synced[path] = 0
+		}
+	}
+	file, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, inner: file}, nil
+}
+
+// Rename implements store.FS.
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fire, err := f.begin()
+	if err != nil {
+		return err
+	}
+	if fire {
+		return f.injected("rename", oldPath)
+	}
+	if err := f.inner.Rename(oldPath, newPath); err != nil {
+		return err
+	}
+	if n, ok := f.size[oldPath]; ok {
+		f.size[newPath] = n
+		f.synced[newPath] = f.synced[oldPath]
+		delete(f.size, oldPath)
+		delete(f.synced, oldPath)
+	}
+	return nil
+}
+
+// Remove implements store.FS.
+func (f *FaultFS) Remove(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fire, err := f.begin()
+	if err != nil {
+		return err
+	}
+	if fire {
+		return f.injected("remove", path)
+	}
+	if err := f.inner.Remove(path); err != nil {
+		return err
+	}
+	delete(f.size, path)
+	delete(f.synced, path)
+	return nil
+}
+
+// RemoveAll implements store.FS.
+func (f *FaultFS) RemoveAll(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fire, err := f.begin()
+	if err != nil {
+		return err
+	}
+	if fire {
+		return f.injected("removeall", path)
+	}
+	if err := f.inner.RemoveAll(path); err != nil {
+		return err
+	}
+	for p := range f.size {
+		if p == path || strings.HasPrefix(p, path+"/") {
+			delete(f.size, p)
+			delete(f.synced, p)
+		}
+	}
+	return nil
+}
+
+// Truncate implements store.FS.
+func (f *FaultFS) Truncate(path string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fire, err := f.begin()
+	if err != nil {
+		return err
+	}
+	if fire {
+		return f.injected("truncate", path)
+	}
+	if err := f.inner.Truncate(path, size); err != nil {
+		return err
+	}
+	f.size[path] = size
+	if f.synced[path] > size {
+		f.synced[path] = size
+	}
+	return nil
+}
+
+// SyncDir implements store.FS.
+func (f *FaultFS) SyncDir(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fire, err := f.begin()
+	if err != nil {
+		return err
+	}
+	if fire {
+		return f.injected("syncdir", path)
+	}
+	return f.inner.SyncDir(path)
+}
+
+// faultFile is the File half of the seam.
+type faultFile struct {
+	fs    *FaultFS
+	path  string
+	inner store.File
+}
+
+// Write implements store.File.
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	fire, err := w.fs.begin()
+	if err != nil {
+		return 0, err
+	}
+	if fire {
+		if w.fs.fault.Kind == Torn && len(p) > 1 {
+			n, _ := w.inner.Write(p[:len(p)/2])
+			w.fs.size[w.path] += int64(n)
+			return n, w.fs.injected("torn write", w.path)
+		}
+		return 0, w.fs.injected("write", w.path)
+	}
+	n, err := w.inner.Write(p)
+	w.fs.size[w.path] += int64(n)
+	return n, err
+}
+
+// Sync implements store.File.
+func (w *faultFile) Sync() error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	fire, err := w.fs.begin()
+	if err != nil {
+		return err
+	}
+	if fire {
+		if w.fs.fault.Kind == ShortSync {
+			// fsync failed and the kernel dropped the dirty pages: the
+			// file reverts to its last successfully synced length.
+			if terr := w.fs.inner.Truncate(w.path, w.fs.synced[w.path]); terr == nil {
+				w.fs.size[w.path] = w.fs.synced[w.path]
+			}
+			return w.fs.injected("short sync", w.path)
+		}
+		return w.fs.injected("sync", w.path)
+	}
+	if err := w.inner.Sync(); err != nil {
+		return err
+	}
+	w.fs.synced[w.path] = w.fs.size[w.path]
+	return nil
+}
+
+// Close implements store.File. Closing is free even after the crash —
+// the dying process's descriptors close either way.
+func (w *faultFile) Close() error {
+	return w.inner.Close()
+}

@@ -1,0 +1,134 @@
+package storetest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestFaultFSCountsAndCrashes(t *testing.T) {
+	dir := t.TempDir()
+	f := Wrap(store.OSFS{}, Fault{At: 2, Kind: Fail})
+	w, err := f.Create(filepath.Join(dir, "a")) // op 1
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) { // op 2: fires
+		t.Fatalf("faulted write = %v, want ErrInjected", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("not crashed after fault")
+	}
+	if _, err := w.Write([]byte("y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v, want ErrCrashed", err)
+	}
+	if err := f.SyncDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash SyncDir = %v, want ErrCrashed", err)
+	}
+	if _, err := f.ReadFile(filepath.Join(dir, "a")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash ReadFile = %v, want ErrCrashed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("post-crash Close should be free: %v", err)
+	}
+	if f.Ops() != 2 {
+		t.Fatalf("Ops = %d, want 2", f.Ops())
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	f := Wrap(store.OSFS{}, Fault{At: 2, Kind: Torn})
+	w, err := f.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := w.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) || n != 5 {
+		t.Fatalf("torn write = %d, %v; want 5, ErrInjected", n, err)
+	}
+	w.Close()
+	b, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil || string(b) != "01234" {
+		t.Fatalf("on-disk bytes = %q, %v; want first half", b, err)
+	}
+}
+
+func TestFaultFSShortSync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	// Ops: 1 create, 2 write, 3 sync, 4 write, 5 sync (fires).
+	f := Wrap(store.OSFS{}, Fault{At: 5, Kind: ShortSync})
+	w, err := f.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := w.Write([]byte("durable")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if _, err := w.Write([]byte("+dirty")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("faulted sync = %v, want ErrInjected", err)
+	}
+	w.Close()
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "durable" {
+		t.Fatalf("on-disk bytes = %q, %v; want the synced prefix only", b, err)
+	}
+}
+
+func TestFaultFSTracksAcrossRenameAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	tmp, final := filepath.Join(dir, "f.tmp"), filepath.Join(dir, "f")
+	f := Wrap(store.OSFS{}, Fault{})
+	w, err := f.Create(tmp)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := w.Write([]byte("abc")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	w.Close()
+	if err := f.Rename(tmp, final); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+
+	// Reopen via append: the pre-existing synced length carries over, so
+	// a ShortSync later reverts to it, not to zero.
+	f2 := Wrap(store.OSFS{}, Fault{At: 2, Kind: ShortSync})
+	w2, err := f2.OpenAppend(final)
+	if err != nil {
+		t.Fatalf("OpenAppend: %v", err)
+	}
+	if _, err := w2.Write([]byte("+more")); err != nil { // op 1
+		t.Fatalf("append: %v", err)
+	}
+	if err := w2.Sync(); !errors.Is(err, ErrInjected) { // op 2: fires
+		t.Fatalf("faulted sync = %v", err)
+	}
+	w2.Close()
+	b, err := os.ReadFile(final)
+	if err != nil || string(b) != "abc" {
+		t.Fatalf("on-disk bytes = %q, %v; want pre-append content", b, err)
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	if Fail.String() != "fail" || Torn.String() != "torn" || ShortSync.String() != "shortsync" {
+		t.Fatal("FaultKind names changed")
+	}
+	if FaultKind(9).String() == "" {
+		t.Fatal("unknown kind has empty name")
+	}
+}

@@ -279,6 +279,8 @@ func ErrorCode(err error) (status int, code string) {
 		return http.StatusTooManyRequests, "overloaded"
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable, "unavailable"
+	case errors.Is(err, ErrStore):
+		return http.StatusInternalServerError, "store_error"
 	default:
 		return http.StatusInternalServerError, "internal"
 	}

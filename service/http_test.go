@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Client) {
@@ -182,5 +183,47 @@ func TestHTTPBatchRoundTrip(t *testing.T) {
 	// An invalid whole batch is a call error, not per-item.
 	if _, err := client.EstimateBatch(ctx, nil); err == nil {
 		t.Fatal("empty batch accepted")
+	}
+}
+
+// TestClientAuxiliarySurfaces covers the client plumbing the typed
+// call tests do not reach: liveness, the exported raw-path JSON
+// entry point, explicit upload aborts, the per-request timeout
+// option, and the APIError rendering.
+func TestClientAuxiliarySurfaces(t *testing.T) {
+	srv, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+
+	timed := New(srv.URL, WithTimeout(5*time.Second))
+	if err := timed.Health(ctx); err != nil {
+		t.Fatalf("Health with timeout: %v", err)
+	}
+
+	var st Stats
+	if err := client.DoJSON(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		t.Fatalf("DoJSON stats: %v", err)
+	}
+	if st.Requests < 0 {
+		t.Fatalf("DoJSON decoded nothing: %+v", st)
+	}
+
+	up, err := client.BeginUpload(ctx, "staged", 4, 4)
+	if err != nil {
+		t.Fatalf("BeginUpload: %v", err)
+	}
+	if err := client.AbortUpload(ctx, "staged", up.Upload); err != nil {
+		t.Fatalf("AbortUpload: %v", err)
+	}
+	if _, err := client.CommitUpload(ctx, "staged", up.Upload); err == nil {
+		t.Fatal("commit of an aborted upload succeeded")
+	}
+
+	apiErr := &APIError{Status: 404, Code: "matrix_not_found", Message: "no such matrix"}
+	if got := apiErr.Error(); got != "service: server returned 404: no such matrix" {
+		t.Fatalf("APIError.Error() = %q", got)
 	}
 }

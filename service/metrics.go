@@ -151,6 +151,70 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 			})
 	}
 
+	if e.persist != nil {
+		persistStats := func() PersistStats { return e.persist.snapshot() }
+		reg.CounterFunc("mp_store_snapshots_total",
+			"Matrix snapshots persisted to the durable store (installs and compactions).",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().Snapshots)}}
+			})
+		reg.CounterFunc("mp_store_wal_appends_total",
+			"Row-update records appended to the write-ahead log.",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().WALAppends)}}
+			})
+		reg.CounterFunc("mp_store_compactions_total",
+			"Background snapshot compactions (snapshot plus WAL truncation).",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().Compactions)}}
+			})
+		reg.CounterFunc("mp_store_tombstones_total",
+			"Durable matrix states removed by DELETE and LRU eviction.",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().Tombstones)}}
+			})
+		reg.CounterFunc("mp_store_errors_total",
+			"Failed durable-store operations.",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().Errors)}}
+			})
+		reg.CounterFunc("mp_store_recovered_matrices_total",
+			"Matrices restored from durable state at boot.",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().RecoveredMatrices)}}
+			})
+		reg.CounterFunc("mp_store_replayed_records_total",
+			"WAL records replayed over snapshots at boot.",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().ReplayedRecords)}}
+			})
+		reg.CounterFunc("mp_store_recovery_errors_total",
+			"Matrices or log suffixes skipped at boot because their durable state did not validate.",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().RecoveryErrors)}}
+			})
+		reg.CounterFunc("mp_store_fsyncs_total",
+			"fsync calls issued by the durable store (files and directories).",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().Backend.Fsyncs)}}
+			})
+		reg.CounterFunc("mp_store_torn_records_total",
+			"Torn WAL tail records detected and truncated on open — the expected shape of a crash mid-append.",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().Backend.TornRecords)}}
+			})
+		reg.CounterFunc("mp_store_snapshot_bytes_total",
+			"Summed payload bytes of persisted snapshots.",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().Backend.SnapshotBytes)}}
+			})
+		reg.CounterFunc("mp_store_wal_bytes_total",
+			"Summed payload bytes of appended WAL records.",
+			nil, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(persistStats().Backend.WALBytes)}}
+			})
+	}
+
 	reg.CounterFunc("mp_uploads_total",
 		"Chunked-upload lifecycle events.",
 		[]string{"event"}, func() []metrics.Sample {

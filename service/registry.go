@@ -113,6 +113,16 @@ func (r *registry) replaceIf(name string, old, repl *servedMatrix) bool {
 	return true
 }
 
+// peek returns the named matrix without touching its LRU position —
+// for background readers (the snapshot compactor) that must not count
+// as use.
+func (r *registry) peek(name string) (*servedMatrix, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sm, ok := r.m[name]
+	return sm, ok
+}
+
 // delete removes the named matrix, reporting whether it existed.
 func (r *registry) delete(name string) bool {
 	r.mu.Lock()

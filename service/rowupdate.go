@@ -184,19 +184,58 @@ func (e *Engine) updateRows(name string, req UpdateRequest) (UpdateReply, error)
 	if !ok {
 		return UpdateReply{}, fmt.Errorf("%w: %q", ErrMatrixNotFound, name)
 	}
+	newSM, rows, err := patchServed(sm, ups, req.Delta)
+	if err != nil {
+		return UpdateReply{}, err
+	}
+	// Durability before visibility: the WAL record lands before the
+	// swap. If the swap below loses to a racing replacement, the record
+	// is junk a recovery skips — its epoch no longer matches the
+	// snapshot that replacement persisted.
+	if err := e.persistUpdate(name, sm.gen, newSM.sub, ups, req.Delta); err != nil {
+		return UpdateReply{}, err
+	}
+	if !e.reg.replaceIf(name, sm, newSM) {
+		// A PutMatrix (or delete) raced in: its wholesale replacement is
+		// authoritative, and this update never becomes visible.
+		return UpdateReply{}, fmt.Errorf("%w: %q", ErrConflict, name)
+	}
+	var refreshed, dropped int
+	if e.cache != nil {
+		refreshed, dropped = e.cache.refreshMatrix(name, sm.gen, sm.sub, newSM.sub,
+			func(st bobState) (bobState, bool) {
+				return advanceState(st, newSM, rows)
+			})
+	}
+	return UpdateReply{
+		MatrixInfo:     newSM.info,
+		Sub:            newSM.sub,
+		RowsApplied:    len(rows),
+		CacheRefreshed: refreshed,
+		CacheDropped:   dropped,
+	}, nil
+}
+
+// patchServed builds sm's copy-on-write successor with the validated
+// row patches applied: dense clone patched, catalog flags rescanned,
+// sub-version bumped, bit form patched incrementally when it stays
+// binary. Returns the touched rows for cache revalidation. Shared by
+// the live update path and WAL replay at recovery, so a replayed
+// update reconstructs byte-identical served state.
+func patchServed(sm *servedMatrix, ups []RowUpdate, delta bool) (*servedMatrix, []int, error) {
 	rows := make([]int, 0, len(ups))
 	for _, u := range ups {
 		if u.Row < 0 || u.Row >= sm.info.Rows {
-			return UpdateReply{}, fmt.Errorf("%w: row %d outside %d-row matrix", ErrBadRequest, u.Row, sm.info.Rows)
+			return nil, nil, fmt.Errorf("%w: row %d outside %d-row matrix", ErrBadRequest, u.Row, sm.info.Rows)
 		}
 		cols := make(map[int64]bool, len(u.Entries))
 		for _, ent := range u.Entries {
 			j := ent[0]
 			if j < 0 || j >= int64(sm.info.Cols) {
-				return UpdateReply{}, fmt.Errorf("%w: entry column %d outside %d-column matrix", ErrBadRequest, j, sm.info.Cols)
+				return nil, nil, fmt.Errorf("%w: entry column %d outside %d-column matrix", ErrBadRequest, j, sm.info.Cols)
 			}
 			if cols[j] {
-				return UpdateReply{}, fmt.Errorf("%w: duplicate column %d in row %d update", ErrBadRequest, j, u.Row)
+				return nil, nil, fmt.Errorf("%w: duplicate column %d in row %d update", ErrBadRequest, j, u.Row)
 			}
 			cols[j] = true
 		}
@@ -206,11 +245,11 @@ func (e *Engine) updateRows(name string, req UpdateRequest) (UpdateReply, error)
 	dense := sm.dense.Clone()
 	for _, u := range ups {
 		row := dense.Row(u.Row)
-		if !req.Delta {
+		if !delta {
 			clear(row)
 		}
 		for _, ent := range u.Entries {
-			if req.Delta {
+			if delta {
 				row[ent[0]] += ent[1]
 			} else {
 				row[ent[0]] = ent[1]
@@ -247,25 +286,7 @@ func (e *Engine) updateRows(name string, req UpdateRequest) (UpdateReply, error)
 			newSM.bits = toBool(dense)
 		}
 	}
-	if !e.reg.replaceIf(name, sm, newSM) {
-		// A PutMatrix (or delete) raced in: its wholesale replacement is
-		// authoritative, and this update never becomes visible.
-		return UpdateReply{}, fmt.Errorf("%w: %q", ErrConflict, name)
-	}
-	var refreshed, dropped int
-	if e.cache != nil {
-		refreshed, dropped = e.cache.refreshMatrix(name, sm.gen, sm.sub, newSM.sub,
-			func(st bobState) (bobState, bool) {
-				return advanceState(st, newSM, rows)
-			})
-	}
-	return UpdateReply{
-		MatrixInfo:     newSM.info,
-		Sub:            newSM.sub,
-		RowsApplied:    len(rows),
-		CacheRefreshed: refreshed,
-		CacheDropped:   dropped,
-	}, nil
+	return newSM, rows, nil
 }
 
 // advanceState incrementally advances one cached Bob state to the

@@ -13,6 +13,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/intmat"
+	"repro/internal/store"
 )
 
 // Service errors. Handlers map them to HTTP statuses.
@@ -92,6 +93,15 @@ type Config struct {
 	// MaxUploads bounds concurrently staged chunked uploads; beginning
 	// one beyond it (after GC) fails with ErrOverloaded. Default 16.
 	MaxUploads int
+	// Store, when non-nil, makes served matrices durable: installs are
+	// snapshotted, row updates write-ahead logged, and boot recovers by
+	// replaying the log over the latest snapshot (see persist.go). The
+	// engine does not close the store; its owner does.
+	Store store.Store
+	// SnapshotEvery is how many WAL records a matrix accumulates before
+	// the background compactor re-snapshots it and truncates the covered
+	// log. Default 64; negative never compacts.
+	SnapshotEvery int
 	// MaxStagedElems bounds the total rows×cols staged across all
 	// in-progress chunked uploads. Staging allocates the dense buffer at
 	// begin — proportional to the declared dimensions, not the data
@@ -141,6 +151,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxStagedElems <= 0 {
 		c.MaxStagedElems = 2 * maxMatrixElems
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 64
 	}
 }
 
@@ -219,6 +232,8 @@ type Engine struct {
 	// and cache revalidation must observe a stable predecessor entry.
 	updMu  sync.Mutex
 	rowUpd rowUpdateCounters
+
+	persist *persister // nil without Config.Store
 }
 
 // NewEngine returns a ready engine.
@@ -236,6 +251,11 @@ func NewEngine(cfg Config) *Engine {
 	}
 	if !cfg.DisableCache {
 		e.cache = newSketchCache(cfg.CacheCapacity, cfg.SeedRotateEvery)
+	}
+	if cfg.Store != nil {
+		e.persist = newPersister(cfg.Store, cfg.SnapshotEvery)
+		e.recoverFromStore() // before any request is admitted
+		go e.compactLoop()
 	}
 	e.met = newEngineMetrics(e)
 	e.seedSeq <- cfg.BaseSeed
@@ -290,8 +310,14 @@ func (e *Engine) PutMatrix(name string, m Matrix) (MatrixInfo, []string, error) 
 	if binary {
 		sm.bits = toBool(dense)
 	}
+	// Durability before visibility: once a client sees the install
+	// acknowledged, a crash at any point must re-serve this matrix.
+	if err := e.persistPut(name, sm); err != nil {
+		return MatrixInfo{}, nil, err
+	}
 	evicted := e.reg.put(name, sm)
 	e.stats.evict(len(evicted))
+	e.persistTombstones(evicted)
 	// A replaced name and any LRU-evicted ones lose their cached
 	// states; the generation in the cache key keeps a racing in-flight
 	// query from resurrecting a stale entry for the new upload.
@@ -301,8 +327,13 @@ func (e *Engine) PutMatrix(name string, m Matrix) (MatrixInfo, []string, error) 
 	return sm.info, evicted, nil
 }
 
-// DeleteMatrix removes a served matrix and its cached states.
+// DeleteMatrix removes a served matrix, its cached states, and its
+// durable state. The tombstone lands first: failing the delete (matrix
+// still served) beats a restart resurrecting it.
 func (e *Engine) DeleteMatrix(name string) error {
+	if err := e.persistDelete(name); err != nil {
+		return err
+	}
 	if !e.reg.delete(name) {
 		return fmt.Errorf("%w: %q", ErrMatrixNotFound, name)
 	}
@@ -324,6 +355,9 @@ func (e *Engine) Stats() Stats {
 	s.Shard = shardStatsSnapshot(e.cfg.Shards)
 	s.Uploads = e.uploadStats()
 	s.RowUpdates = e.rowUpd.snapshot()
+	if e.persist != nil {
+		s.Store = e.persist.snapshot()
+	}
 	return s
 }
 

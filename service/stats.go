@@ -49,6 +49,9 @@ type Stats struct {
 	Uploads UploadStats `json:"uploads"`
 	// RowUpdates holds the dynamic row-update counters.
 	RowUpdates RowUpdateStats `json:"row_updates"`
+	// Store holds the durable-persistence counters (Enabled false when
+	// no store is configured).
+	Store PersistStats `json:"store"`
 	// LatencyP50 is the median protocol latency over the recent window.
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	// LatencyP90 is the 90th-percentile latency over the recent window.

@@ -291,8 +291,16 @@ func (e *Engine) CommitUpload(name, token string) (MatrixInfo, []string, error) 
 	if up.binary {
 		sm.bits = toBool(up.dense)
 	}
+	// Same durability-before-visibility ordering as PutMatrix. The
+	// staged upload is already consumed: a store failure loses the
+	// staging, but never acknowledges an install that would vanish on
+	// restart.
+	if err := e.persistPut(up.info.Name, sm); err != nil {
+		return MatrixInfo{}, nil, err
+	}
 	evicted := e.reg.put(up.info.Name, sm)
 	e.stats.evict(len(evicted))
+	e.persistTombstones(evicted)
 	if e.cache != nil {
 		e.cache.invalidateMatrix(append(evicted, up.info.Name)...)
 	}
