@@ -20,6 +20,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/gateway"
 	"repro/internal/core"
 	"repro/internal/intmat"
 	"repro/internal/lowerbound"
@@ -800,4 +801,56 @@ func BenchmarkWireLpEstimate(b *testing.B) {
 	b.Logf("wire bytes: json %d, binary %d (%.1fx); codec allocs: json %.0f, binary %.0f (%.0fx)",
 		jsonBytes, binBytes, float64(jsonBytes)/float64(binBytes),
 		allocsJSON, allocsBin, allocsJSON/allocsBin)
+}
+
+// BenchmarkGatewayUpdateReplicated prices a replicated row update
+// through the gateway front at R=3: "sync" commits only after every
+// replica acks the PATCH, "async" commits on a single write-quorum ack
+// and drains the remaining replicas through the background apply loop.
+// The ns/op gap is the latency the quorum commit takes off the write
+// path; ci/bench_baseline.json gates the async entry as the write-
+// throughput baseline.
+func BenchmarkGatewayUpdateReplicated(b *testing.B) {
+	n := 256
+	base := service.MatrixFromBool(workload.Binary(260, n, n, 0.1))
+	var rowOrig [][2]int64
+	for _, ent := range base.Entries {
+		if ent[0] == 0 {
+			rowOrig = append(rowOrig, [2]int64{ent[1], ent[2]})
+		}
+	}
+	rowAlt := [][2]int64{{3, 1}, {59, 1}, {171, 1}, {238, 1}}
+	variants := [2][][2]int64{rowAlt, rowOrig}
+
+	var backends []string
+	for i := 0; i < 3; i++ {
+		engine := service.NewEngine(service.Config{Workers: 4, Shards: 1})
+		defer engine.Close()
+		srv := httptest.NewServer(service.NewHandler(engine))
+		defer srv.Close()
+		backends = append(backends, srv.URL)
+	}
+
+	for _, mode := range []string{"sync", "async"} {
+		b.Run(mode, func(b *testing.B) {
+			g := gateway.New(gateway.Config{
+				Backends:         backends,
+				Replication:      3,
+				AsyncReplication: mode == "async",
+				WriteQuorum:      1,
+			})
+			defer g.Close()
+			ctx := context.Background()
+			if _, err := g.PutMatrix(ctx, "bench-"+mode, base); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				upd := service.UpdateRequest{Updates: []service.RowUpdate{{Row: 0, Entries: variants[i%2]}}}
+				if _, err := g.UpdateRows(ctx, "bench-"+mode, upd); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -44,6 +44,17 @@
 //
 //	mpload -addr http://127.0.0.1:8080 -mix lp=8,exact=2,update=1 -duration 10s
 //
+// Against a gateway, reads can carry a consistency SLA: -consistency
+// pins one level on every estimate (eventual | monotonic | rmw |
+// bounded:<dur> | strong, with -session supplying the token the
+// session levels track), and -sla-sweep "eventual,monotonic,rmw,
+// bounded:250ms,strong" drives one closed-loop step per level against
+// an update-bearing mix and writes the measured latency-vs-staleness
+// frontier — per-level read percentiles plus the gateway's SLA
+// hit/catchup/miss outcomes — to -slacurve-out (BENCH_slacurve.json):
+//
+//	mpload -gateway -addr http://127.0.0.1:8080 -mix lp=8,update=1 -sla-sweep eventual,rmw,strong
+//
 // # Open-loop mode and the capacity model
 //
 // With -rps > 0 the generator switches from closed-loop to open-loop:
@@ -250,6 +261,10 @@ func main() {
 	loadcurveOut := flag.String("loadcurve-out", "BENCH_loadcurve.json", "where -rps-sweep writes its points and USL fit (empty = don't write)")
 	reportInterval := flag.Duration("report-interval", 20*time.Second, "period of in-run progress lines with batch percentiles (0 = off)")
 	wireFmt := flag.String("wire", "json", "hot-path wire format: json or binary (negotiated per request; servers without binary support fall back to JSON)")
+	consistency := flag.String("consistency", "", "consistency SLA attached to every read against a gateway: eventual | monotonic | rmw | bounded:<dur> | strong (empty: server default, strong)")
+	session := flag.String("session", "", "session token pinned on every request (with -consistency monotonic/rmw; empty: client mints none)")
+	slaSweep := flag.String("sla-sweep", "", "comma-separated consistency levels to sweep (e.g. eventual,monotonic,rmw,bounded:250ms,strong): one closed-loop step per level measuring the latency-vs-staleness frontier; pair with an update-bearing -mix")
+	slacurveOut := flag.String("slacurve-out", "BENCH_slacurve.json", "where -sla-sweep writes its per-level points (empty = don't write)")
 	flag.Parse()
 
 	if *batch < 1 {
@@ -275,6 +290,31 @@ func main() {
 		clientOpts = append(clientOpts, service.WithAccept(service.MediaTypeBinary))
 	default:
 		log.Fatalf("-wire must be json or binary, got %q", *wireFmt)
+	}
+	var slaLevels []string
+	if *slaSweep != "" {
+		for _, lvl := range strings.Split(*slaSweep, ",") {
+			lvl = strings.TrimSpace(lvl)
+			if lvl == "" {
+				continue
+			}
+			if _, err := gateway.ParseConsistency(lvl); err != nil {
+				log.Fatalf("-sla-sweep: %v", err)
+			}
+			slaLevels = append(slaLevels, lvl)
+		}
+		if len(slaLevels) == 0 {
+			log.Fatalf("-sla-sweep: no levels")
+		}
+	}
+	if *consistency != "" {
+		if _, err := gateway.ParseConsistency(*consistency); err != nil {
+			log.Fatalf("-consistency: %v", err)
+		}
+		clientOpts = append(clientOpts, service.WithHeader("MP-Consistency", *consistency))
+	}
+	if *session != "" {
+		clientOpts = append(clientOpts, service.WithHeader("MP-Session", *session))
 	}
 	client := service.New(*addr, append(clientOpts, service.WithPathPrefix(""))...)
 	ctx := context.Background()
@@ -390,6 +430,30 @@ func main() {
 			req.Seed = pinSeed
 		}
 		return req
+	}
+
+	if len(slaLevels) > 0 {
+		if openLoop {
+			log.Fatalf("-sla-sweep is a closed-loop mode; drop -rps/-rps-sweep")
+		}
+		log.Printf("sweeping %d consistency levels, %v each (mix %s, %d workers)",
+			len(slaLevels), *duration, *mixFlag, *workers)
+		runSLACurve(ctx, slaCurveCfg{
+			addr:        *addr,
+			levels:      slaLevels,
+			workers:     *workers,
+			duration:    *duration,
+			out:         *slacurveOut,
+			mix:         *mixFlag,
+			matrix:      *matrix,
+			seed:        *seed,
+			clientOpts:  clientOpts,
+			gatewayMode: *gatewayMode,
+			pickKind:    pickKind,
+			makeReq:     makeReq,
+			makeUpdate:  makeUpdate,
+		})
+		return
 	}
 
 	if openLoop {

@@ -9,8 +9,9 @@ import (
 )
 
 // healUploadTimeout bounds one heal-pass re-seed upload. healOne holds
-// the gateway's write locks across it, so this — not the resync's 30s
-// budget — is what a dead target can stall the write path for.
+// the topology lock and the matrix's commit lock across it, so this —
+// not the resync's 30s budget — is what a dead target can stall
+// placements (and that matrix's updates) for.
 const healUploadTimeout = 10 * time.Second
 
 // probeLoop is the health prober: every ProbeInterval tick it probes
@@ -80,6 +81,14 @@ func (g *Gateway) probeBackend(b *backend) {
 		if backoff > g.cfg.ProbeBackoffMax || backoff <= 0 {
 			backoff = g.cfg.ProbeBackoffMax
 		}
+		// Deterministic per-backend jitter (±25%, seeded from the
+		// backend key — see newBackend) de-correlates the re-probe
+		// schedules of backends that failed together: a fleet-wide blip
+		// would otherwise put every backend on the same
+		// ProbeInterval·2^fails schedule, and their recovery probes —
+		// each followed by a resync re-seeding every placed matrix —
+		// would land as a thundering herd.
+		backoff = time.Duration(float64(backoff) * (0.75 + 0.5*b.jfrac))
 		b.nextProbe = now.Add(backoff)
 		b.mu.Unlock()
 		return
@@ -130,24 +139,29 @@ func (g *Gateway) healUnderReplication() {
 	}
 }
 
-// healOne re-places one flagged matrix. It holds the row-update lock
-// for the duration — a heal re-seeds the retained wire as of its
-// snapshot, so letting an update commit a newer wire mid-heal would
-// leave the healed replica one patch behind without anyone knowing —
-// and the topology lock *exclusively*: under a shared lock a
+// healOne re-places one flagged matrix. It holds the matrix's commit
+// lock (st.mu) for the duration — a heal re-seeds the retained wire as
+// of its snapshot, so letting an update commit a newer wire mid-heal
+// would leave the healed replica one patch behind without anyone
+// knowing — and the topology lock *exclusively*: under a shared lock a
 // concurrent PutMatrix could fan out its replacement while this
 // heal's stale upload is in flight, and whichever lands second at a
 // backend would win there, leaving that replica's content diverged
 // from the table with nothing to detect it (resync checks presence by
-// name only). The cost is that placements wait out a heal; uploads
-// are bounded by healUploadTimeout per missing target, so a dead
-// backend stalls the gateway's write path for seconds, not the probe
-// loop's lifetime.
+// name only). The cost is that placements (and updates of this one
+// matrix) wait out a heal; uploads are bounded by healUploadTimeout
+// per missing target, so a dead backend stalls the write path for
+// seconds, not the probe loop's lifetime. Lock order is topoMu before
+// st.mu, matching rebalance's reseed stamps.
 func (g *Gateway) healOne(name string) {
-	g.updMu.Lock()
-	defer g.updMu.Unlock()
 	g.topoMu.Lock()
 	defer g.topoMu.Unlock()
+	st := g.updState(name)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	g.mu.Lock()
 	pm, ok := g.matrices[name]
 	placeable := g.backendIDsLocked((*backend).placeable)
@@ -188,6 +202,10 @@ func (g *Gateway) healOne(name string) {
 			continue
 		}
 		g.repairs.Add(1)
+		// The healed replica holds the retained wire as of pm.ver —
+		// stamp its applied vector so SLA routing trusts it and the
+		// apply loop drains only what commits after this point.
+		st.setAppliedLocked(id, pm.ver)
 		kept = append(kept, id)
 	}
 	if len(kept) == len(pm.replicas) && !healed {
@@ -250,9 +268,25 @@ func (g *Gateway) resyncBackend(b *backend) {
 		if err != nil {
 			continue
 		}
+		// Reserve the backend's send slot for this matrix so an async
+		// drain never interleaves a log replay with the reseed upload
+		// (see async.go's ordering discipline).
+		st := g.updState(m.name)
+		if st != nil {
+			st.mu.Lock()
+			free := st.reserveLocked(b.id)
+			st.mu.Unlock()
+			if !free {
+				continue // a drain owns the slot; it converges the copy
+			}
+		}
 		if _, err := g.uploadTo(ctx, b, m.name, wire); err == nil {
 			g.repairs.Add(1)
 			g.reseedBytes.Add(wireSize(wire))
+			g.setApplied(m.name, b.id, m.pm.ver)
+		}
+		if st != nil {
+			st.release(b.id)
 		}
 	}
 	for _, mi := range held {
@@ -452,6 +486,10 @@ func (g *Gateway) rebalance(ctx context.Context) RebalanceReport {
 				failed = true
 				continue
 			}
+			// The gained replica holds pm's retained wire: stamp its
+			// applied vector before the table swap publishes it to the
+			// apply loop and SLA routing.
+			g.setApplied(name, b.id, pm.ver)
 			kept = append(kept, id)
 			moved = true
 		}

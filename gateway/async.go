@@ -1,0 +1,426 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/service"
+)
+
+// Async replication: the per-matrix ordered update log and the
+// background apply loop that drains it to lagging replicas.
+//
+// In sync mode every committed row update reaches every replica before
+// the call returns, so all replicas sit at the log head at all times.
+// Async mode (Config.AsyncReplication) commits on a write quorum
+// instead: the update lands in the matrix's ordered log, the replicas
+// that acked it advance their applied-(epoch, seq) vector, and the
+// apply loop replays the pending log suffix to everyone else in the
+// background. The applied vector is also what SLA routing reads: a
+// replica is eligible for a consistency level exactly when its vector
+// is at or past the level's required version (see sla.go).
+//
+// Ordering discipline — what replaced the old gateway-wide updMu:
+//
+//   - a matrix's st.mu IS its commit order. Writers hold it across
+//     their replica legs, so log-append order equals send order;
+//   - the apply loop never contacts a backend without first reserving
+//     its send slot (st.sending) under st.mu, so a background drain can
+//     never interleave with a quorum write or an in-line catch-up to
+//     the same backend — writers skip reserved backends, and drains
+//     skip backends a writer could pick only while holding st.mu;
+//   - full reseeds of in-placement replicas (probe resync, estimate-path
+//     repair) take the same reservation; reseeds of backends outside
+//     the current replica set (heal, rebalance gains) cannot collide
+//     with the apply loop, which only walks pm.replicas.
+//
+// A reseed stamps the backend's applied entry to the snapshot version
+// it uploaded — an unconditional overwrite, not a monotone advance,
+// because a full upload really can move a replica's content backwards
+// (the apply loop then drains the difference forward again, and the
+// backends' per-generation idempotency keys keep the replay exact).
+
+// logEntry is one committed row update in a matrix's ordered log.
+type logEntry struct {
+	seq       uint64 // version.seq the commit assigned
+	ups       []service.RowUpdate
+	delta     bool
+	committed time.Time
+}
+
+// dedupeRec remembers one client-keyed committed update so a retried
+// PATCH returns the original reply instead of applying twice.
+type dedupeRec struct {
+	rep service.UpdateReply
+	ver version
+}
+
+// clientDedupeWindow bounds the per-matrix ring of remembered client
+// idempotency keys. It needs to cover the retry window of in-flight
+// writers, not history: a retry arrives within the client's timeout.
+const clientDedupeWindow = 128
+
+// matrixUpd is one matrix's update-ordering state: the log head, the
+// bounded ordered log, the per-backend applied vector, and the send
+// reservations that keep concurrent senders off the same backend. The
+// struct is stable per name — placement installs reset its fields in
+// place (resetLocked) rather than replacing the pointer, so a drain
+// holding a reservation always releases it on the state routing reads.
+type matrixUpd struct {
+	mu   sync.Mutex
+	head version
+	// log holds the committed updates with seq in (logStart, head.seq];
+	// log[i].seq == logStart+1+i. Entries past Config.UpdateLogMax are
+	// trimmed from the front, advancing logStart — replicas behind it
+	// need a full reseed rather than a replay.
+	log      []logEntry
+	logStart uint64
+	// applied maps backend id → the version its copy has reached.
+	applied map[string]version
+	// sending marks backends with a replay or reseed in flight.
+	sending map[string]bool
+	// recent/recentKeys are the client-idempotency dedupe ring (FIFO).
+	recent     map[uint64]dedupeRec
+	recentKeys []uint64
+}
+
+func (st *matrixUpd) setAppliedLocked(id string, v version) {
+	if st.applied == nil {
+		st.applied = make(map[string]version)
+	}
+	st.applied[id] = v
+}
+
+// advanceAppliedLocked moves a backend's applied entry forward only —
+// the form every patch ack uses (a stale ack must not regress a vector
+// a newer send already advanced).
+func (st *matrixUpd) advanceAppliedLocked(id string, v version) {
+	if st.applied[id].Less(v) {
+		st.setAppliedLocked(id, v)
+	}
+}
+
+// reserveLocked claims a backend's send slot; false means another
+// sender (a drain, a reseed) is already on it.
+func (st *matrixUpd) reserveLocked(id string) bool {
+	if st.sending[id] {
+		return false
+	}
+	if st.sending == nil {
+		st.sending = make(map[string]bool)
+	}
+	st.sending[id] = true
+	return true
+}
+
+func (st *matrixUpd) release(id string) {
+	st.mu.Lock()
+	delete(st.sending, id)
+	st.mu.Unlock()
+}
+
+// resetLocked reinstalls the state after a wholesale placement (a put,
+// a chunked commit): a fresh epoch head, an empty log, every target
+// replica stamped at the head. In-flight drains keep their sending
+// slots (they clear them on exit) and detect the epoch change before
+// sending anything stale (see runDrain).
+func (st *matrixUpd) resetLocked(ver version, ids []string) {
+	st.head = ver
+	st.log = nil
+	st.logStart = 0
+	st.applied = make(map[string]version, len(ids))
+	for _, id := range ids {
+		st.applied[id] = ver
+	}
+	st.recent = nil
+	st.recentKeys = nil
+}
+
+// pendingLocked returns the log suffix a backend at av still needs and
+// whether a replay can cover it at all (false → full reseed: the
+// backend is on another epoch or behind the trimmed window). The
+// returned slice aliases the log; copy it before releasing st.mu.
+func (st *matrixUpd) pendingLocked(av version) ([]logEntry, bool) {
+	if av.AtLeast(st.head) {
+		return nil, true
+	}
+	if av.epoch != st.head.epoch || av.seq < st.logStart {
+		return nil, false
+	}
+	return st.log[av.seq-st.logStart:], true
+}
+
+// rememberLocked records a client-keyed committed update in the dedupe
+// ring, evicting FIFO past the window.
+func (st *matrixUpd) rememberLocked(key uint64, rep service.UpdateReply, ver version) {
+	if key == 0 {
+		return
+	}
+	if st.recent == nil {
+		st.recent = make(map[uint64]dedupeRec, clientDedupeWindow)
+	}
+	if _, dup := st.recent[key]; dup {
+		return
+	}
+	st.recent[key] = dedupeRec{rep: rep, ver: ver}
+	st.recentKeys = append(st.recentKeys, key)
+	if len(st.recentKeys) > clientDedupeWindow {
+		delete(st.recent, st.recentKeys[0])
+		st.recentKeys = st.recentKeys[1:]
+	}
+}
+
+// updState returns the matrix's update state, creating it from the
+// current placement on first touch; nil when the matrix is not placed.
+// The placement paths always install state explicitly (resetUpdState),
+// so the lazy branch only covers matrices placed before the state map
+// existed — and stamps every replica at the table head, which is what
+// a just-installed placement means.
+func (g *Gateway) updState(name string) *matrixUpd {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if st, ok := g.upd[name]; ok {
+		return st
+	}
+	pm, ok := g.matrices[name]
+	if !ok {
+		return nil
+	}
+	st := &matrixUpd{}
+	st.resetLocked(pm.ver, pm.replicas)
+	g.upd[name] = st
+	return st
+}
+
+// resetUpdState installs fresh update state for a wholesale placement.
+func (g *Gateway) resetUpdState(name string, ver version, ids []string) {
+	g.mu.Lock()
+	st := g.upd[name]
+	if st == nil {
+		st = &matrixUpd{}
+		g.upd[name] = st
+	}
+	g.mu.Unlock()
+	st.mu.Lock()
+	st.resetLocked(ver, ids)
+	st.mu.Unlock()
+}
+
+// setApplied stamps a backend's applied entry after a full reseed — an
+// unconditional overwrite (see the file comment).
+func (g *Gateway) setApplied(name, id string, v version) {
+	st := g.updState(name)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.setAppliedLocked(id, v)
+	st.mu.Unlock()
+}
+
+// appendLogLocked records one committed update at ver and trims the
+// log to the configured window.
+func (g *Gateway) appendLogLocked(st *matrixUpd, ver version, ups []service.RowUpdate, delta bool) {
+	st.head = ver
+	st.log = append(st.log, logEntry{seq: ver.seq, ups: ups, delta: delta, committed: time.Now()})
+	if n := len(st.log) - g.cfg.UpdateLogMax; n > 0 {
+		st.logStart = st.log[n-1].seq
+		st.log = append(st.log[:0:0], st.log[n:]...)
+	}
+}
+
+// catchUpLocked replays a backend's pending log suffix in line,
+// advancing its applied vector entry by entry. Callers hold st.mu —
+// the replay is thereby serialized against concurrent writers, which
+// is exactly what makes in-line catch-up safe to interleave with
+// quorum commits. Reports whether the backend reached the head.
+func (g *Gateway) catchUpLocked(ctx context.Context, st *matrixUpd, name string, b *backend) bool {
+	if st.sending[b.id] {
+		return false
+	}
+	pending, ok := st.pendingLocked(st.applied[b.id])
+	if !ok {
+		return false // needs a full reseed; that is the apply loop's job
+	}
+	for _, ent := range pending {
+		req := service.UpdateRequest{Updates: ent.ups, Delta: ent.delta, Key: ent.seq}
+		if _, err := b.client.UpdateRows(ctx, name, req); err != nil {
+			b.noteFailover(err, isTransportLevel(err))
+			return false
+		}
+		st.advanceAppliedLocked(b.id, version{epoch: st.head.epoch, seq: ent.seq})
+		g.asyncApplied.Add(1)
+	}
+	return true
+}
+
+// wakeApply nudges the apply loop without blocking (a full wake
+// channel already guarantees a pass is coming).
+func (g *Gateway) wakeApply() {
+	select {
+	case g.applyWake <- struct{}{}:
+	default:
+	}
+}
+
+// applyLoop is the async-mode background drainer: on every commit wake
+// (and every ProbeInterval tick, covering backends that recover) it
+// walks the placement table and brings lagging replicas to the log
+// head — replaying the pending log suffix where it can, reseeding the
+// full retained wire where it cannot.
+func (g *Gateway) applyLoop() {
+	defer g.probeWG.Done()
+	tick := time.NewTicker(g.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.closed:
+			return
+		case <-g.applyWake:
+		case <-tick.C:
+		}
+		g.drainAll()
+	}
+}
+
+// drainAll runs one drain pass over every placed matrix.
+func (g *Gateway) drainAll() {
+	g.mu.Lock()
+	names := make([]string, 0, len(g.matrices))
+	for name := range g.matrices {
+		names = append(names, name)
+	}
+	g.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		if g.isClosed() {
+			return
+		}
+		g.drainMatrix(name)
+	}
+}
+
+// drainJob is one backend's catch-up work within a drain pass: a log
+// replay when entries is non-empty, a full reseed otherwise.
+type drainJob struct {
+	b       *backend
+	entries []logEntry
+}
+
+// drainMatrix collects the lagging replicas of one matrix under st.mu
+// — reserving each one's send slot — and drains them concurrently
+// outside it.
+func (g *Gateway) drainMatrix(name string) {
+	pm, reps, err := g.replicaSnapshot(name)
+	if err != nil {
+		return
+	}
+	st := g.updState(name)
+	if st == nil {
+		return
+	}
+	var jobs []drainJob
+	st.mu.Lock()
+	head := st.head
+	for _, b := range reps {
+		if !b.eligible() || st.sending[b.id] {
+			continue
+		}
+		av := st.applied[b.id]
+		if av.AtLeast(head) {
+			continue
+		}
+		pending, replayable := st.pendingLocked(av)
+		if !st.reserveLocked(b.id) {
+			continue
+		}
+		if !replayable {
+			jobs = append(jobs, drainJob{b: b})
+			continue
+		}
+		jobs = append(jobs, drainJob{b: b, entries: append([]logEntry(nil), pending...)})
+	}
+	st.mu.Unlock()
+	if len(jobs) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j drainJob) {
+			defer wg.Done()
+			g.runDrain(name, pm, st, j, head)
+		}(j)
+	}
+	wg.Wait()
+}
+
+// runDrain executes one backend's drain job while holding its send
+// reservation. A 404 mid-replay (the backend lost the matrix) falls
+// back to a full reseed; an epoch change under the drain (a wholesale
+// placement replaced the matrix) aborts the replay and reseeds from
+// the current table so a stale patch can never survive on top of the
+// replacement's upload.
+func (g *Gateway) runDrain(name string, pm *placedMatrix, st *matrixUpd, j drainJob, head version) {
+	defer st.release(j.b.id)
+	if len(j.entries) == 0 {
+		g.reseedLagging(name, j.b)
+		return
+	}
+	for _, ent := range j.entries {
+		st.mu.Lock()
+		stale := st.head.epoch != head.epoch
+		st.mu.Unlock()
+		if stale {
+			g.reseedLagging(name, j.b)
+			return
+		}
+		req := service.UpdateRequest{Updates: ent.ups, Delta: ent.delta, Key: ent.seq}
+		ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ProbeTimeout)
+		_, err := j.b.client.UpdateRows(ctx, name, req)
+		cancel()
+		if err != nil {
+			var apiErr *service.APIError
+			if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+				g.reseedLagging(name, j.b)
+				return
+			}
+			j.b.noteFailover(err, isTransportLevel(err))
+			return // leave the vector where it is; the next pass retries
+		}
+		st.mu.Lock()
+		st.advanceAppliedLocked(j.b.id, version{epoch: head.epoch, seq: ent.seq})
+		st.mu.Unlock()
+		g.asyncApplied.Add(1)
+	}
+	_ = pm // the snapshot pins nothing beyond the replica handles
+}
+
+// reseedLagging ships the current retained wire to a backend whose log
+// replay is impossible (trimmed window, epoch change, lost copy) and
+// stamps its applied vector at the snapshot version. Callers hold the
+// backend's send reservation.
+func (g *Gateway) reseedLagging(name string, b *backend) {
+	g.mu.Lock()
+	pm, ok := g.matrices[name]
+	g.mu.Unlock()
+	if !ok {
+		return
+	}
+	wire, err := g.wireOf(pm)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(g.baseCtx, healUploadTimeout)
+	defer cancel()
+	if _, err := g.uploadTo(ctx, b, name, wire); err != nil {
+		b.noteFailover(err, isTransportLevel(err))
+		return
+	}
+	g.setApplied(name, b.id, pm.ver)
+	g.asyncReseeds.Add(1)
+}

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"errors"
 	"net/http"
 	"sort"
 	"sync"
@@ -43,6 +44,16 @@ type backend struct {
 	// nextProbe is when the prober may contact the backend again.
 	nextProbe time.Time
 	lastErr   string
+	// saturatedUntil is set when the backend sheds with 429 + a
+	// Retry-After: routing treats it like unhealthy until the window
+	// elapses, without a probe-cycle demotion (the backend is alive,
+	// just full).
+	saturatedUntil time.Time
+
+	// jfrac is the backend's deterministic probe-backoff jitter
+	// fraction in [0, 1), derived from the backend key at construction
+	// (see newBackend) — no RNG, keeping mpvet's determinism contract.
+	jfrac float64
 
 	requests  int64
 	errors    int64
@@ -63,7 +74,11 @@ func newBackend(id string, httpc *http.Client) *backend {
 		service.WithHTTPClient(httpc))
 	// A new backend is admitted optimistically: the prober demotes it
 	// on its first failed probe, and routing failover covers the gap.
-	return &backend{id: id, client: c, healthy: true}
+	// The probe-backoff jitter fraction reuses the placement hash as a
+	// deterministic per-key uniform source: the top 53 bits of the
+	// keyed score form a float in [0, 1).
+	jfrac := float64(placementScore(id, "probe-jitter")>>11) / (1 << 53)
+	return &backend{id: id, client: c, healthy: true, jfrac: jfrac}
 }
 
 // recordResult folds one request outcome into the backend's counters
@@ -90,7 +105,11 @@ func (b *backend) recordResult(lat time.Duration, failed bool) {
 // backend. Transport-level failures also demote it to unhealthy
 // immediately — routing then skips it until the prober re-admits it —
 // while an answered error (an APIError) leaves health alone: the
-// backend is alive, it just could not serve this request.
+// backend is alive, it just could not serve this request. One answered
+// error is special-cased: a 429 shed marks the backend saturated for
+// its Retry-After window (1s when the header is absent), so failover
+// and the apply loop stop hammering a full admission queue without
+// paying a probe-cycle demotion.
 func (b *backend) noteFailover(err error, transportLevel bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -99,6 +118,16 @@ func (b *backend) noteFailover(err error, transportLevel bool) {
 		b.healthy = false
 		b.demotions++
 		b.lastErr = err.Error()
+		return
+	}
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+		wait := apiErr.RetryAfter
+		if wait <= 0 {
+			wait = time.Second
+		}
+		b.saturatedUntil = time.Now().Add(wait)
+		b.lastErr = err.Error()
 	}
 }
 
@@ -106,15 +135,16 @@ func (b *backend) noteFailover(err error, transportLevel bool) {
 func (b *backend) eligible() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.healthy && !b.draining
+	return b.healthy && !b.draining && !time.Now().Before(b.saturatedUntil)
 }
 
 // routeState snapshots the routing-relevant flags under the lock (a
-// bare field read would race the admin paths writing them).
+// bare field read would race the admin paths writing them). A backend
+// inside its 429 Retry-After window reads as unhealthy.
 func (b *backend) routeState() (healthy, draining bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.healthy, b.draining
+	return b.healthy && !time.Now().Before(b.saturatedUntil), b.draining
 }
 
 // placeable reports whether new matrix placements may target the

@@ -68,6 +68,25 @@ type Config struct {
 	// resident before the largest are spilled to Store. 0 (the default)
 	// disables spilling — every copy stays in memory.
 	WireCacheBudget int64
+	// AsyncReplication switches row updates from synchronous
+	// all-replica commits to write-quorum commits with background
+	// propagation: an update returns once WriteQuorum replicas applied
+	// it, and the apply loop drains the per-matrix update log to the
+	// rest (see async.go). Sync remains the default: every replica then
+	// satisfies every consistency level by construction, and the extra
+	// write latency is the price of never serving a stale read.
+	AsyncReplication bool
+	// WriteQuorum is how many replicas must apply a row update before
+	// it commits in async mode (clamped to the live replica count;
+	// ignored in sync mode). Default 1.
+	WriteQuorum int
+	// UpdateLogMax bounds each matrix's in-memory ordered update log.
+	// A replica lagging past the window is reseeded from the retained
+	// wire instead of replayed. Default 1024.
+	UpdateLogMax int
+	// SessionTTL is how long an idle consistency session (monotonic /
+	// read-my-writes state, see sla.go) is retained. Default 10m.
+	SessionTTL time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -88,6 +107,15 @@ func (c *Config) setDefaults() {
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = http.DefaultClient
+	}
+	if c.WriteQuorum <= 0 {
+		c.WriteQuorum = 1
+	}
+	if c.UpdateLogMax <= 0 {
+		c.UpdateLogMax = 1024
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
 	}
 }
 
@@ -111,6 +139,11 @@ type placedMatrix struct {
 	spilled   bool
 	replicas  []string
 	needsHeal bool
+	// ver is the version of the retained wire: a fresh epoch at every
+	// wholesale install, seq advanced per committed row update. It is
+	// the matrix's update-log head (async.go) and the reference every
+	// reseed stamps into the applied vector.
+	ver version
 }
 
 // clone returns a copy for copy-on-write replacement: same wire and
@@ -146,9 +179,21 @@ type Gateway struct {
 	// and placements may share the read side freely.
 	topoMu sync.RWMutex
 
-	// updMu serializes replicated row updates: the retained wire copy
-	// must advance through a single line of patched successors.
-	updMu sync.Mutex
+	// upd holds each matrix's update-ordering state (log, applied
+	// vectors, send reservations — see async.go). The map itself is
+	// guarded by mu; each entry carries its own lock, which replaced
+	// the old gateway-wide updMu as the per-matrix commit order.
+	upd map[string]*matrixUpd
+
+	// epochSeq assigns version epochs to wholesale placement installs.
+	epochSeq atomic.Uint64
+	// applyWake nudges the async apply loop after a quorum commit.
+	applyWake chan struct{}
+
+	// sessions and sla are the consistency-SLA state: session floors
+	// for monotonic/rmw routing and the per-level outcome counters.
+	sessions *sessionStore
+	sla      slaCounters
 
 	upSeq         atomic.Uint64
 	estimates     atomic.Int64
@@ -167,6 +212,8 @@ type Gateway struct {
 	spillLoads    atomic.Int64
 	spillErrors   atomic.Int64
 	spillSeq      atomic.Uint64
+	asyncApplied  atomic.Int64
+	asyncReseeds  atomic.Int64
 
 	met *gatewayMetrics
 
@@ -185,12 +232,15 @@ type Gateway struct {
 func New(cfg Config) *Gateway {
 	cfg.setDefaults()
 	g := &Gateway{
-		cfg:      cfg,
-		backends: make(map[string]*backend),
-		matrices: make(map[string]*placedMatrix),
-		uploads:  make(map[string]*fanoutUpload),
-		start:    time.Now(),
-		closed:   make(chan struct{}),
+		cfg:       cfg,
+		backends:  make(map[string]*backend),
+		matrices:  make(map[string]*placedMatrix),
+		uploads:   make(map[string]*fanoutUpload),
+		upd:       make(map[string]*matrixUpd),
+		applyWake: make(chan struct{}, 1),
+		sessions:  newSessionStore(cfg.SessionTTL),
+		start:     time.Now(),
+		closed:    make(chan struct{}),
 	}
 	g.baseCtx, g.cancelBase = context.WithCancel(context.Background())
 	g.wipeSpillStore()
@@ -205,6 +255,10 @@ func New(cfg Config) *Gateway {
 	}
 	g.probeWG.Add(1)
 	go g.probeLoop()
+	if cfg.AsyncReplication {
+		g.probeWG.Add(1)
+		go g.applyLoop()
+	}
 	return g
 }
 
@@ -377,10 +431,12 @@ func (g *Gateway) PutMatrix(ctx context.Context, name string, m service.Matrix) 
 	for i, b := range targets {
 		ids[i] = b.id
 	}
-	pm := &placedMatrix{info: infos[0], wire: m, wireBytes: wireSize(m), replicas: ids}
+	ver := version{epoch: g.epochSeq.Add(1)}
+	pm := &placedMatrix{info: infos[0], wire: m, wireBytes: wireSize(m), replicas: ids, ver: ver}
 	g.mu.Lock()
 	g.matrices[name] = pm
 	g.mu.Unlock()
+	g.resetUpdState(name, ver, ids)
 	g.placements.Add(1)
 	g.maybeSpill()
 	return PlacementInfo{MatrixInfo: pm.info, Replicas: ids}, nil
@@ -400,6 +456,7 @@ func (g *Gateway) DeleteMatrix(ctx context.Context, name string) error {
 	}
 	g.mu.Lock()
 	delete(g.matrices, name)
+	delete(g.upd, name)
 	g.mu.Unlock()
 	g.dropSpilled(name)
 	_, _ = fanout(reps, func(_ int, b *backend) error {
@@ -422,15 +479,17 @@ func (g *Gateway) Matrices() []PlacementInfo {
 }
 
 // failoverable classifies a replica error: transport-level failures
-// (no HTTP answer) and answered 404/502/503 warrant trying the next
-// replica — the backend is gone, restarting, closing, or has lost the
-// replica — while any other answered error is the query's own fault
-// and is returned to the client as-is.
+// (no HTTP answer) and answered 404/429/502/503 warrant trying the
+// next replica — the backend is gone, restarting, shedding load,
+// closing, or has lost the replica — while any other answered error is
+// the query's own fault and is returned to the client as-is. A 429 is
+// answered, so it never demotes health; noteFailover instead parks the
+// backend for its advertised Retry-After (see backend.saturatedUntil).
 func failoverable(err error) (ok, transportLevel bool) {
 	var apiErr *service.APIError
 	if errors.As(err, &apiErr) {
 		switch apiErr.Status {
-		case http.StatusNotFound, http.StatusBadGateway, http.StatusServiceUnavailable:
+		case http.StatusNotFound, http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
 			return true, false
 		}
 		return false, false
@@ -478,13 +537,25 @@ func (b *backend) callEstimate(ctx context.Context, req service.Request) (*servi
 // repairReplica re-uploads a placed matrix to a replica that answered
 // 404 for it — the backend restarted (losing its in-memory registry)
 // between the prober's resync passes. Returns true when the replica
-// holds the matrix again.
+// holds the matrix again. The upload holds the backend's send slot so
+// it cannot interleave with an apply-loop drain; a reserved slot means
+// a drain is already fixing the replica, so the repair yields.
 func (g *Gateway) repairReplica(ctx context.Context, b *backend, name string) bool {
 	g.mu.Lock()
 	pm, ok := g.matrices[name]
 	g.mu.Unlock()
 	if !ok {
 		return false
+	}
+	st := g.updState(name)
+	if st != nil {
+		st.mu.Lock()
+		ok := st.reserveLocked(b.id)
+		st.mu.Unlock()
+		if !ok {
+			return false
+		}
+		defer st.release(b.id)
 	}
 	wire, err := g.wireOf(pm)
 	if err != nil {
@@ -493,31 +564,47 @@ func (g *Gateway) repairReplica(ctx context.Context, b *backend, name string) bo
 	if _, err := g.uploadTo(ctx, b, name, wire); err != nil {
 		return false
 	}
+	g.setApplied(name, b.id, pm.ver)
 	g.repairs.Add(1)
 	return true
 }
 
 // Estimate routes one query to the least-busy healthy replica of its
 // matrix, failing over to the next replica on transport errors (and on
-// answered 404/502/503 — see failoverable). A replica that lost the
-// matrix to a restart is repaired in line from the gateway's retained
-// copy and retried. Answered client errors (bad parameters and the
-// like) are returned without failover.
+// answered 404/429/502/503 — see failoverable). A replica that lost
+// the matrix to a restart is repaired in line from the gateway's
+// retained copy and retried. Answered client errors (bad parameters
+// and the like) are returned without failover. The query runs under
+// the default (strong) consistency SLA with no session — exactly the
+// pre-SLA behavior in sync mode, where every replica is always at the
+// update-log head.
 func (g *Gateway) Estimate(ctx context.Context, req service.Request) (*service.Result, error) {
+	res, _, err := g.estimateSLA(ctx, req, SLA{}, "")
+	return res, err
+}
+
+// estimateSLA routes one query under a consistency SLA: candidates are
+// narrowed to the replicas whose applied version satisfies the level
+// (see slaRoute), then tried in order with the usual failover and
+// in-line 404 repair. It returns the version of the replica that
+// answered — the MP-Version echo and the session's monotonic floor.
+func (g *Gateway) estimateSLA(ctx context.Context, req service.Request, sla SLA, sess string) (*service.Result, version, error) {
 	if g.isClosed() {
-		return nil, ErrClosed
+		return nil, version{}, ErrClosed
 	}
 	g.estimates.Add(1)
 	_, reps, err := g.replicaSnapshot(req.Matrix)
 	if err != nil {
-		return nil, err
+		return nil, version{}, err
 	}
-	order, _ := routeOrder(reps)
+	order, nEligible := routeOrder(reps)
 	if len(order) == 0 {
-		return nil, fmt.Errorf("%w: matrix %q has no routable replica", ErrNoBackends, req.Matrix)
+		return nil, version{}, fmt.Errorf("%w: matrix %q has no routable replica", ErrNoBackends, req.Matrix)
 	}
+	cands, outcome := g.slaRoute(ctx, req.Matrix, order, nEligible, sla, sess)
+	g.sla.note(sla.Level, outcome)
 	var lastErr error
-	for attempt, b := range order {
+	for attempt, b := range cands {
 		if attempt > 0 {
 			g.retries.Add(1)
 		}
@@ -526,14 +613,14 @@ func (g *Gateway) Estimate(ctx context.Context, req service.Request) (*service.R
 			if attempt > 0 {
 				g.failovers.Add(1)
 			}
-			return res, nil
+			return res, g.noteServed(sess, req.Matrix, b), nil
 		}
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, version{}, ctx.Err()
 		}
 		ok, transportLevel := failoverable(err)
 		if !ok {
-			return nil, err
+			return nil, version{}, err
 		}
 		// A 404 from a replica that should hold the matrix means the
 		// backend restarted empty: re-seed it from the retained wire
@@ -544,13 +631,132 @@ func (g *Gateway) Estimate(ctx context.Context, req service.Request) (*service.R
 				if attempt > 0 {
 					g.failovers.Add(1)
 				}
-				return res, nil
+				return res, g.noteServed(sess, req.Matrix, b), nil
 			}
 		}
 		b.noteFailover(err, transportLevel)
 		lastErr = err
 	}
-	return nil, fmt.Errorf("%w: %q: %v", ErrAllReplicasFailed, req.Matrix, lastErr)
+	// Surface a unanimous overload answer as-is: its status and
+	// Retry-After tell the client to back off, which a wrapped 502
+	// would hide.
+	var apiErr *service.APIError
+	if errors.As(lastErr, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+		return nil, version{}, lastErr
+	}
+	return nil, version{}, fmt.Errorf("%w: %q: %v", ErrAllReplicasFailed, req.Matrix, lastErr)
+}
+
+// noteServed reads the answering replica's applied version and folds
+// it into the session's monotonic-read floor.
+func (g *Gateway) noteServed(sess, name string, b *backend) version {
+	v := g.appliedVersion(name, b.id)
+	g.sessions.noteRead(sess, name, v)
+	return v
+}
+
+// appliedVersion reads one backend's current applied vector entry.
+func (g *Gateway) appliedVersion(name, id string) version {
+	st := g.updState(name)
+	if st == nil {
+		return version{}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.applied[id]
+}
+
+// slaRoute narrows a query's replica order to the candidates that
+// satisfy its SLA:
+//
+//   - no constraint (eventual; session levels with no history) keeps
+//     the full routeOrder — suspects still last;
+//   - otherwise the replicas whose applied vector is at or past the
+//     required version, in routeOrder (a hit — in sync mode every
+//     replica satisfies every level, so this is the whole order);
+//   - none satisfying → one in-line catch-up attempt on the least-busy
+//     eligible replica (a catchup);
+//   - still none → every replica, freshest applied vector first, so
+//     the degradation is as small as the fleet allows (a miss).
+func (g *Gateway) slaRoute(ctx context.Context, name string, order []*backend, nEligible int, sla SLA, sess string) ([]*backend, slaOutcome) {
+	st := g.updState(name)
+	if st == nil {
+		return order, slaHit
+	}
+	st.mu.Lock()
+	required := g.requiredVersionLocked(st, name, sla, sess)
+	vers := make(map[string]version, len(order))
+	for _, b := range order {
+		vers[b.id] = st.applied[b.id]
+	}
+	st.mu.Unlock()
+	if required == (version{}) {
+		return order, slaHit
+	}
+	var cands []*backend
+	for _, b := range order {
+		if vers[b.id].AtLeast(required) {
+			cands = append(cands, b)
+		}
+	}
+	if len(cands) > 0 {
+		return cands, slaHit
+	}
+	// One in-line catch-up attempt: replay the pending log to the
+	// least-busy eligible replica under the commit lock, so a strong or
+	// rmw read pays a bounded write-path delay instead of degrading.
+	if nEligible > 0 {
+		b := order[0]
+		st.mu.Lock() //mp:lockio-ok audited: in-line catch-up replay is serialized with writers by holding the per-matrix commit lock — see async.go's ordering discipline
+		ok := g.catchUpLocked(ctx, st, name, b) && st.applied[b.id].AtLeast(required)
+		st.mu.Unlock()
+		if ok {
+			return []*backend{b}, slaCatchup
+		}
+	}
+	// Degrade: no replica can satisfy the level right now (the
+	// satisfying ones are down, or the catch-up failed). Serve the
+	// freshest available state rather than erroring; the miss is
+	// visible in the SLA counters and the MP-Version echo.
+	if nEligible == 0 {
+		return order, slaMiss
+	}
+	cands = append([]*backend(nil), order[:nEligible]...)
+	sort.SliceStable(cands, func(i, j int) bool { return vers[cands[j].id].Less(vers[cands[i].id]) })
+	return append(cands, order[nEligible:]...), slaMiss
+}
+
+// requiredVersionLocked resolves an SLA to its version floor for one
+// matrix — the zero version means unconstrained. Strong requires the
+// update-log head, the session levels their recorded floors, bounded
+// the staleness cutoff. Callers hold st.mu.
+func (g *Gateway) requiredVersionLocked(st *matrixUpd, name string, sla SLA, sess string) version {
+	switch sla.Level {
+	case ConsStrong:
+		return st.head
+	case ConsMonotonic, ConsRMW:
+		return g.sessions.floor(sess, name, sla.Level)
+	case ConsBounded:
+		return boundedFloorLocked(st, time.Now().Add(-sla.Bound))
+	}
+	return version{}
+}
+
+// boundedFloorLocked computes the version a bounded:<d> read must
+// observe: every update committed at or before the staleness cutoff.
+// Entries already trimmed from the log have unknown commit times, so
+// the floor is at least logStart — requiring more than strictly
+// necessary keeps the bound honest; requiring less would not. Callers
+// hold st.mu.
+func boundedFloorLocked(st *matrixUpd, cutoff time.Time) version {
+	seq := st.logStart
+	for _, ent := range st.log {
+		if ent.committed.After(cutoff) {
+			break
+		}
+		seq = ent.seq
+	}
+	return version{epoch: st.head.epoch, seq: seq}
 }
 
 // EstimateBatch scatters a batch across the fleet — each query is
@@ -562,6 +768,15 @@ func (g *Gateway) Estimate(ctx context.Context, req service.Request) (*service.R
 // latency, not answers. Queries naming unplaced matrices fail in their
 // item, matching the single-backend batch semantics.
 func (g *Gateway) EstimateBatch(ctx context.Context, reqs []service.Request) ([]service.BatchItem, error) {
+	return g.estimateBatchSLA(ctx, reqs, SLA{}, "")
+}
+
+// estimateBatchSLA is EstimateBatch under a consistency SLA: queries
+// whose SLA at least one routable replica already satisfies scatter as
+// usual (restricted to the satisfying replicas); the rest detour
+// through the single-query path, whose in-line catch-up and
+// degrade-to-freshest semantics apply per query.
+func (g *Gateway) estimateBatchSLA(ctx context.Context, reqs []service.Request, sla SLA, sess string) ([]service.BatchItem, error) {
 	if g.isClosed() {
 		return nil, ErrClosed
 	}
@@ -577,6 +792,7 @@ func (g *Gateway) EstimateBatch(ctx context.Context, reqs []service.Request) ([]
 	items := make([]service.BatchItem, len(reqs))
 	assigned := make(map[*backend][]int) // backend → query indices
 	localLoad := make(map[*backend]int64)
+	var detours []int // queries re-routed through the single-query path
 	for i, req := range reqs {
 		_, reps, err := g.replicaSnapshot(req.Matrix)
 		if err != nil {
@@ -597,6 +813,19 @@ func (g *Gateway) EstimateBatch(ctx context.Context, reqs []service.Request) ([]
 		if nEligible == 0 {
 			pool = order[:1]
 		}
+		// Narrow the pool to the replicas satisfying the query's SLA.
+		// In sync mode every replica satisfies every level, so this
+		// keeps the whole pool; an unsatisfiable query detours through
+		// estimateSLA for its catch-up/degrade handling.
+		sat, constrained := g.slaFilter(req.Matrix, pool, sla, sess)
+		if constrained {
+			if len(sat) == 0 {
+				detours = append(detours, i)
+				continue
+			}
+			pool = sat
+		}
+		g.sla.note(sla.Level, slaHit)
 		best := pool[0]
 		bestLoad := best.inflight.Load() + localLoad[best]
 		for _, b := range pool[1:] {
@@ -625,6 +854,9 @@ func (g *Gateway) EstimateBatch(ctx context.Context, reqs []service.Request) ([]
 			if err == nil && len(got) == len(idxs) {
 				for k, i := range idxs {
 					items[i] = got[k]
+					if sess != "" && got[k].Error == "" {
+						g.sessions.noteRead(sess, sub[k].Matrix, g.appliedVersion(sub[k].Matrix, b.id))
+					}
 				}
 				// A per-item "matrix not found" from a replica that is
 				// supposed to hold the matrix means it lost its copy (a
@@ -637,7 +869,7 @@ func (g *Gateway) EstimateBatch(ctx context.Context, reqs []service.Request) ([]
 						continue
 					}
 					g.retries.Add(1)
-					if res, qerr := g.Estimate(ctx, sub[k]); qerr == nil {
+					if res, _, qerr := g.estimateSLA(ctx, sub[k], sla, sess); qerr == nil {
 						items[i] = service.BatchItem{Result: res}
 					}
 				}
@@ -656,7 +888,7 @@ func (g *Gateway) EstimateBatch(ctx context.Context, reqs []service.Request) ([]
 			}
 			for k, i := range idxs {
 				g.retries.Add(1)
-				res, qerr := g.Estimate(ctx, sub[k])
+				res, _, qerr := g.estimateSLA(ctx, sub[k], sla, sess)
 				if qerr != nil {
 					items[i] = service.BatchItem{Error: qerr.Error()}
 					continue
@@ -665,9 +897,46 @@ func (g *Gateway) EstimateBatch(ctx context.Context, reqs []service.Request) ([]
 			}
 		}(b, idxs)
 	}
+	// Queries no scattered replica could satisfy run through the
+	// single-query path concurrently with the sub-batches: its in-line
+	// catch-up or degrade-to-freshest decides each one.
+	for _, i := range detours {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, qerr := g.estimateSLA(ctx, reqs[i], sla, sess)
+			if qerr != nil {
+				items[i] = service.BatchItem{Error: qerr.Error()}
+				return
+			}
+			items[i] = service.BatchItem{Result: res}
+		}(i)
+	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return items, nil
+}
+
+// slaFilter narrows a scatter pool to the replicas satisfying an SLA
+// without any side effects (no catch-up, no counters). constrained is
+// false when the SLA imposes no version floor — the pool then stands.
+func (g *Gateway) slaFilter(name string, pool []*backend, sla SLA, sess string) (sat []*backend, constrained bool) {
+	st := g.updState(name)
+	if st == nil {
+		return nil, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	required := g.requiredVersionLocked(st, name, sla, sess)
+	if required == (version{}) {
+		return nil, false
+	}
+	for _, b := range pool {
+		if st.applied[b.id].AtLeast(required) {
+			sat = append(sat, b)
+		}
+	}
+	return sat, true
 }

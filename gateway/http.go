@@ -3,7 +3,9 @@ package gateway
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/metrics"
@@ -47,19 +49,19 @@ func NewHandler(g *Gateway) http.Handler {
 	handleFunc("PUT /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
 		var m service.Matrix
 		if err := service.DecodeRequest(w, r, &m); err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
 		}
 		info, err := g.PutMatrix(r.Context(), r.PathValue("name"), m)
 		if err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
 		}
 		service.WriteJSON(w, http.StatusOK, info)
 	})
 	handleFunc("DELETE /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
 		if err := g.DeleteMatrix(r.Context(), r.PathValue("name")); err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
 		}
 		service.WriteJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
@@ -70,7 +72,7 @@ func NewHandler(g *Gateway) http.Handler {
 	handleFunc("POST /matrices/{name}/chunks", func(w http.ResponseWriter, r *http.Request) {
 		var req service.ChunkRequest
 		if err := service.DecodeRequest(w, r, &req); err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
 		}
 		name := r.PathValue("name")
@@ -78,70 +80,95 @@ func NewHandler(g *Gateway) http.Handler {
 		case "begin":
 			info, err := g.BeginUpload(r.Context(), name, req.Rows, req.Cols)
 			if err != nil {
-				writeError(w, err)
+				g.writeError(w, err)
 				return
 			}
 			service.WriteJSON(w, http.StatusOK, info)
 		case "append":
 			info, err := g.AppendChunk(r.Context(), name, req.Upload, req.RowStart, req.RowEnd, req.Entries)
 			if err != nil {
-				writeError(w, err)
+				g.writeError(w, err)
 				return
 			}
 			service.WriteJSON(w, http.StatusOK, info)
 		case "commit":
 			info, err := g.CommitUpload(r.Context(), name, req.Upload)
 			if err != nil {
-				writeError(w, err)
+				g.writeError(w, err)
 				return
 			}
 			service.WriteJSON(w, http.StatusOK, info)
 		case "abort":
 			if err := g.AbortUpload(r.Context(), name, req.Upload); err != nil {
-				writeError(w, err)
+				g.writeError(w, err)
 				return
 			}
 			service.WriteJSON(w, http.StatusOK, map[string]string{"aborted": req.Upload})
 		default:
-			writeError(w, fmt.Errorf("%w: unknown chunk op %q", service.ErrBadRequest, req.Op))
+			g.writeError(w, fmt.Errorf("%w: unknown chunk op %q", service.ErrBadRequest, req.Op))
 		}
 	})
 	handleFunc("PATCH /matrices/{name}/rows", func(w http.ResponseWriter, r *http.Request) {
 		var req service.UpdateRequest
 		if err := service.DecodeRequest(w, r, &req); err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
 		}
-		rep, err := g.UpdateRows(r.Context(), r.PathValue("name"), req)
+		// Writes take only the session token (consistency levels apply
+		// to reads); the committed version echoes back in MP-Version so
+		// a client can hand it to another consumer as a read floor.
+		sess := sessionToken(r)
+		rep, ver, err := g.updateRowsSLA(r.Context(), r.PathValue("name"), req, sess)
 		if err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
 		}
+		if sess != "" {
+			w.Header().Set("MP-Session", sess)
+		}
+		w.Header().Set("MP-Version", ver.String())
 		service.WriteReply(w, r, http.StatusOK, rep)
 	})
 	handleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req service.Request
 		if err := service.DecodeRequest(w, r, &req); err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
 		}
-		res, err := g.Estimate(r.Context(), req)
+		sla, sess, err := g.slaOf(r)
 		if err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
 		}
+		res, ver, err := g.estimateSLA(r.Context(), req, sla, sess)
+		if err != nil {
+			g.writeError(w, err)
+			return
+		}
+		if sess != "" {
+			w.Header().Set("MP-Session", sess)
+		}
+		w.Header().Set("MP-Version", ver.String())
 		service.WriteReply(w, r, http.StatusOK, res)
 	})
 	handleFunc("POST /estimate/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req service.BatchRequest
 		if err := service.DecodeRequest(w, r, &req); err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
 		}
-		items, err := g.EstimateBatch(r.Context(), req.Queries)
+		sla, sess, err := g.slaOf(r)
 		if err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
+		}
+		items, err := g.estimateBatchSLA(r.Context(), req.Queries, sla, sess)
+		if err != nil {
+			g.writeError(w, err)
+			return
+		}
+		if sess != "" {
+			w.Header().Set("MP-Session", sess)
 		}
 		service.WriteReply(w, r, http.StatusOK, service.BatchResponse{Results: items})
 	})
@@ -158,7 +185,7 @@ func NewHandler(g *Gateway) http.Handler {
 	handleFunc("POST /admin/backends", func(w http.ResponseWriter, r *http.Request) {
 		var req AdminRequest
 		if err := service.DecodeRequest(w, r, &req); err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
 		}
 		var rep RebalanceReport
@@ -174,7 +201,7 @@ func NewHandler(g *Gateway) http.Handler {
 			err = fmt.Errorf("%w: unknown admin op %q", service.ErrBadRequest, req.Op)
 		}
 		if err != nil {
-			writeError(w, err)
+			g.writeError(w, err)
 			return
 		}
 		service.WriteJSON(w, http.StatusOK, rep)
@@ -189,6 +216,54 @@ type AdminRequest struct {
 	Op string `json:"op"`
 	// Addr is the backend base URL the operation targets.
 	Addr string `json:"addr"`
+}
+
+// sessionToken extracts the opaque session token from ?session= or
+// the MP-Session header (query wins). Tokens are client-opaque; the
+// gateway never inspects them beyond map lookup.
+func sessionToken(r *http.Request) string {
+	if s := r.URL.Query().Get("session"); s != "" {
+		return s
+	}
+	return r.Header.Get("MP-Session")
+}
+
+// slaOf extracts a read's consistency SLA (?consistency= or the
+// MP-Consistency header; see ParseConsistency for the grammar) and its
+// session token. A session-dependent level arriving without a token
+// mints one, which the response echoes in MP-Session for the client to
+// carry forward.
+func (g *Gateway) slaOf(r *http.Request) (SLA, string, error) {
+	cons := r.URL.Query().Get("consistency")
+	if cons == "" {
+		cons = r.Header.Get("MP-Consistency")
+	}
+	sla, err := ParseConsistency(cons)
+	if err != nil {
+		return SLA{}, "", err
+	}
+	sess := sessionToken(r)
+	if sess == "" && (sla.Level == ConsMonotonic || sla.Level == ConsRMW) {
+		sess, _ = g.sessions.get("")
+	}
+	return sla, sess, nil
+}
+
+// writeError is the method form the handlers use: the package mapping
+// below plus a Retry-After header on sheds, so open-loop clients and
+// upstream gateways back off a saturated or replica-less target
+// instead of hammering it.
+func (g *Gateway) writeError(w http.ResponseWriter, err error) {
+	var apiErr *service.APIError
+	switch {
+	case errors.As(err, &apiErr) && apiErr.RetryAfter > 0:
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(apiErr.RetryAfter.Seconds()))))
+	case errors.Is(err, ErrNoBackends):
+		// No eligible replica right now: the prober re-admits on its
+		// interval, so that is the honest earliest useful retry.
+		w.Header().Set("Retry-After", strconv.Itoa(max(1, int(math.Ceil(g.cfg.ProbeInterval.Seconds())))))
+	}
+	writeError(w, err)
 }
 
 // writeError maps gateway and backend errors onto the uniform

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/metrics"
@@ -64,6 +65,10 @@ func newGatewayMetrics(g *Gateway) *gatewayMetrics {
 			func(s *Stats) int64 { return s.SpillLoads }},
 		{"mpgw_spill_errors_total", "Failed spill-store operations.",
 			func(s *Stats) int64 { return s.SpillErrors }},
+		{"mpgw_async_applied_total", "Update-log entries replayed to lagging replicas (apply loop and in-line catch-ups).",
+			func(s *Stats) int64 { return s.AsyncApplied }},
+		{"mpgw_async_reseeds_total", "Full-wire reseeds of replicas whose lag a log replay could not cover.",
+			func(s *Stats) int64 { return s.AsyncReseeds }},
 	} {
 		read := def.read
 		reg.CounterFunc(def.name, def.help, nil, func() []metrics.Sample {
@@ -109,6 +114,48 @@ func newGatewayMetrics(g *Gateway) *gatewayMetrics {
 	reg.GaugeFunc("mpgw_uptime_seconds", "Time since the gateway started serving.",
 		nil, func() []metrics.Sample {
 			return []metrics.Sample{{Value: time.Since(g.start).Seconds()}}
+		})
+	reg.GaugeFunc("mpgw_async_replication", "Whether updates commit on a write quorum instead of every replica (1 = async).",
+		nil, func() []metrics.Sample {
+			var v float64
+			if g.cfg.AsyncReplication {
+				v = 1
+			}
+			return []metrics.Sample{{Value: v}}
+		})
+	reg.GaugeFunc("mpgw_write_quorum", "Configured async-mode ack quorum W.",
+		nil, func() []metrics.Sample {
+			return []metrics.Sample{{Value: float64(g.cfg.WriteQuorum)}}
+		})
+	reg.GaugeFunc("mpgw_update_log_entries", "Retained update-log entries summed over all placed matrices.",
+		nil, func() []metrics.Sample {
+			s := g.Stats()
+			return []metrics.Sample{{Value: float64(s.UpdateLogEntries)}}
+		})
+	reg.GaugeFunc("mpgw_sessions", "Live consistency sessions.",
+		nil, func() []metrics.Sample {
+			return []metrics.Sample{{Value: float64(g.sessions.len())}}
+		})
+	// SLA read outcomes as one labeled family: level × outcome, sampled
+	// from the same counters behind /stats so the two can never
+	// disagree. Levels with no traffic emit no series.
+	reg.CounterFunc("mpgw_sla_requests_total", "SLA-routed reads by consistency level and outcome (hit, catchup, miss).",
+		[]string{"level", "outcome"}, func() []metrics.Sample {
+			snap := g.sla.snapshot()
+			levels := make([]string, 0, len(snap))
+			for lvl := range snap {
+				levels = append(levels, lvl)
+			}
+			sort.Strings(levels)
+			out := make([]metrics.Sample, 0, 3*len(levels))
+			for _, lvl := range levels {
+				st := snap[lvl]
+				out = append(out,
+					metrics.Sample{Labels: []string{lvl, "hit"}, Value: float64(st.Hits)},
+					metrics.Sample{Labels: []string{lvl, "catchup"}, Value: float64(st.Catchups)},
+					metrics.Sample{Labels: []string{lvl, "miss"}, Value: float64(st.Misses)})
+			}
+			return out
 		})
 
 	// Per-backend breakdown, one family per field so types stay honest

@@ -103,45 +103,101 @@ func patchWire(w service.Matrix, ups []service.RowUpdate, delta bool) (service.M
 	return out, rows, nil
 }
 
-// UpdateRows applies a row update to every replica of a placed matrix
-// and atomically retains the patched wire copy for future repairs (see
-// the file comment for the per-leg failure semantics). Updates are
-// serialized per gateway; a concurrent full replacement of the name
-// wins with ErrConflict and the replicas are converged back to it.
+// UpdateRows applies a row update to a placed matrix and atomically
+// retains the patched wire copy for future repairs (see the file
+// comment for the per-leg failure semantics). In sync mode (the
+// default) every replica applies the patch before the call returns; in
+// async mode (Config.AsyncReplication) the call commits once
+// Config.WriteQuorum replicas ack and the apply loop drains the rest
+// (see async.go). Updates are serialized per matrix; a concurrent full
+// replacement of the name wins with ErrConflict and the replicas are
+// converged back to it.
 func (g *Gateway) UpdateRows(ctx context.Context, name string, req service.UpdateRequest) (service.UpdateReply, error) {
+	rep, _, err := g.updateRowsSLA(ctx, name, req, "")
+	return rep, err
+}
+
+// updateRowsSLA is UpdateRows plus the SLA bookkeeping: it also
+// returns the committed version (the MP-Version response echo) and
+// folds it into the session's read-my-writes floor.
+func (g *Gateway) updateRowsSLA(ctx context.Context, name string, req service.UpdateRequest, sess string) (service.UpdateReply, version, error) {
 	if g.isClosed() {
-		return service.UpdateReply{}, ErrClosed
+		return service.UpdateReply{}, version{}, ErrClosed
 	}
 	g.updates.Add(1)
 	ups, err := req.Normalized()
 	if err != nil {
-		return service.UpdateReply{}, err
+		return service.UpdateReply{}, version{}, err
 	}
-	g.updMu.Lock() //mp:lockio-ok audited: updMu is the coarse serialization of updates against heal passes; holding it across the legs is the design (see field doc)
-	defer g.updMu.Unlock()
+	st := g.updState(name)
+	if st == nil {
+		return service.UpdateReply{}, version{}, fmt.Errorf("%w: %q", service.ErrMatrixNotFound, name)
+	}
+	st.mu.Lock() //mp:lockio-ok audited: the per-matrix commit lock is held across the replica legs by design — log-append order must equal send order (see async.go's ordering discipline)
+	defer st.mu.Unlock()
+	// A replayed client idempotency key returns the remembered reply
+	// instead of applying twice (the WithRetry double-apply fix: the
+	// first attempt may have committed before its connection died).
+	if req.Key != 0 {
+		if rec, ok := st.recent[req.Key]; ok {
+			g.sessions.noteWrite(sess, name, rec.ver)
+			return rec.rep, rec.ver, nil
+		}
+	}
 	pm, reps, err := g.replicaSnapshot(name)
 	if err != nil {
-		return service.UpdateReply{}, err
+		return service.UpdateReply{}, version{}, err
 	}
 	if len(reps) == 0 {
-		return service.UpdateReply{}, fmt.Errorf("%w: matrix %q has no replica to update", ErrNoBackends, name)
+		return service.UpdateReply{}, version{}, fmt.Errorf("%w: matrix %q has no replica to update", ErrNoBackends, name)
+	}
+	if st.head.epoch != pm.ver.epoch {
+		// A wholesale replacement installed its table entry and is
+		// waiting on st.mu to reset this state: its upload owns the
+		// name, and patching its content would corrupt it.
+		return service.UpdateReply{}, version{}, fmt.Errorf("%w: %q", service.ErrConflict, name)
 	}
 	// A spilled entry's wire loads from the store; the patched result
 	// re-enters memory resident on commit (maybeSpill may re-spill it).
 	oldWire, err := g.wireOf(pm)
 	if err != nil {
-		return service.UpdateReply{}, err
+		return service.UpdateReply{}, version{}, err
 	}
 	newWire, _, err := patchWire(oldWire, ups, req.Delta)
 	if err != nil {
-		return service.UpdateReply{}, err
+		return service.UpdateReply{}, version{}, err
 	}
+	newVer := version{epoch: pm.ver.epoch, seq: pm.ver.seq + 1}
+	// The backends dedupe on the update-log seq (canonical within the
+	// placement generation), so a drain replaying this same entry after
+	// a partial commit is exact, never double-applied.
+	fwd := req
+	fwd.Key = newVer.seq
 
+	var rep service.UpdateReply
+	if g.cfg.AsyncReplication {
+		rep, err = g.quorumCommitLocked(ctx, st, name, pm, reps, ups, fwd, oldWire, newWire, newVer)
+	} else {
+		rep, err = g.syncCommitLocked(ctx, st, name, pm, reps, ups, fwd, newWire, oldWire, newVer)
+	}
+	if err != nil {
+		return service.UpdateReply{}, version{}, err
+	}
+	st.rememberLocked(req.Key, rep, newVer)
+	g.sessions.noteWrite(sess, name, newVer)
+	return rep, newVer, nil
+}
+
+// syncCommitLocked is the all-replica fanout commit: every replica
+// applies the patch (or is repaired to the patched wire) before the
+// call returns — see the file comment for the per-leg failure split.
+// Callers hold st.mu.
+func (g *Gateway) syncCommitLocked(ctx context.Context, st *matrixUpd, name string, pm *placedMatrix, reps []*backend, ups []service.RowUpdate, fwd service.UpdateRequest, newWire, oldWire service.Matrix, newVer version) (service.UpdateReply, error) {
 	replies := make([]service.UpdateReply, len(reps))
 	repaired := make([]bool, len(reps))
 	errs, _ := fanout(reps, func(i int, b *backend) error {
 		var err error
-		replies[i], err = b.client.UpdateRows(ctx, name, req)
+		replies[i], err = b.client.UpdateRows(ctx, name, fwd)
 		if err == nil {
 			return nil
 		}
@@ -190,14 +246,14 @@ func (g *Gateway) UpdateRows(ctx context.Context, name string, req service.Updat
 				dropped[reps[i].id] = true
 			}
 		}
-		g.pruneReplicas(name, pm, nil, pm.info, dropped)
+		g.pruneReplicas(name, pm, nil, pm.info, dropped, version{})
 		return service.UpdateReply{}, fmt.Errorf("gateway: replicated update of %q rejected (reverted): %w", name, hardErr)
 	}
 	if len(okIdx) == 0 {
 		// Nothing applied anywhere. The unreachable legs' copies are of
 		// unknown state, so they are dropped for resync; the retained
 		// wire stays pre-update.
-		g.pruneReplicas(name, pm, nil, pm.info, dropped)
+		g.pruneReplicas(name, pm, nil, pm.info, dropped, version{})
 		return service.UpdateReply{}, fmt.Errorf("%w: no replica of %q accepted the update", ErrAllReplicasFailed, name)
 	}
 
@@ -218,30 +274,129 @@ func (g *Gateway) UpdateRows(ctx context.Context, name string, req service.Updat
 	}
 	rep := replies[best]
 	rep.RowsApplied = len(ups)
-	if !g.pruneReplicas(name, pm, &newWire, rep.MatrixInfo, dropped) {
-		// A full replacement raced in and owns the table: its wholesale
-		// upload is authoritative, but a replica it wrote *before* our
-		// update landed there would now be divergent. Converge every
-		// replica back to the replacement's retained wire, best-effort.
-		g.mu.Lock()
-		cur, ok := g.matrices[name]
-		g.mu.Unlock()
-		if ok {
-			curWire, werr := g.wireOf(cur)
-			_, curReps, err := g.replicaSnapshot(name)
-			if err == nil && werr == nil {
-				_, _ = fanout(curReps, func(_ int, b *backend) error {
-					syncCtx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
-					defer cancel()
-					_, err := g.uploadTo(syncCtx, b, name, curWire)
-					return err
-				})
-			}
-		}
+	if !g.pruneReplicas(name, pm, &newWire, rep.MatrixInfo, dropped, newVer) {
+		g.convergeReplacement(name)
 		return service.UpdateReply{}, fmt.Errorf("%w: %q", service.ErrConflict, name)
+	}
+	g.appendLogLocked(st, newVer, ups, fwd.Delta)
+	for _, i := range okIdx {
+		st.setAppliedLocked(reps[i].id, newVer)
 	}
 	g.maybeSpill()
 	return rep, nil
+}
+
+// quorumCommitLocked is the async-mode commit: replicas are tried in
+// placement order and the update commits once Config.WriteQuorum of
+// them ack; the rest are left lagging for the apply loop to drain. No
+// replica is dropped from the placement for a transport failure here —
+// in async mode unreachable just means lagging, and the prober plus
+// apply loop converge it when it returns. Callers hold st.mu.
+func (g *Gateway) quorumCommitLocked(ctx context.Context, st *matrixUpd, name string, pm *placedMatrix, reps []*backend, ups []service.RowUpdate, fwd service.UpdateRequest, oldWire, newWire service.Matrix, newVer version) (service.UpdateReply, error) {
+	need := min(g.cfg.WriteQuorum, len(reps))
+	var acked []*backend
+	var rep service.UpdateReply
+	var gotReply bool
+	var hardErr error
+	for _, b := range reps {
+		if len(acked) >= need {
+			break
+		}
+		if st.sending[b.id] || !b.eligible() {
+			continue // a drain owns its send slot, or it is unhealthy: leave it lagging
+		}
+		if av := st.applied[b.id]; av.Less(st.head) {
+			// Bring a lagging candidate in line first so the patch
+			// applies on top of its full log prefix.
+			if !g.catchUpLocked(ctx, st, name, b) {
+				continue
+			}
+		}
+		reply, err := b.client.UpdateRows(ctx, name, fwd)
+		if err != nil {
+			var apiErr *service.APIError
+			if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+				if info, rerr := g.uploadTo(ctx, b, name, newWire); rerr == nil {
+					g.repairs.Add(1)
+					st.setAppliedLocked(b.id, newVer)
+					acked = append(acked, b)
+					if !gotReply {
+						rep = service.UpdateReply{MatrixInfo: info, RowsApplied: len(ups)}
+					}
+					continue
+				}
+			}
+			if droppable, _ := failoverable(err); droppable {
+				b.noteFailover(err, isTransportLevel(err))
+				continue
+			}
+			hardErr = err
+			break
+		}
+		st.setAppliedLocked(b.id, newVer)
+		acked = append(acked, b)
+		rep, gotReply = reply, true
+	}
+
+	if hardErr != nil || len(acked) < need {
+		// Not committed: converge every acked leg back to the retained
+		// pre-update wire so no replica holds an uncommitted patch. A
+		// leg unreachable mid-revert is stamped at the zero version —
+		// never replayable — so the apply loop full-reseeds it.
+		if len(acked) > 0 {
+			g.updateReverts.Add(1)
+		}
+		for _, b := range acked {
+			revCtx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+			_, rerr := g.uploadTo(revCtx, b, name, oldWire)
+			cancel()
+			if rerr != nil {
+				st.setAppliedLocked(b.id, version{})
+			} else {
+				st.setAppliedLocked(b.id, pm.ver)
+			}
+		}
+		g.wakeApply()
+		if hardErr != nil {
+			return service.UpdateReply{}, fmt.Errorf("gateway: replicated update of %q rejected (reverted): %w", name, hardErr)
+		}
+		return service.UpdateReply{}, fmt.Errorf("%w: update of %q reached %d of %d write-quorum acks", ErrNoBackends, name, len(acked), need)
+	}
+
+	rep.RowsApplied = len(ups)
+	if !g.pruneReplicas(name, pm, &newWire, rep.MatrixInfo, nil, newVer) {
+		g.convergeReplacement(name)
+		return service.UpdateReply{}, fmt.Errorf("%w: %q", service.ErrConflict, name)
+	}
+	g.appendLogLocked(st, newVer, ups, fwd.Delta)
+	g.maybeSpill()
+	g.wakeApply()
+	return rep, nil
+}
+
+// convergeReplacement handles an update losing the copy-on-write race
+// to a full replacement of the name: the replacement's wholesale
+// upload is authoritative, but a replica it wrote *before* the update
+// landed there would now be divergent. Re-upload the replacement's
+// retained wire to every current replica, best-effort.
+func (g *Gateway) convergeReplacement(name string) {
+	g.mu.Lock()
+	cur, ok := g.matrices[name]
+	g.mu.Unlock()
+	if !ok {
+		return
+	}
+	curWire, werr := g.wireOf(cur)
+	_, curReps, err := g.replicaSnapshot(name)
+	if err != nil || werr != nil {
+		return
+	}
+	_, _ = fanout(curReps, func(_ int, b *backend) error {
+		syncCtx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+		defer cancel()
+		_, err := g.uploadTo(syncCtx, b, name, curWire)
+		return err
+	})
 }
 
 // isTransportLevel classifies an update-leg error for the backend's
@@ -258,8 +413,10 @@ func isTransportLevel(err error) bool {
 // stale spill file is never read and is overwritten by the next
 // spill); nil keeps pm's wire and spill state unchanged. An entry that
 // lost replicas is flagged for the prober's heal pass, which re-places
-// it from the retained wire. Reports whether the swap happened.
-func (g *Gateway) pruneReplicas(name string, pm *placedMatrix, newWire *service.Matrix, info service.MatrixInfo, dropped map[string]bool) bool {
+// it from the retained wire. A non-nil newWire also advances the
+// retained version to ver — the update-log head the commit assigned.
+// Reports whether the swap happened.
+func (g *Gateway) pruneReplicas(name string, pm *placedMatrix, newWire *service.Matrix, info service.MatrixInfo, dropped map[string]bool, ver version) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	cur, ok := g.matrices[name]
@@ -284,6 +441,7 @@ func (g *Gateway) pruneReplicas(name string, pm *placedMatrix, newWire *service.
 		npm.wire = *newWire
 		npm.wireBytes = wireSize(*newWire)
 		npm.spilled = false
+		npm.ver = ver
 	}
 	g.matrices[name] = npm
 	return true

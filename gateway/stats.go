@@ -114,6 +114,27 @@ type Stats struct {
 	// WireBytes is the resident retained-wire byte total governed by
 	// Config.WireCacheBudget.
 	WireBytes int64 `json:"wire_bytes"`
+	// AsyncReplication reports whether updates commit on a write quorum
+	// (Config.AsyncReplication) instead of every replica.
+	AsyncReplication bool `json:"async_replication"`
+	// WriteQuorum is the configured async-mode ack quorum W.
+	WriteQuorum int `json:"write_quorum"`
+	// UpdateLogEntries is the total retained update-log length summed
+	// over all placed matrices (each log is bounded by
+	// Config.UpdateLogMax).
+	UpdateLogEntries int `json:"update_log_entries"`
+	// AsyncApplied counts log entries replayed to lagging replicas (by
+	// the apply loop and in-line catch-ups).
+	AsyncApplied int64 `json:"async_applied"`
+	// AsyncReseeds counts full-wire reseeds of replicas whose lag could
+	// not be covered by a log replay (trimmed window, epoch change,
+	// lost copy).
+	AsyncReseeds int64 `json:"async_reseeds"`
+	// Sessions is the live consistency-session count.
+	Sessions int `json:"sessions"`
+	// SLA breaks read outcomes down per consistency level (levels with
+	// no traffic are omitted).
+	SLA map[string]SLAStats `json:"sla,omitempty"`
 	// Backends is the per-backend breakdown, sorted by address.
 	Backends []BackendStatus `json:"backends"`
 	// Uptime is how long the gateway has been serving.
@@ -147,28 +168,45 @@ func (g *Gateway) Stats() Stats {
 			wireBytes += pm.wireBytes
 		}
 	}
+	upd := make([]*matrixUpd, 0, len(g.upd))
+	for _, st := range g.upd {
+		upd = append(upd, st)
+	}
 	g.mu.Unlock()
+	var logEntries int
+	for _, st := range upd {
+		st.mu.Lock()
+		logEntries += len(st.log)
+		st.mu.Unlock()
+	}
 	return Stats{
-		Replication:     g.cfg.Replication,
-		Matrices:        matrices,
-		Estimates:       g.estimates.Load(),
-		Batches:         g.batches.Load(),
-		Placements:      g.placements.Load(),
-		Failovers:       g.failovers.Load(),
-		Retries:         g.retries.Load(),
-		Repairs:         g.repairs.Load(),
-		Rebalanced:      g.rebalanced.Load(),
-		Updates:         g.updates.Load(),
-		UpdateReverts:   g.updateReverts.Load(),
-		LostReplicas:    g.lostReplicas.Load(),
-		Resyncs:         g.resyncs.Load(),
-		ReseedBytes:     g.reseedBytes.Load(),
-		Spills:          g.spills.Load(),
-		SpillLoads:      g.spillLoads.Load(),
-		SpillErrors:     g.spillErrors.Load(),
-		SpilledMatrices: spilled,
-		WireBytes:       wireBytes,
-		Backends:        g.Backends(),
-		Uptime:          time.Since(g.start),
+		Replication:      g.cfg.Replication,
+		Matrices:         matrices,
+		Estimates:        g.estimates.Load(),
+		Batches:          g.batches.Load(),
+		Placements:       g.placements.Load(),
+		Failovers:        g.failovers.Load(),
+		Retries:          g.retries.Load(),
+		Repairs:          g.repairs.Load(),
+		Rebalanced:       g.rebalanced.Load(),
+		Updates:          g.updates.Load(),
+		UpdateReverts:    g.updateReverts.Load(),
+		LostReplicas:     g.lostReplicas.Load(),
+		Resyncs:          g.resyncs.Load(),
+		ReseedBytes:      g.reseedBytes.Load(),
+		Spills:           g.spills.Load(),
+		SpillLoads:       g.spillLoads.Load(),
+		SpillErrors:      g.spillErrors.Load(),
+		SpilledMatrices:  spilled,
+		WireBytes:        wireBytes,
+		AsyncReplication: g.cfg.AsyncReplication,
+		WriteQuorum:      g.cfg.WriteQuorum,
+		UpdateLogEntries: logEntries,
+		AsyncApplied:     g.asyncApplied.Load(),
+		AsyncReseeds:     g.asyncReseeds.Load(),
+		Sessions:         g.sessions.len(),
+		SLA:              g.sla.snapshot(),
+		Backends:         g.Backends(),
+		Uptime:           time.Since(g.start),
 	}
 }

@@ -246,15 +246,18 @@ func (g *Gateway) CommitUpload(ctx context.Context, name, token string) (Placeme
 		return PlacementInfo{}, fmt.Errorf("%w: every upload leg's backend left the pool before commit", ErrNoBackends)
 	}
 	wire := service.Matrix{Rows: up.rows, Cols: up.cols, Entries: up.entries}
+	ver := version{epoch: g.epochSeq.Add(1)}
 	pm := &placedMatrix{
 		info:      infos[0],
 		wire:      wire,
 		wireBytes: wireSize(wire),
 		replicas:  ids,
+		ver:       ver,
 	}
 	g.mu.Lock()
 	g.matrices[name] = pm
 	g.mu.Unlock()
+	g.resetUpdState(name, ver, ids)
 	g.placements.Add(1)
 	g.maybeSpill()
 	return PlacementInfo{MatrixInfo: pm.info, Replicas: ids}, nil

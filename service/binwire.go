@@ -776,7 +776,8 @@ func appendUpdateRequest(b []byte, u UpdateRequest) []byte {
 		b = putZig(b, int64(*u.Row))
 	}
 	b = appendRowEntries(b, u.Entries)
-	return putBool(b, u.Delta)
+	b = putBool(b, u.Delta)
+	return putUvar(b, u.Key)
 }
 
 func (r *binReader) updateRequest() UpdateRequest {
@@ -794,6 +795,7 @@ func (r *binReader) updateRequest() UpdateRequest {
 	}
 	u.Entries = r.rowEntries()
 	u.Delta = r.boolv()
+	u.Key = r.uvar()
 	return u
 }
 

@@ -90,7 +90,7 @@ func TestBinaryRoundTripAllTypes(t *testing.T) {
 		row := 3
 		checkRoundTrip(t, UpdateRequest{
 			Updates: []RowUpdate{{Row: 0, Entries: [][2]int64{{1, -4}, {2, 0}}}, {Row: 5}},
-			Row:     &row, Entries: [][2]int64{{0, 9}}, Delta: true,
+			Row:     &row, Entries: [][2]int64{{0, 9}}, Delta: true, Key: 77,
 		}, &UpdateRequest{})
 	})
 	t.Run("update_reply", func(t *testing.T) {

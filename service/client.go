@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -28,6 +30,7 @@ type Client struct {
 	retries int
 	accept  string
 	prefix  string
+	headers http.Header
 	// jsonOnly latches after a 415 against a binary request: the server
 	// does not speak the binary format, so every later call goes
 	// straight to JSON instead of paying a rejected round trip each.
@@ -52,9 +55,28 @@ func WithAccept(mediaType string) ClientOption {
 
 // WithRetry retries a call up to n extra times on transport-level
 // errors (connection refused, reset — calls that never reached a
-// server). Answered errors (APIError) are never retried.
+// server). Answered errors (APIError) are never retried, and neither
+// are calls that are unsafe to resend: a transport error only proves
+// the *reply* was lost, not the request, so a non-idempotent call
+// (chunked-upload ops, row updates without an idempotency key) may
+// already have been applied. Reads, PUT/DELETE, estimates, and keyed
+// row updates (UpdateRows auto-assigns a key when retries are on; the
+// server dedupes on it) retry freely.
 func WithRetry(n int) ClientOption {
 	return func(c *Client) { c.retries = n }
+}
+
+// WithHeader sets a static header on every request the client sends —
+// how a caller pins per-client routing hints (the gateway's
+// MP-Consistency SLA level and MP-Session token) without threading
+// them through each call site.
+func WithHeader(key, value string) ClientOption {
+	return func(c *Client) {
+		if c.headers == nil {
+			c.headers = make(http.Header)
+		}
+		c.headers.Set(key, value)
+	}
 }
 
 // WithHTTPClient sets the underlying *http.Client.
@@ -106,6 +128,9 @@ type APIError struct {
 	// Message is the server's error string (the envelope's message, the
 	// legacy {"error":"…"} string, or the raw body when neither).
 	Message string
+	// RetryAfter is the server's Retry-After hint on sheds (429/503),
+	// zero when absent — callers pacing their retries should honor it.
+	RetryAfter time.Duration
 }
 
 // Error formats the reply as "service: server returned <status>: <msg>".
@@ -139,7 +164,7 @@ func apiErrorFromBody(status int, body []byte) *APIError {
 // clients layered on the service API — the gateway's admin client —
 // reuse the same request plumbing and error discipline.
 func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) error {
-	return c.roundTrip(ctx, method, path, in, out, false, false)
+	return c.roundTrip(ctx, method, path, in, out, false, false, methodIdempotent(method))
 }
 
 // Do performs one API call under the client's configured path prefix
@@ -149,15 +174,34 @@ func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) e
 // all route through here — the codec seam tiers like the gateway
 // inherit by construction.
 func (c *Client) Do(ctx context.Context, method, path string, in, out any) error {
+	return c.do(ctx, method, path, in, out, methodIdempotent(method))
+}
+
+// do is Do with an explicit retry-safety override for calls whose
+// method alone understates their idempotency (estimates are read-only
+// POSTs; keyed row updates are server-deduped PATCHes).
+func (c *Client) do(ctx context.Context, method, path string, in, out any, retrySafe bool) error {
 	binary := c.accept == MediaTypeBinary && !c.jsonOnly.Load()
 	// Advertise binary Accept only when the reply can be decoded from
 	// it; a JSON-shaped out (catalog listings, stats) keeps the reply
 	// JSON while the request body may still go binary.
 	acceptBinary := binary && out != nil && BinaryEncodable(out)
-	return c.roundTrip(ctx, method, c.prefix+path, in, out, binary, acceptBinary)
+	return c.roundTrip(ctx, method, c.prefix+path, in, out, binary, acceptBinary, retrySafe)
 }
 
-func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any, binary, acceptBinary bool) error {
+// methodIdempotent reports whether a method is safe to resend after a
+// transport failure that lost the reply (RFC 9110 §9.2.2): the call
+// either has no side effects or replaces state wholesale, so a
+// double-application is harmless.
+func methodIdempotent(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete:
+		return true
+	}
+	return false
+}
+
+func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any, binary, acceptBinary, retrySafe bool) error {
 	if c.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
@@ -183,13 +227,15 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any
 			body, contentType = buf, mediaTypeJSON
 		}
 	}
-	resp, err := c.send(ctx, method, path, body, contentType, acceptBinary)
+	resp, err := c.send(ctx, method, path, body, contentType, acceptBinary, retrySafe)
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode == http.StatusUnsupportedMediaType && sentBinary {
 		// The server does not speak the binary format (or not on this
-		// endpoint). Latch JSON and replay the call once.
+		// endpoint). Latch JSON and replay the call once. The replay is
+		// safe regardless of idempotency: a 415 was answered before the
+		// request body was acted on.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
 		c.jsonOnly.Store(true)
@@ -197,7 +243,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any
 		if err != nil {
 			return err
 		}
-		resp, err = c.send(ctx, method, path, buf, mediaTypeJSON, false)
+		resp, err = c.send(ctx, method, path, buf, mediaTypeJSON, false, retrySafe)
 		if err != nil {
 			return err
 		}
@@ -205,7 +251,11 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		return apiErrorFromBody(resp.StatusCode, msg)
+		apiErr := apiErrorFromBody(resp.StatusCode, msg)
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -225,10 +275,17 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any
 
 // send issues one HTTP request, retrying transport-level failures up
 // to the configured retry budget (the body is retained encoded, so a
-// retry resends identical bytes).
-func (c *Client) send(ctx context.Context, method, path string, body []byte, contentType string, acceptBinary bool) (*http.Response, error) {
+// retry resends identical bytes). Retries apply only to retry-safe
+// calls: a transport error proves the reply was lost, not the request,
+// so resending a non-idempotent call could apply it twice — the
+// double-apply bug the retrySafe gate closes.
+func (c *Client) send(ctx context.Context, method, path string, body []byte, contentType string, acceptBinary, retrySafe bool) (*http.Response, error) {
+	retries := c.retries
+	if !retrySafe {
+		retries = 0
+	}
 	var lastErr error
-	for attempt := 0; attempt <= c.retries; attempt++ {
+	for attempt := 0; attempt <= retries; attempt++ {
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -236,6 +293,9 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, con
 		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 		if err != nil {
 			return nil, err
+		}
+		for k, vs := range c.headers {
+			req.Header[k] = vs
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
@@ -364,11 +424,36 @@ func (c *Client) UploadMatrixChunked(ctx context.Context, name string, m Matrix,
 
 // UpdateRows applies a batch of sparse row patches to a served matrix
 // in place — the dynamic-update path that keeps the server's sketch
-// cache warm instead of forcing a full re-upload.
+// cache warm instead of forcing a full re-upload. A retrying client
+// (WithRetry) auto-assigns an idempotency key when the request carries
+// none: the server dedupes on it, so a retried PATCH whose first
+// attempt committed before the connection died returns the original
+// reply instead of applying the patch twice (fatal in delta mode).
 func (c *Client) UpdateRows(ctx context.Context, name string, req UpdateRequest) (UpdateReply, error) {
+	if req.Key == 0 && c.retries > 0 {
+		req.Key = nextIdempotencyKey()
+	}
 	var out UpdateReply
-	err := c.Do(ctx, http.MethodPatch, "/matrices/"+name+"/rows", req, &out)
+	err := c.do(ctx, http.MethodPatch, "/matrices/"+name+"/rows", req, &out, req.Key != 0)
 	return out, err
+}
+
+// idemSeed seeds process-unique idempotency keys: the high bits carry
+// a once-per-process timestamp, the low 16 a counter — keys from
+// different client processes (or restarts) occupy disjoint ranges.
+var (
+	idemOnce sync.Once
+	idemSeed uint64
+	idemCtr  atomic.Uint64
+)
+
+func nextIdempotencyKey() uint64 {
+	idemOnce.Do(func() { idemSeed = uint64(time.Now().UnixNano()) << 16 })
+	k := idemSeed + idemCtr.Add(1)
+	if k == 0 { // zero means "no key" on the wire
+		k = idemSeed + idemCtr.Add(1)
+	}
+	return k
 }
 
 // ReplaceRow replaces one row of a served matrix with the given
@@ -384,10 +469,11 @@ func (c *Client) Matrices(ctx context.Context) ([]MatrixInfo, error) {
 	return out, err
 }
 
-// Estimate runs one estimation query.
+// Estimate runs one estimation query. Estimates are read-only despite
+// the POST, so a retrying client resends them freely.
 func (c *Client) Estimate(ctx context.Context, req Request) (*Result, error) {
 	var out Result
-	if err := c.Do(ctx, http.MethodPost, "/estimate", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/estimate", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -396,9 +482,10 @@ func (c *Client) Estimate(ctx context.Context, req Request) (*Result, error) {
 // EstimateBatch runs many estimation queries against a single server
 // admission slot. The returned items match the queries in order; a
 // per-query failure is reported in its item, not as a call error.
+// Read-only like Estimate, so retry-safe.
 func (c *Client) EstimateBatch(ctx context.Context, reqs []Request) ([]BatchItem, error) {
 	var out BatchResponse
-	if err := c.Do(ctx, http.MethodPost, "/estimate/batch", BatchRequest{Queries: reqs}, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/estimate/batch", BatchRequest{Queries: reqs}, &out, true); err != nil {
 		return nil, err
 	}
 	return out.Results, nil

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/metrics"
@@ -53,19 +55,19 @@ func NewHandler(e *Engine) http.Handler {
 	handleFunc("PUT /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
 		var m Matrix
 		if err := DecodeRequest(w, r, &m); err != nil {
-			WriteError(w, err)
+			e.writeError(w, err)
 			return
 		}
 		info, evicted, err := e.PutMatrix(r.PathValue("name"), m)
 		if err != nil {
-			WriteError(w, err)
+			e.writeError(w, err)
 			return
 		}
 		WriteReply(w, r, http.StatusOK, UploadReply{MatrixInfo: info, Evicted: evicted})
 	})
 	handleFunc("DELETE /matrix/{name}", func(w http.ResponseWriter, r *http.Request) {
 		if err := e.DeleteMatrix(r.PathValue("name")); err != nil {
-			WriteError(w, err)
+			e.writeError(w, err)
 			return
 		}
 		WriteJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
@@ -76,7 +78,7 @@ func NewHandler(e *Engine) http.Handler {
 	handleFunc("POST /matrices/{name}/chunks", func(w http.ResponseWriter, r *http.Request) {
 		var req ChunkRequest
 		if err := DecodeRequest(w, r, &req); err != nil {
-			WriteError(w, err)
+			e.writeError(w, err)
 			return
 		}
 		name := r.PathValue("name")
@@ -84,43 +86,43 @@ func NewHandler(e *Engine) http.Handler {
 		case "begin":
 			info, err := e.BeginUpload(name, req.Rows, req.Cols)
 			if err != nil {
-				WriteError(w, err)
+				e.writeError(w, err)
 				return
 			}
 			WriteJSON(w, http.StatusOK, info)
 		case "append":
 			info, err := e.AppendChunk(name, req.Upload, req.RowStart, req.RowEnd, req.Entries)
 			if err != nil {
-				WriteError(w, err)
+				e.writeError(w, err)
 				return
 			}
 			WriteJSON(w, http.StatusOK, info)
 		case "commit":
 			info, evicted, err := e.CommitUpload(name, req.Upload)
 			if err != nil {
-				WriteError(w, err)
+				e.writeError(w, err)
 				return
 			}
 			WriteReply(w, r, http.StatusOK, UploadReply{MatrixInfo: info, Evicted: evicted})
 		case "abort":
 			if err := e.AbortUpload(name, req.Upload); err != nil {
-				WriteError(w, err)
+				e.writeError(w, err)
 				return
 			}
 			WriteJSON(w, http.StatusOK, map[string]string{"aborted": req.Upload})
 		default:
-			WriteError(w, fmt.Errorf("%w: unknown chunk op %q", ErrBadRequest, req.Op))
+			e.writeError(w, fmt.Errorf("%w: unknown chunk op %q", ErrBadRequest, req.Op))
 		}
 	})
 	handleFunc("PATCH /matrices/{name}/rows", func(w http.ResponseWriter, r *http.Request) {
 		var req UpdateRequest
 		if err := DecodeRequest(w, r, &req); err != nil {
-			WriteError(w, err)
+			e.writeError(w, err)
 			return
 		}
 		rep, err := e.UpdateRows(r.PathValue("name"), req)
 		if err != nil {
-			WriteError(w, err)
+			e.writeError(w, err)
 			return
 		}
 		WriteReply(w, r, http.StatusOK, rep)
@@ -128,12 +130,12 @@ func NewHandler(e *Engine) http.Handler {
 	handleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
 		if err := DecodeRequest(w, r, &req); err != nil {
-			WriteError(w, err)
+			e.writeError(w, err)
 			return
 		}
 		res, err := e.Estimate(r.Context(), req)
 		if err != nil {
-			WriteError(w, err)
+			e.writeError(w, err)
 			return
 		}
 		WriteReply(w, r, http.StatusOK, res)
@@ -141,12 +143,12 @@ func NewHandler(e *Engine) http.Handler {
 	handleFunc("POST /estimate/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
 		if err := DecodeRequest(w, r, &req); err != nil {
-			WriteError(w, err)
+			e.writeError(w, err)
 			return
 		}
 		items, err := e.EstimateBatch(r.Context(), req.Queries)
 		if err != nil {
-			WriteError(w, err)
+			e.writeError(w, err)
 			return
 		}
 		WriteReply(w, r, http.StatusOK, BatchResponse{Results: items})
@@ -284,6 +286,19 @@ func ErrorCode(err error) (status int, code string) {
 	default:
 		return http.StatusInternalServerError, "internal"
 	}
+}
+
+// writeError is WriteError with the engine's backoff hint attached:
+// admission sheds (ErrOverloaded → 429) carry a Retry-After header
+// derived from the recent median queue wait, so open-loop clients and
+// the gateway's failover stop hammering a saturated engine instead of
+// retrying into the same full queue.
+func (e *Engine) writeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrOverloaded) {
+		secs := int(math.Ceil(e.RetryAfter().Seconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	WriteError(w, err)
 }
 
 // WriteError maps a service error through ErrorCode (ErrBadRequest →

@@ -49,6 +49,15 @@ type UpdateRequest struct {
 	// Delta selects delta mode: values are added to the existing cells
 	// instead of replacing whole rows.
 	Delta bool `json:"delta,omitempty"`
+	// Key is an optional idempotency key (zero = none): the server
+	// remembers recent keys per matrix generation and answers a
+	// repeated key with the remembered reply instead of re-applying the
+	// patch — what makes a retried non-idempotent PATCH safe after a
+	// transport failure lost the reply, and what lets a replication
+	// tier replay its update log exactly. Keys are not persisted: a
+	// restart clears the window, which is fine because retries arrive
+	// within a client timeout, not across server restarts.
+	Key uint64 `json:"key,omitempty"`
 }
 
 // Normalized folds the shorthand form into the batch and rejects empty
@@ -96,6 +105,9 @@ type RowUpdateStats struct {
 	Requests int64 `json:"requests"`
 	// Errors counts the failed requests among Requests.
 	Errors int64 `json:"errors"`
+	// Dedups counts requests answered from the idempotency window
+	// without re-applying (a retried keyed update).
+	Dedups int64 `json:"dedups"`
 	// Rows is the total number of row patches applied.
 	Rows int64 `json:"rows"`
 	// StatesRefreshed counts cached Bob states incrementally advanced
@@ -123,6 +135,13 @@ func (c *rowUpdateCounters) record(rows, refreshed, dropped int, failed bool) {
 	c.s.Rows += int64(rows)
 	c.s.StatesRefreshed += int64(refreshed)
 	c.s.StatesDropped += int64(dropped)
+}
+
+func (c *rowUpdateCounters) recordDedup() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Requests++
+	c.s.Dedups++
 }
 
 func (c *rowUpdateCounters) snapshot() RowUpdateStats {
@@ -164,41 +183,67 @@ func (e *Engine) UpdateRows(name string, req UpdateRequest) (UpdateReply, error)
 		return UpdateReply{}, ErrClosed
 	default:
 	}
-	rep, err := e.updateRows(name, req)
+	rep, deduped, err := e.updateRows(name, req)
 	if err != nil {
 		e.rowUpd.record(0, 0, 0, true)
 		return UpdateReply{}, err
 	}
-	e.rowUpd.record(rep.RowsApplied, rep.CacheRefreshed, rep.CacheDropped, false)
+	if deduped {
+		e.rowUpd.recordDedup()
+	} else {
+		e.rowUpd.record(rep.RowsApplied, rep.CacheRefreshed, rep.CacheDropped, false)
+	}
 	return rep, nil
 }
 
-func (e *Engine) updateRows(name string, req UpdateRequest) (UpdateReply, error) {
+// updateDedupeWindow bounds the engine's remembered idempotency keys.
+// It needs to cover the retry window of in-flight writers (a retry
+// arrives within a client timeout), not history.
+const updateDedupeWindow = 256
+
+// updKey identifies one remembered update: the matrix, its upload
+// generation (a wholesale replacement invalidates old keys — the
+// entries they described are gone), and the client's key.
+type updKey struct {
+	name string
+	gen  uint64
+	key  uint64
+}
+
+func (e *Engine) updateRows(name string, req UpdateRequest) (UpdateReply, bool, error) {
 	ups, err := req.Normalized()
 	if err != nil {
-		return UpdateReply{}, err
+		return UpdateReply{}, false, err
 	}
 	e.updMu.Lock()
 	defer e.updMu.Unlock()
 	sm, ok := e.reg.get(name)
 	if !ok {
-		return UpdateReply{}, fmt.Errorf("%w: %q", ErrMatrixNotFound, name)
+		return UpdateReply{}, false, fmt.Errorf("%w: %q", ErrMatrixNotFound, name)
+	}
+	// A repeated idempotency key is a retry (or a replication tier's
+	// log replay) of an update that already committed: answer with the
+	// remembered reply instead of applying the patch twice.
+	if req.Key != 0 {
+		if rep, hit := e.updRecent[updKey{name: name, gen: sm.gen, key: req.Key}]; hit {
+			return rep, true, nil
+		}
 	}
 	newSM, rows, err := patchServed(sm, ups, req.Delta)
 	if err != nil {
-		return UpdateReply{}, err
+		return UpdateReply{}, false, err
 	}
 	// Durability before visibility: the WAL record lands before the
 	// swap. If the swap below loses to a racing replacement, the record
 	// is junk a recovery skips — its epoch no longer matches the
 	// snapshot that replacement persisted.
 	if err := e.persistUpdate(name, sm.gen, newSM.sub, ups, req.Delta); err != nil {
-		return UpdateReply{}, err
+		return UpdateReply{}, false, err
 	}
 	if !e.reg.replaceIf(name, sm, newSM) {
 		// A PutMatrix (or delete) raced in: its wholesale replacement is
 		// authoritative, and this update never becomes visible.
-		return UpdateReply{}, fmt.Errorf("%w: %q", ErrConflict, name)
+		return UpdateReply{}, false, fmt.Errorf("%w: %q", ErrConflict, name)
 	}
 	var refreshed, dropped int
 	if e.cache != nil {
@@ -207,13 +252,31 @@ func (e *Engine) updateRows(name string, req UpdateRequest) (UpdateReply, error)
 				return advanceState(st, newSM, rows)
 			})
 	}
-	return UpdateReply{
+	rep := UpdateReply{
 		MatrixInfo:     newSM.info,
 		Sub:            newSM.sub,
 		RowsApplied:    len(rows),
 		CacheRefreshed: refreshed,
 		CacheDropped:   dropped,
-	}, nil
+	}
+	if req.Key != 0 {
+		e.rememberUpdateLocked(updKey{name: name, gen: sm.gen, key: req.Key}, rep)
+	}
+	return rep, false, nil
+}
+
+// rememberUpdateLocked records a committed keyed update in the dedupe
+// ring, evicting FIFO past the window. Callers hold e.updMu.
+func (e *Engine) rememberUpdateLocked(k updKey, rep UpdateReply) {
+	if e.updRecent == nil {
+		e.updRecent = make(map[updKey]UpdateReply, updateDedupeWindow)
+	}
+	e.updRecent[k] = rep
+	e.updRecentKeys = append(e.updRecentKeys, k)
+	if len(e.updRecentKeys) > updateDedupeWindow {
+		delete(e.updRecent, e.updRecentKeys[0])
+		e.updRecentKeys = e.updRecentKeys[1:]
+	}
 }
 
 // patchServed builds sm's copy-on-write successor with the validated

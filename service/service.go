@@ -230,8 +230,11 @@ type Engine struct {
 
 	// updMu serializes row updates (UpdateRows): sub-version assignment
 	// and cache revalidation must observe a stable predecessor entry.
-	updMu  sync.Mutex
-	rowUpd rowUpdateCounters
+	// It also guards the idempotency-dedupe ring below.
+	updMu         sync.Mutex
+	rowUpd        rowUpdateCounters
+	updRecent     map[updKey]UpdateReply
+	updRecentKeys []updKey
 
 	persist *persister // nil without Config.Store
 }

@@ -87,6 +87,11 @@ type collector struct {
 	ringN     int // total latencies ever recorded
 	waitRing  [latencyWindow]time.Duration
 	waitRingN int // total queue waits ever recorded
+	// raP50/raAt cache the queue-wait median backing Retry-After hints:
+	// sheds arrive exactly when the engine is saturated, so each one must
+	// not pay an O(n log n) sort over the wait ring.
+	raP50 time.Duration
+	raAt  time.Time
 }
 
 func newCollector() *collector {
@@ -136,6 +141,23 @@ func (c *collector) recordQueueWait(wait time.Duration) {
 	c.waitRing[c.waitRingN%latencyWindow] = wait
 	c.waitRingN++
 	c.mu.Unlock()
+}
+
+// retryAfterTTL is how long a computed queue-wait median is reused for
+// Retry-After hints before being recomputed.
+const retryAfterTTL = time.Second
+
+// queueWaitP50Cached returns the recent median admission wait,
+// recomputing it at most once per retryAfterTTL.
+func (c *collector) queueWaitP50Cached() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.raAt.IsZero() && time.Since(c.raAt) < retryAfterTTL {
+		return c.raP50
+	}
+	c.raP50, _, _ = ringPercentiles(&c.waitRing, c.waitRingN)
+	c.raAt = time.Now()
+	return c.raP50
 }
 
 func (c *collector) reject() {
@@ -201,6 +223,19 @@ func ringPercentiles(ring *[latencyWindow]time.Duration, n int) (p50, p90, p99 t
 	copy(lats, ring[:n])
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	return Percentile(lats, 0.50), Percentile(lats, 0.90), Percentile(lats, 0.99)
+}
+
+// RetryAfter is the backoff hint attached to admission sheds (the
+// Retry-After header on 429 responses): twice the recent median
+// queue wait — long enough that a retry arriving after it has a real
+// chance of finding a slot — floored at one second so an engine shedding
+// from a cold window still spreads its retry wave.
+func (e *Engine) RetryAfter() time.Duration {
+	wait := 2 * e.stats.queueWaitP50Cached()
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return wait
 }
 
 // ShardStats describes the row-shard parallel serve path: the engine's
